@@ -1,0 +1,66 @@
+package busytime_test
+
+// One benchmark per experiment (E1–E10, see DESIGN.md §4 and
+// EXPERIMENTS.md): each bench regenerates the corresponding table of the
+// reproduction at reduced trial counts, so `go test -bench=.` exercises the
+// entire harness. cmd/benchtables prints the full tables.
+
+import (
+	"testing"
+
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/experiments"
+	"busytime/internal/generator"
+)
+
+// benchCfg keeps per-iteration work bounded; the experiment structure
+// (workloads, algorithms, references) is identical to the full run.
+var benchCfg = experiments.Config{Trials: 6, Seed: 1, LargeN: 400}
+
+func runExperiment(b *testing.B, run func(experiments.Config) (*experiments.Result, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Metrics) == 0 {
+			b.Fatal("experiment reported no metrics")
+		}
+	}
+}
+
+func BenchmarkE1FirstFitGeneral(b *testing.B)   { runExperiment(b, experiments.E1FirstFitGeneral) }
+func BenchmarkE2Fig4LowerBound(b *testing.B)    { runExperiment(b, experiments.E2Fig4) }
+func BenchmarkE3ProperGreedy(b *testing.B)      { runExperiment(b, experiments.E3ProperGreedy) }
+func BenchmarkE4BoundedLength(b *testing.B)     { runExperiment(b, experiments.E4BoundedLength) }
+func BenchmarkE5Clique(b *testing.B)            { runExperiment(b, experiments.E5Clique) }
+func BenchmarkE6LowerBounds(b *testing.B)       { runExperiment(b, experiments.E6LowerBounds) }
+func BenchmarkE7Optical(b *testing.B)           { runExperiment(b, experiments.E7Optical) }
+func BenchmarkE8MachineMin(b *testing.B)        { runExperiment(b, experiments.E8MachineMin) }
+func BenchmarkE9ProperAdversarial(b *testing.B) { runExperiment(b, experiments.E9ProperAdversarial) }
+func BenchmarkE10Demand(b *testing.B)           { runExperiment(b, experiments.E10Demand) }
+
+// Design-choice ablations (DESIGN.md §4, EXPERIMENTS.md "Ablations").
+
+func BenchmarkA1Ordering(b *testing.B)    { runExperiment(b, experiments.A1Ordering) }
+func BenchmarkA2TreeIndex(b *testing.B)   { runExperiment(b, experiments.A2TreeIndex) }
+func BenchmarkA3LocalSearch(b *testing.B) { runExperiment(b, experiments.A3LocalSearch) }
+func BenchmarkA4Online(b *testing.B)      { runExperiment(b, experiments.A4Online) }
+func BenchmarkA5Laminar(b *testing.B)     { runExperiment(b, experiments.A5Laminar) }
+
+// Scaling micro-benchmarks of the core algorithm at increasing sizes.
+
+func benchFirstFitN(b *testing.B, n int) {
+	in := generator.General(7, n, 4, float64(n), 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = firstfit.Schedule(in)
+	}
+}
+
+func BenchmarkFirstFitN1e2(b *testing.B) { benchFirstFitN(b, 100) }
+func BenchmarkFirstFitN1e3(b *testing.B) { benchFirstFitN(b, 1000) }
+func BenchmarkFirstFitN1e4(b *testing.B) { benchFirstFitN(b, 10000) }

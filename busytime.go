@@ -1,0 +1,105 @@
+// Package busytime is the public facade of the busy-time scheduling library,
+// a Go implementation of
+//
+//	Flammini, Monaco, Moscardelli, Shachnai, Shalom, Tamir, Zaks:
+//	"Minimizing total busy time in parallel scheduling with application to
+//	optical networks", IPDPS 2009 / Theoretical Computer Science 411 (2010).
+//
+// The problem: jobs are fixed time intervals, a machine may run at most g
+// jobs simultaneously, machines may be opened freely, and the objective is
+// to minimize the total busy time — the sum over machines of the measure of
+// time each machine has at least one active job. The problem is NP-hard
+// already for g = 2.
+//
+// The facade re-exports the instance/schedule model and the paper's
+// algorithms with their proven guarantees:
+//
+//   - FirstFit — §2.1, 4-approximation for general instances (ratio ∈ [3,4])
+//   - ProperGreedy — §3.1, 2-approximation for proper interval instances
+//   - CliqueSchedule — Appendix, 2-approximation when all jobs intersect
+//   - BoundedLength — §3.2, (2+ε)-approximation for lengths in [1, d]
+//   - Exact — branch-and-bound optimum for small instances
+//
+// Sub-packages under internal/ provide the substrates (interval sweeps,
+// interval graphs, interval trees, b-matching, the optical-network reduction
+// of §4, a discrete-event validator, workload generators and the experiment
+// harness reproducing every quantitative artifact of the paper).
+package busytime
+
+import (
+	"busytime/internal/algo/boundedlength"
+	"busytime/internal/algo/cliquealgo"
+	"busytime/internal/algo/exact"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/algo/laminar"
+	"busytime/internal/algo/portfolio"
+	"busytime/internal/algo/properfit"
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+// Core model types, re-exported.
+type (
+	// Interval is a closed interval [Start, End] on the real line.
+	Interval = interval.Interval
+	// Job is a scheduling job: an interval plus a capacity demand.
+	Job = core.Job
+	// Instance is a busy-time scheduling instance (jobs + parallelism g).
+	Instance = core.Instance
+	// Schedule is an assignment of jobs to machines.
+	Schedule = core.Schedule
+	// Bounds bundles the lower bounds of an instance.
+	Bounds = core.Bounds
+)
+
+// NewInterval returns the closed interval [start, end]; it panics when
+// end < start.
+func NewInterval(start, end float64) Interval { return interval.New(start, end) }
+
+// NewInstance builds an instance with parallelism g from intervals,
+// assigning sequential job IDs and unit demands.
+func NewInstance(g int, ivs ...Interval) *Instance { return core.NewInstance(g, ivs...) }
+
+// FirstFit runs the paper's FirstFit (§2.1): jobs sorted by non-increasing
+// length, each placed on the first machine with capacity throughout its
+// interval. Guarantee: cost ≤ 4·OPT on every instance (Theorem 2.1).
+func FirstFit(in *Instance) *Schedule { return firstfit.Schedule(in) }
+
+// ProperGreedy runs the §3.1 greedy (NextFit by start time). Guarantee:
+// cost ≤ OPT + span ≤ 2·OPT on proper instances (Theorem 3.1); on arbitrary
+// instances the schedule is feasible but unguaranteed.
+func ProperGreedy(in *Instance) *Schedule { return properfit.Schedule(in) }
+
+// CliqueSchedule runs the Appendix algorithm for instances whose intervals
+// all share a common point. Guarantee: cost ≤ 2·OPT (Theorem A.1). It
+// errors when the instance is not a clique.
+func CliqueSchedule(in *Instance) (*Schedule, error) { return cliquealgo.Schedule(in) }
+
+// BoundedLength runs the §3.2 algorithm: segment the time axis at
+// granularity d (the maximum job length when d = 0) and optimize per
+// segment; the segmentation costs at most a factor 2 (Lemma 3.3).
+func BoundedLength(in *Instance, d float64) (*Schedule, error) {
+	return boundedlength.Schedule(in, boundedlength.Options{D: d})
+}
+
+// Exact computes an optimal schedule by branch and bound. It errors when a
+// connected component exceeds the tractable size.
+func Exact(in *Instance) (*Schedule, error) { return exact.Solve(in) }
+
+// LaminarSchedule solves laminar instances (any two jobs nested or strictly
+// disjoint) exactly in polynomial time by level grouping; the result's cost
+// equals the fractional lower bound. It errors on non-laminar instances.
+func LaminarSchedule(in *Instance) (*Schedule, error) { return laminar.Schedule(in) }
+
+// Portfolio runs every applicable algorithm plus local search and returns
+// the cheapest feasible schedule with the winning algorithm's name. This is
+// the recommended entry point when the instance class is unknown.
+func Portfolio(in *Instance) (*Schedule, string, error) { return portfolio.Schedule(in) }
+
+// LowerBound returns the strongest lower bound on OPT the library knows:
+// the fractional bound ∫⌈N_t/g⌉dt, which dominates both Observation 1.1
+// bounds.
+func LowerBound(in *Instance) float64 { return core.BestBound(in) }
+
+// AllBounds returns the span, parallelism and fractional lower bounds.
+func AllBounds(in *Instance) Bounds { return core.AllBounds(in) }

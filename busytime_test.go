@@ -1,0 +1,128 @@
+package busytime_test
+
+import (
+	"testing"
+
+	"busytime"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 3),
+		busytime.NewInterval(1, 4),
+		busytime.NewInterval(2, 5),
+		busytime.NewInterval(10, 12),
+	)
+	s := busytime.FirstFit(in)
+	if err := s.Verify(); err != nil {
+		t.Fatalf("FirstFit: %v", err)
+	}
+	opt, err := busytime.Exact(in)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	lb := busytime.LowerBound(in)
+	if opt.Cost() < lb-1e-9 {
+		t.Errorf("OPT %v below LB %v", opt.Cost(), lb)
+	}
+	if s.Cost() > 4*opt.Cost()+1e-9 {
+		t.Errorf("FirstFit %v exceeds 4·OPT %v", s.Cost(), opt.Cost())
+	}
+	b := busytime.AllBounds(in)
+	if b.Fractional != lb {
+		t.Errorf("AllBounds fractional %v != LowerBound %v", b.Fractional, lb)
+	}
+}
+
+func TestFacadeProperGreedy(t *testing.T) {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 2),
+		busytime.NewInterval(1, 3),
+		busytime.NewInterval(2, 4),
+	)
+	if !in.IsProper() {
+		t.Fatal("instance should be proper")
+	}
+	s := busytime.ProperGreedy(in)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := busytime.Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() > 2*opt.Cost()+1e-9 {
+		t.Errorf("greedy %v exceeds 2·OPT %v on proper instance", s.Cost(), opt.Cost())
+	}
+}
+
+func TestFacadeCliqueSchedule(t *testing.T) {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 10),
+		busytime.NewInterval(2, 8),
+		busytime.NewInterval(4, 6),
+	)
+	s, err := busytime.CliqueSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	nonClique := busytime.NewInstance(2,
+		busytime.NewInterval(0, 1), busytime.NewInterval(5, 6))
+	if _, err := busytime.CliqueSchedule(nonClique); err == nil {
+		t.Error("non-clique accepted")
+	}
+}
+
+func TestFacadeBoundedLength(t *testing.T) {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 2),
+		busytime.NewInterval(1, 3),
+		busytime.NewInterval(4, 6),
+	)
+	s, err := busytime.BoundedLength(in, 0) // d from max length
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLaminarAndPortfolio(t *testing.T) {
+	lam := busytime.NewInstance(2,
+		busytime.NewInterval(0, 10),
+		busytime.NewInterval(1, 4),
+		busytime.NewInterval(5, 9),
+		busytime.NewInterval(2, 3),
+	)
+	s, err := busytime.LaminarSchedule(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() != busytime.LowerBound(lam) {
+		t.Errorf("laminar cost %v != LB %v", s.Cost(), busytime.LowerBound(lam))
+	}
+	crossing := busytime.NewInstance(2,
+		busytime.NewInterval(0, 5), busytime.NewInterval(3, 8))
+	if _, err := busytime.LaminarSchedule(crossing); err == nil {
+		t.Error("non-laminar accepted")
+	}
+
+	p, name, err := busytime.Portfolio(crossing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" || p.Verify() != nil {
+		t.Errorf("portfolio: name=%q verify=%v", name, p.Verify())
+	}
+	opt, err := busytime.Exact(crossing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost() != opt.Cost() {
+		t.Errorf("portfolio %v != OPT %v on tiny instance", p.Cost(), opt.Cost())
+	}
+}

@@ -1,0 +1,58 @@
+// Command benchtables regenerates every quantitative artifact of the paper
+// (see EXPERIMENTS.md): it runs experiments E1–E10 and prints one table per
+// experiment. Flags scale the number of trials and instance sizes.
+//
+//	benchtables               # full run
+//	benchtables -only E2,E9   # selected experiments
+//	benchtables -trials 10    # quicker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"busytime/internal/experiments"
+)
+
+func main() {
+	trials := flag.Int("trials", 40, "random trials per table row")
+	seed := flag.Int64("seed", 1, "base random seed")
+	largeN := flag.Int("large", 2000, "job count of the large-instance rows")
+	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
+	ablations := flag.Bool("ablations", true, "also run design-choice ablations A1–A3")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LargeN: *largeN}
+	failed := false
+	list := experiments.All()
+	if *ablations {
+		list = append(list, experiments.Ablations()...)
+	}
+	for _, e := range list {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s — %s\n", e.ID, e.Name)
+		fmt.Print(res.Table.String())
+		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Command busysched is the command-line front end of the busy-time
+// scheduling library; all logic lives in internal/cli. Run
+// `busysched help` for the subcommand list.
+package main
+
+import (
+	"os"
+
+	"busytime/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,65 @@
+package busytime_test
+
+import (
+	"fmt"
+
+	"busytime"
+)
+
+// Example schedules three overlapping jobs with parallelism 2 and compares
+// FirstFit to the optimum.
+func Example() {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 4),
+		busytime.NewInterval(1, 5),
+		busytime.NewInterval(2, 6),
+	)
+	s := busytime.FirstFit(in)
+	opt, _ := busytime.Exact(in)
+	fmt.Printf("firstfit=%.0f opt=%.0f machines=%d\n", s.Cost(), opt.Cost(), s.NumMachines())
+	// Output: firstfit=9 opt=9 machines=2
+}
+
+// ExampleLowerBound shows the fractional bound dominating the two
+// Observation 1.1 bounds.
+func ExampleLowerBound() {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 1),
+		busytime.NewInterval(2, 3),
+		busytime.NewInterval(0, 3),
+	)
+	b := busytime.AllBounds(in)
+	fmt.Printf("span=%.1f parallelism=%.1f fractional=%.1f\n",
+		b.Span, b.Parallelism, b.Fractional)
+	// Output: span=3.0 parallelism=2.5 fractional=3.0
+}
+
+// ExampleProperGreedy runs the §3.1 2-approximation on a proper instance.
+func ExampleProperGreedy() {
+	in := busytime.NewInstance(1,
+		busytime.NewInterval(0, 2),
+		busytime.NewInterval(1, 3),
+		busytime.NewInterval(2, 4),
+	)
+	s := busytime.ProperGreedy(in)
+	fmt.Printf("machines=%d cost=%.0f\n", s.NumMachines(), s.Cost())
+	// Output: machines=3 cost=6
+}
+
+// ExampleCliqueSchedule groups a clique of jobs by distance from their
+// common point, g per machine.
+func ExampleCliqueSchedule() {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 10),
+		busytime.NewInterval(1, 9),
+		busytime.NewInterval(2, 8),
+		busytime.NewInterval(3, 7),
+	)
+	s, err := busytime.CliqueSchedule(in)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("machines=%d cost=%.0f\n", s.NumMachines(), s.Cost())
+	// Output: machines=2 cost=16
+}

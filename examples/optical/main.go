@@ -1,0 +1,65 @@
+// Optical grooming example (Section 4 of the paper): color lightpaths on a
+// path network through the busy-time scheduling reduction so that at most g
+// lightpaths share an edge per wavelength, and count regenerators and ADMs.
+//
+//	go run ./examples/optical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/optical"
+)
+
+func main() {
+	// A 10-node path carrying nine lightpaths, grooming factor 2.
+	net := &optical.Network{
+		Name:  "metro-ring-segment",
+		Nodes: 10,
+		G:     2,
+		Paths: []optical.Lightpath{
+			{ID: 0, A: 0, B: 4},
+			{ID: 1, A: 0, B: 3},
+			{ID: 2, A: 2, B: 6},
+			{ID: 3, A: 3, B: 7},
+			{ID: 4, A: 4, B: 9},
+			{ID: 5, A: 5, B: 9},
+			{ID: 6, A: 1, B: 5},
+			{ID: 7, A: 6, B: 9},
+			{ID: 8, A: 0, B: 2},
+		},
+	}
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reduce to busy-time scheduling: lightpath (a,b) ↦ job [a+½, b−½],
+	// wavelengths ↦ machines, and regenerators ↦ total busy time.
+	in := net.ToInstance()
+	s := firstfit.Schedule(in)
+	col, err := optical.FromSchedule(net, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := col.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network %q: %d nodes, %d lightpaths, g=%d\n",
+		net.Name, net.Nodes, len(net.Paths), net.G)
+	fmt.Printf("wavelengths used : %d\n", col.Wavelengths())
+	fmt.Printf("regenerators     : %d (== schedule busy time %.0f)\n",
+		col.Regenerators(), s.Cost())
+	fmt.Printf("ADMs             : %d\n", col.ADMs())
+	for _, alpha := range []float64{0, 0.5, 1} {
+		fmt.Printf("cost α=%.1f       : %.1f\n", alpha, col.Cost(alpha))
+	}
+
+	fmt.Println("\nper-wavelength breakdown:")
+	for _, w := range col.Breakdown() {
+		fmt.Printf("  λ%d: %d lightpaths, %d regenerators\n",
+			w.Wavelength, w.Lightpaths, w.Regenerators)
+	}
+}

@@ -1,0 +1,49 @@
+// Traces example: generate a diurnal (day/night) arrival process, schedule
+// it with the portfolio entry point, render the resulting Gantt chart and
+// depth profile, and export the workload as CSV for external tools.
+//
+//	go run ./examples/traces
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"busytime/internal/algo/portfolio"
+	"busytime/internal/core"
+	"busytime/internal/trace"
+	"busytime/internal/viz"
+)
+
+func main() {
+	// Two days of diurnal traffic: night rate 0.3 jobs/hour, midday 4/hour,
+	// mean job length 2.5 hours, hosts take g = 4 jobs.
+	in := trace.Diurnal(2026, 4, 2, 0.3, 4, 2.5)
+	fmt.Printf("workload %s: %d jobs over %d days\n", in.Name, in.N(), 2)
+	fmt.Printf("lower bound: %.1f machine-hours\n\n", core.BestBound(in))
+
+	fmt.Print(viz.DepthProfile(in, 96))
+	fmt.Println()
+
+	s, winner, err := portfolio.Schedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("portfolio winner: %s — cost %.1f on %d machines (utilization %.0f%%)\n\n",
+		winner, s.Cost(), s.NumMachines(), 100*s.Utilization())
+	fmt.Print(viz.Gantt(s, 96))
+
+	// Export the workload for spreadsheets or other tools.
+	path := filepath.Join(os.TempDir(), "diurnal.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, in); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload exported to %s\n", path)
+}

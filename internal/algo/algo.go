@@ -1,0 +1,52 @@
+// Package algo defines the common shape of busy-time scheduling algorithms
+// and a registry used by the CLI tools and the benchmark harness.
+//
+// Every algorithm consumes an instance and produces a complete feasible
+// schedule; implementations live in sub-packages (firstfit, properfit,
+// cliquealgo, boundedlength, exact, baselines, demand).
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"busytime/internal/core"
+)
+
+// Func is a scheduling algorithm: it must return a complete schedule that
+// passes (*core.Schedule).Verify for any valid instance it accepts.
+type Func func(*core.Instance) *core.Schedule
+
+// Algorithm is a named scheduling algorithm with a short description.
+type Algorithm struct {
+	Name        string
+	Description string
+	Run         Func
+}
+
+var registry = map[string]Algorithm{}
+
+// Register adds an algorithm to the global registry. It panics on duplicate
+// names; registration happens in sub-package init functions.
+func Register(a Algorithm) {
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("algo: duplicate registration of %q", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// Lookup returns the registered algorithm with the given name.
+func Lookup(name string) (Algorithm, bool) {
+	a, ok := registry[name]
+	return a, ok
+}
+
+// All returns every registered algorithm sorted by name.
+func All() []Algorithm {
+	out := make([]Algorithm, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo"
+	"busytime/internal/algo/exact"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestAllRegistered(t *testing.T) {
+	for _, name := range []string{"firstfit-start", "nextfit", "bestfit", "machine-min", "randomfit"} {
+		if _, ok := algo.Lookup(name); !ok {
+			t.Errorf("%s not registered", name)
+		}
+	}
+}
+
+func TestAllFeasibleOnRandom(t *testing.T) {
+	runs := []struct {
+		name string
+		run  algo.Func
+	}{
+		{"firstfit-start", FirstFitByStart},
+		{"nextfit", NextFit},
+		{"bestfit", BestFit},
+		{"machine-min", MachineMin},
+		{"randomfit", func(in *core.Instance) *core.Schedule { return RandomFit(in, 42) }},
+	}
+	for _, tc := range runs {
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64, nn, gg uint8) bool {
+				in := generator.General(seed, int(nn%25)+1, int(gg%4)+1, 40, 12)
+				s := tc.run(in)
+				return s.Verify() == nil && s.Complete()
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestMachineMinUsesMinimumMachines(t *testing.T) {
+	// ⌈ω/g⌉ machines exactly (§1.1: a k-coloring induces ⌈k/g⌉ machines,
+	// and interval graphs have χ = ω).
+	for seed := int64(0); seed < 25; seed++ {
+		in := generator.General(seed, 30, 3, 25, 10)
+		s := MachineMin(in)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		omega := in.Set().MaxDepth()
+		want := (omega + in.G - 1) / in.G
+		if s.NumMachines() != want {
+			t.Errorf("seed %d: machines = %d, want ⌈%d/%d⌉ = %d",
+				seed, s.NumMachines(), omega, in.G, want)
+		}
+	}
+}
+
+func TestMachineMinIsMachineLowerBound(t *testing.T) {
+	// No feasible schedule can use fewer machines than ⌈ω/g⌉: any point of
+	// depth ω needs that many machines simultaneously.
+	in := generator.General(11, 20, 2, 15, 8)
+	s := MachineMin(in)
+	opt, err := exact.Solve(in)
+	if err != nil {
+		t.Skip("component too large for exact")
+	}
+	if opt.NumMachines() < s.NumMachines() {
+		t.Errorf("exact used %d machines < machine-min %d", opt.NumMachines(), s.NumMachines())
+	}
+}
+
+func TestMachineMinFallsBackOnDemands(t *testing.T) {
+	in := core.NewInstance(3, iv(0, 2), iv(1, 3))
+	in.Jobs[0].Demand = 2
+	s := MachineMin(in)
+	if err := s.Verify(); err != nil {
+		t.Fatalf("demand fallback infeasible: %v", err)
+	}
+}
+
+func TestBestFitPrefersNoGrowth(t *testing.T) {
+	// With g=2: long [0,10] first; short [2,3] can go on M0 at zero growth
+	// and BestFit must take it.
+	in := core.NewInstance(2, iv(0, 10), iv(2, 3))
+	s := BestFit(in)
+	if s.NumMachines() != 1 {
+		t.Errorf("machines = %d, want 1", s.NumMachines())
+	}
+	if s.Cost() != 10 {
+		t.Errorf("cost = %v, want 10", s.Cost())
+	}
+}
+
+func TestNextFitNeverRevisits(t *testing.T) {
+	// Jobs: A[0,2] B[1,3] C[0.5,1.5] with g=2. Start order: A, C, B.
+	// A,C on M0; B conflicts (depth 2 at [1,1.5]) → M1. A later D[4,5]
+	// fits M1 (current) even though M0 also fits.
+	in := core.NewInstance(2, iv(0, 2), iv(1, 3), iv(0.5, 1.5), iv(4, 5))
+	s := NextFit(in)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MachineOf(3) != s.MachineOf(1) {
+		t.Errorf("NextFit should keep filling the current machine: D on %d, B on %d",
+			s.MachineOf(3), s.MachineOf(1))
+	}
+}
+
+func TestRandomFitDeterministicPerSeed(t *testing.T) {
+	in := generator.General(5, 20, 3, 30, 9)
+	a := RandomFit(in, 7).Cost()
+	b := RandomFit(in, 7).Cost()
+	if a != b {
+		t.Errorf("same seed, different costs: %v vs %v", a, b)
+	}
+}
+
+func TestEmptyInstances(t *testing.T) {
+	in := core.NewInstance(2)
+	for _, run := range []algo.Func{FirstFitByStart, NextFit, BestFit, MachineMin} {
+		s := run(in)
+		if s.Cost() != 0 || s.Verify() != nil {
+			t.Error("empty instance mishandled")
+		}
+	}
+}
+
+func BenchmarkBestFit1k(b *testing.B) {
+	in := generator.General(7, 1000, 4, 500, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BestFit(in)
+	}
+}
+
+func BenchmarkMachineMin1k(b *testing.B) {
+	in := generator.General(7, 1000, 4, 500, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MachineMin(in)
+	}
+}

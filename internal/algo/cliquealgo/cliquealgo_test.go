@@ -1,0 +1,214 @@
+package cliquealgo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestRegistered(t *testing.T) {
+	if _, ok := algo.Lookup("clique"); !ok {
+		t.Fatal("clique not registered")
+	}
+}
+
+func TestRejectsNonClique(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 1), iv(5, 6))
+	if _, err := Schedule(in); err == nil {
+		t.Error("non-clique instance accepted")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	s, err := Schedule(core.NewInstance(2))
+	if err != nil || s.NumMachines() != 0 {
+		t.Errorf("empty: %v machines=%d", err, s.NumMachines())
+	}
+	s, err = Schedule(core.NewInstance(2, iv(1, 4)))
+	if err != nil || s.Cost() != 3 {
+		t.Errorf("single: %v cost=%v", err, s.Cost())
+	}
+}
+
+func TestDelta(t *testing.T) {
+	j := core.Job{Iv: iv(2, 8)}
+	if got := Delta(j, 5); got != 3 {
+		t.Errorf("Delta = %v, want 3", got)
+	}
+	if got := Delta(j, 3); got != 5 {
+		t.Errorf("Delta = %v, want 5 (right side dominates)", got)
+	}
+}
+
+func TestGroupsOfG(t *testing.T) {
+	// Six clique jobs, g=3 → exactly 2 machines with 3 jobs each, grouped by
+	// non-increasing δ around the common point.
+	in := core.NewInstance(3,
+		iv(-6, 6), iv(-5, 5), iv(-4, 4), iv(-3, 3), iv(-2, 2), iv(-1, 1))
+	s, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if s.NumMachines() != 2 {
+		t.Fatalf("machines = %d, want 2", s.NumMachines())
+	}
+	// Largest three deltas {6,5,4} on one machine: busy [-6,6] = 12.
+	// Smallest three {3,2,1}: busy [-3,3] = 6.
+	costs := []float64{s.MachineBusy(0), s.MachineBusy(1)}
+	if costs[0] != 12 || costs[1] != 6 {
+		t.Errorf("busy = %v, want [12 6]", costs)
+	}
+}
+
+func TestTheoremA1TwoApprox(t *testing.T) {
+	// ALG ≤ 2·Σδ_O^i ≤ 2·OPT and here OPT ≥ max len ≥ Δ: check ALG against
+	// the δ-sum bound directly.
+	for seed := int64(0); seed < 40; seed++ {
+		in := generator.Clique(seed, 17, 3, 10, 6)
+		s, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		tpt, ok := in.Set().CommonPoint()
+		if !ok {
+			t.Fatal("generator produced non-clique")
+		}
+		deltas := MachineDeltas(s, tpt)
+		var sum float64
+		for _, d := range deltas {
+			sum += d
+		}
+		if s.Cost() > 2*sum+1e-9 {
+			t.Errorf("seed %d: cost %v > 2·Σδ_A %v", seed, s.Cost(), 2*sum)
+		}
+	}
+}
+
+func TestClaim4AgainstAnyPartition(t *testing.T) {
+	// Claim 4: the algorithm's sorted per-machine δ vector is dominated by
+	// that of ANY feasible partition into groups of ≤ g. Compare against a
+	// few alternative partitions.
+	in := generator.Clique(3, 12, 3, 0, 5)
+	tpt, _ := in.Set().CommonPoint()
+	s, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algDeltas := MachineDeltas(s, tpt)
+	// Alternative: jobs in ID order, groups of g.
+	alt := core.NewSchedule(in)
+	for j := range in.Jobs {
+		if j%in.G == 0 {
+			alt.OpenMachine()
+		}
+		alt.Assign(j, alt.NumMachines()-1)
+	}
+	altDeltas := MachineDeltas(alt, tpt)
+	for i := range algDeltas {
+		if i < len(altDeltas) && algDeltas[i] > altDeltas[i]+1e-9 {
+			t.Errorf("rank %d: δ_A %v > δ_alt %v", i, algDeltas[i], altDeltas[i])
+		}
+	}
+}
+
+func TestScheduleAroundAnyCommonPoint(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 10), iv(2, 8), iv(4, 6), iv(5, 9))
+	for _, tpt := range []float64{5, 5.5, 6} {
+		s := ScheduleAround(in, tpt)
+		if err := s.Verify(); err != nil {
+			t.Errorf("t=%v: %v", tpt, err)
+		}
+		if !s.Complete() {
+			t.Errorf("t=%v: incomplete", tpt)
+		}
+	}
+}
+
+func TestQuickFeasibleAndMachineCount(t *testing.T) {
+	f := func(seed int64, nn, gg uint8) bool {
+		n := int(nn%30) + 1
+		g := int(gg%4) + 1
+		in := generator.Clique(seed, n, g, 5, 4)
+		s, err := Schedule(in)
+		if err != nil || s.Verify() != nil {
+			return false
+		}
+		want := (n + g - 1) / g // ⌈|C|/g⌉ machines
+		return s.NumMachines() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBusyWithinTwoDelta(t *testing.T) {
+	// busy_i ≤ 2·δ_A^i for every machine (proof of Theorem A.1).
+	f := func(seed int64, nn uint8) bool {
+		in := generator.Clique(seed, int(nn%24)+1, 3, 0, 6)
+		tpt, ok := in.Set().CommonPoint()
+		if !ok {
+			return false
+		}
+		s, err := Schedule(in)
+		if err != nil {
+			return false
+		}
+		for m := 0; m < s.NumMachines(); m++ {
+			var dm float64
+			for _, j := range s.MachineJobs(m) {
+				if d := Delta(in.Jobs[j], tpt); d > dm {
+					dm = d
+				}
+			}
+			if s.MachineBusy(m) > 2*dm+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMachineDeltasSorted(t *testing.T) {
+	in := generator.Clique(9, 20, 4, 0, 8)
+	tpt, _ := in.Set().CommonPoint()
+	s, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := MachineDeltas(s, tpt)
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i-1] < deltas[i] {
+			t.Fatalf("deltas not sorted: %v", deltas)
+		}
+	}
+	if math.IsNaN(deltas[0]) {
+		t.Fatal("NaN delta")
+	}
+}
+
+func BenchmarkClique1k(b *testing.B) {
+	in := generator.Clique(7, 1000, 4, 0, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

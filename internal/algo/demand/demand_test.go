@@ -1,0 +1,176 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+)
+
+func flexRandom(seed int64, n, g int, slackMax float64) *FlexInstance {
+	r := rand.New(rand.NewSource(seed))
+	in := &FlexInstance{Name: "flex", G: g}
+	for i := 0; i < n; i++ {
+		rel := r.Float64() * 40
+		proc := 0.5 + r.Float64()*8
+		slack := r.Float64() * slackMax
+		in.Jobs = append(in.Jobs, FlexJob{
+			ID:      i,
+			Release: rel,
+			Due:     rel + proc + slack,
+			Proc:    proc,
+			Demand:  1 + r.Intn(g),
+		})
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*FlexInstance{
+		{G: 0},
+		{G: 2, Jobs: []FlexJob{{ID: 0, Release: 0, Due: 1, Proc: 2, Demand: 1}}},
+		{G: 2, Jobs: []FlexJob{{ID: 0, Release: 0, Due: 5, Proc: 1, Demand: 3}}},
+		{G: 2, Jobs: []FlexJob{{ID: 0, Release: 0, Due: 5, Proc: 1, Demand: 1}, {ID: 0, Release: 0, Due: 5, Proc: 1, Demand: 1}}},
+		{G: 2, Jobs: []FlexJob{{ID: 0, Release: 0, Due: 5, Proc: -1, Demand: 1}}},
+	}
+	for i, in := range bad {
+		if in.Validate() == nil {
+			t.Errorf("case %d: invalid instance accepted", i)
+		}
+	}
+	good := &FlexInstance{G: 2, Jobs: []FlexJob{{ID: 0, Release: 0, Due: 3, Proc: 3, Demand: 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestSlackAndWindow(t *testing.T) {
+	j := FlexJob{Release: 1, Due: 6, Proc: 3}
+	if j.Slack() != 2 {
+		t.Errorf("Slack = %v, want 2", j.Slack())
+	}
+	if w := j.Window(); w.Start != 1 || w.End != 6 {
+		t.Errorf("Window = %v", w)
+	}
+}
+
+func TestZeroSlackMatchesFixedFirstFit(t *testing.T) {
+	// With no slack, every start is forced; the induced instance equals the
+	// fixed instance and the cost must be within the fixed FirstFit's range.
+	in := flexRandom(3, 15, 3, 0)
+	res, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		if math.Abs(res.Starts[j.ID]-j.Release) > 1e-9 {
+			t.Errorf("job %d start %v, want release %v", j.ID, res.Starts[j.ID], j.Release)
+		}
+	}
+	ff := firstfit.Schedule(res.Fixed)
+	// Same fixed instance: greedy best-fit should not be drastically worse.
+	if res.Schedule.Cost() > 4*ff.Cost()+1e-9 && ff.Cost() > 0 {
+		t.Errorf("flexible cost %v far above FirstFit %v on forced instance",
+			res.Schedule.Cost(), ff.Cost())
+	}
+}
+
+func TestSlackEnablesPacking(t *testing.T) {
+	// Two unit jobs with disjoint forced placement but overlapping windows:
+	// with slack the scheduler can butt them together... with g=1 they
+	// cannot overlap, so cost is 2 either way; with large slack and g=2 it
+	// can overlap them into busy time < 2.
+	in := &FlexInstance{G: 2, Jobs: []FlexJob{
+		{ID: 0, Release: 0, Due: 10, Proc: 1, Demand: 1},
+		{ID: 1, Release: 0, Due: 10, Proc: 1, Demand: 1},
+	}}
+	res, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Cost() > 1+1e-9 {
+		t.Errorf("cost = %v, want 1 (jobs stacked)", res.Schedule.Cost())
+	}
+}
+
+func TestDemandBlocksStacking(t *testing.T) {
+	// Two demand-2 jobs with g=2 can never overlap.
+	in := &FlexInstance{G: 2, Jobs: []FlexJob{
+		{ID: 0, Release: 0, Due: 2, Proc: 2, Demand: 2},
+		{ID: 1, Release: 0, Due: 2, Proc: 2, Demand: 2},
+	}}
+	res, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Cost() < 4-1e-9 {
+		t.Errorf("cost = %v, want 4 (no overlap possible)", res.Schedule.Cost())
+	}
+}
+
+func TestQuickFeasibleAndAboveWorkBound(t *testing.T) {
+	f := func(seed int64, nn, gg uint8) bool {
+		in := flexRandom(seed, int(nn%25)+1, int(gg%4)+1, 5)
+		res, err := Schedule(in)
+		if err != nil {
+			return false
+		}
+		if res.Verify(in) != nil {
+			return false
+		}
+		return res.Schedule.Cost() >= in.WorkBound()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	in := flexRandom(11, 20, 3, 4)
+	a, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.Cost() != b.Schedule.Cost() {
+		t.Errorf("non-deterministic: %v vs %v", a.Schedule.Cost(), b.Schedule.Cost())
+	}
+}
+
+func TestInducedFixedInstanceConsistent(t *testing.T) {
+	in := flexRandom(5, 12, 2, 3)
+	res, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed.N() != len(in.Jobs) {
+		t.Fatal("fixed instance lost jobs")
+	}
+	for i, j := range in.Jobs {
+		fj := res.Fixed.Jobs[i]
+		if fj.ID != j.ID || fj.Demand != j.Demand {
+			t.Errorf("job %d metadata mismatch", i)
+		}
+		if math.Abs(fj.Len()-j.Proc) > 1e-9 {
+			t.Errorf("job %d length %v, want proc %v", i, fj.Len(), j.Proc)
+		}
+	}
+	var _ *core.Instance = res.Fixed
+}
+
+func BenchmarkFlexSchedule200(b *testing.B) {
+	in := flexRandom(7, 200, 4, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package exact computes optimal busy-time schedules by branch and bound.
+// It is the yardstick the benchmark harness measures approximation ratios
+// against: the problem is NP-hard already for g = 2 (Winkler & Zhang), so
+// exact solving is reserved for small instances.
+//
+// The search enumerates set partitions in restricted-growth form (a job may
+// open only the next new machine), processes jobs in start-time order so
+// capacity and cost updates are O(1) amortized, warm-starts from FirstFit,
+// and prunes with an admissible bound: accrued cost plus the fractional
+// lower bound of the remaining jobs restricted to time not yet covered by
+// any open machine.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"busytime/internal/algo"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+func init() {
+	algo.Register(algo.Algorithm{
+		Name:        "exact",
+		Description: "optimal schedule by branch and bound (small instances only)",
+		Run: func(in *core.Instance) *core.Schedule {
+			s, err := Solve(in)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
+	})
+}
+
+// DefaultMaxJobs is the largest component size Solve accepts by default.
+const DefaultMaxJobs = 18
+
+// Solve returns an optimal schedule. It decomposes the instance into
+// connected components (optimal per component is optimal overall) and errors
+// if any component exceeds DefaultMaxJobs jobs.
+func Solve(in *core.Instance) (*core.Schedule, error) {
+	return SolveMax(in, DefaultMaxJobs)
+}
+
+// SolveMax is Solve with an explicit per-component job limit.
+func SolveMax(in *core.Instance, maxJobs int) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	assignment := make(map[int]int, in.N())
+	machineBase := 0
+	for _, comp := range in.Components() {
+		if comp.N() > maxJobs {
+			return nil, fmt.Errorf("exact: component with %d jobs exceeds limit %d", comp.N(), maxJobs)
+		}
+		sub := solveComponent(comp)
+		used := 0
+		for j, m := range sub.assign {
+			assignment[comp.Jobs[j].ID] = machineBase + m
+			if m+1 > used {
+				used = m + 1
+			}
+		}
+		machineBase += used
+	}
+	if in.N() == 0 {
+		return core.NewSchedule(in), nil
+	}
+	s, err := core.FromAssignment(in, assignment)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("exact: produced infeasible schedule: %w", err)
+	}
+	return s, nil
+}
+
+// Cost returns only the optimal cost. Convenience for ratio computations.
+func Cost(in *core.Instance) (float64, error) {
+	s, err := Solve(in)
+	if err != nil {
+		return 0, err
+	}
+	return s.Cost(), nil
+}
+
+// solution is the per-component result: assign[i] is the machine of the
+// component's i-th job (component job order).
+type solution struct {
+	assign []int
+	cost   float64
+}
+
+type machine struct {
+	pieces []interval.Interval // sorted, disjoint busy pieces
+	load   []jobRef            // assigned jobs (for capacity checks)
+}
+
+type jobRef struct {
+	end    float64
+	demand int
+}
+
+type searcher struct {
+	jobs    []core.Job // sorted by start
+	g       int
+	best    float64
+	bestFit []int
+	cur     []int
+	mach    []*machine
+	cost    float64
+}
+
+// solveComponent finds an optimal assignment of one connected component.
+func solveComponent(comp *core.Instance) solution {
+	n := comp.N()
+	if n == 0 {
+		return solution{}
+	}
+	// Sort jobs by start; remember the permutation to report in job order.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ja, jb := comp.Jobs[perm[a]], comp.Jobs[perm[b]]
+		if ja.Iv.Start != jb.Iv.Start {
+			return ja.Iv.Start < jb.Iv.Start
+		}
+		if ja.Iv.End != jb.Iv.End {
+			return ja.Iv.End < jb.Iv.End
+		}
+		return ja.ID < jb.ID
+	})
+	sorted := make([]core.Job, n)
+	for i, p := range perm {
+		sorted[i] = comp.Jobs[p]
+	}
+	// Warm start from FirstFit.
+	ff := firstfit.Schedule(comp)
+	se := &searcher{
+		jobs: sorted,
+		g:    comp.G,
+		best: ff.Cost() + 1e-9,
+		cur:  make([]int, n),
+	}
+	se.bestFit = nil
+	se.search(0)
+	assign := make([]int, n)
+	if se.bestFit == nil {
+		// FirstFit was already optimal; translate its assignment.
+		for i, p := range perm {
+			assign[p] = ff.MachineOf(p)
+			_ = i
+		}
+		return solution{assign: assign, cost: ff.Cost()}
+	}
+	for i, p := range perm {
+		assign[p] = se.bestFit[i]
+	}
+	return solution{assign: assign, cost: se.best}
+}
+
+func (se *searcher) search(i int) {
+	if i == len(se.jobs) {
+		if se.cost < se.best {
+			se.best = se.cost
+			se.bestFit = append(se.bestFit[:0], se.cur...)
+		}
+		return
+	}
+	if se.cost >= se.best {
+		return
+	}
+	if se.cost+se.remainingBound(i) >= se.best {
+		return
+	}
+	job := se.jobs[i]
+	// Existing machines in index order.
+	for m, mc := range se.mach {
+		if !mc.fits(job, se.g) {
+			continue
+		}
+		undo := mc.add(job)
+		se.cost += undo.delta
+		se.cur[i] = m
+		se.search(i + 1)
+		se.cost -= undo.delta
+		mc.undo(undo)
+	}
+	// Open the next new machine (restricted growth: only one new branch).
+	nm := &machine{}
+	undo := nm.add(job)
+	se.mach = append(se.mach, nm)
+	se.cost += undo.delta
+	se.cur[i] = len(se.mach) - 1
+	se.search(i + 1)
+	se.cost -= undo.delta
+	se.mach = se.mach[:len(se.mach)-1]
+}
+
+// fits reports whether job can join the machine without exceeding capacity.
+// All previously assigned jobs start no later than job.Iv.Start, so the
+// demand-weighted depth of the union within the job's window is maximized at
+// its start: it suffices to sum the demands of assigned jobs still active
+// there (closed semantics: end ≥ start counts).
+func (mc *machine) fits(job core.Job, g int) bool {
+	used := 0
+	for _, r := range mc.load {
+		if r.end >= job.Iv.Start {
+			used += r.demand
+		}
+	}
+	return used+job.Demand <= g
+}
+
+// undoRec captures the state needed to revert one add.
+type undoRec struct {
+	delta    float64
+	appended bool    // a new piece was appended
+	oldEnd   float64 // previous end of the last piece (when merged)
+}
+
+// add appends the job (jobs arrive in non-decreasing start order) and
+// returns the undo record. Busy pieces stay sorted and disjoint.
+func (mc *machine) add(job core.Job) undoRec {
+	mc.load = append(mc.load, jobRef{end: job.Iv.End, demand: job.Demand})
+	s, c := job.Iv.Start, job.Iv.End
+	if n := len(mc.pieces); n > 0 && s <= mc.pieces[n-1].End {
+		last := &mc.pieces[n-1]
+		old := last.End
+		if c > last.End {
+			last.End = c
+		}
+		return undoRec{delta: last.End - old, appended: false, oldEnd: old}
+	}
+	mc.pieces = append(mc.pieces, interval.Interval{Start: s, End: c})
+	return undoRec{delta: c - s, appended: true}
+}
+
+func (mc *machine) undo(u undoRec) {
+	mc.load = mc.load[:len(mc.load)-1]
+	if u.appended {
+		mc.pieces = mc.pieces[:len(mc.pieces)-1]
+		return
+	}
+	mc.pieces[len(mc.pieces)-1].End = u.oldEnd
+}
+
+// remainingBound is an admissible lower bound on the extra cost the
+// unassigned jobs i.. will force: over time not covered by any open
+// machine's busy pieces, every instant with demand-weighted remaining depth
+// d costs at least ⌈d/g⌉ additional machine-time (an open machine extending
+// into that region pays for it beyond the accrued cost, as does a new one).
+func (se *searcher) remainingBound(i int) float64 {
+	if i >= len(se.jobs) {
+		return 0
+	}
+	var covered interval.Set
+	for _, mc := range se.mach {
+		covered = append(covered, mc.pieces...)
+	}
+	covered = covered.Union()
+	type ev struct {
+		t     float64
+		delta int
+	}
+	var evs []ev
+	for _, job := range se.jobs[i:] {
+		for _, piece := range subtract(job.Iv, covered) {
+			if piece.IsPoint() {
+				continue
+			}
+			evs = append(evs, ev{piece.Start, job.Demand}, ev{piece.End, -job.Demand})
+		}
+	}
+	if len(evs) == 0 {
+		return 0
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta
+	})
+	g := float64(se.g)
+	var total float64
+	depth := 0
+	prev := evs[0].t
+	for _, e := range evs {
+		if e.t > prev && depth > 0 {
+			total += math.Ceil(float64(depth)/g) * (e.t - prev)
+		}
+		if e.t > prev {
+			prev = e.t
+		}
+		depth += e.delta
+	}
+	return total
+}
+
+// subtract returns iv minus the sorted disjoint set covered.
+func subtract(iv interval.Interval, covered interval.Set) interval.Set {
+	var out interval.Set
+	cur := iv
+	for _, c := range covered {
+		if c.End <= cur.Start {
+			continue
+		}
+		if c.Start >= cur.End {
+			break
+		}
+		if c.Start > cur.Start {
+			out = append(out, interval.Interval{Start: cur.Start, End: c.Start})
+		}
+		if c.End >= cur.End {
+			return out
+		}
+		cur.Start = c.End
+	}
+	if cur.End > cur.Start {
+		out = append(out, cur)
+	}
+	return out
+}

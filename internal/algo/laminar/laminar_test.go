@@ -1,0 +1,180 @@
+package laminar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo"
+	"busytime/internal/algo/exact"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestRegistered(t *testing.T) {
+	if _, ok := algo.Lookup("laminar"); !ok {
+		t.Fatal("laminar not registered")
+	}
+}
+
+func TestIsLaminar(t *testing.T) {
+	cases := []struct {
+		name string
+		set  interval.Set
+		want bool
+	}{
+		{"nested chain", interval.Set{iv(0, 10), iv(1, 9), iv(2, 8)}, true},
+		{"disjoint", interval.Set{iv(0, 1), iv(2, 3)}, true},
+		{"crossing", interval.Set{iv(0, 5), iv(3, 8)}, false},
+		{"touching siblings", interval.Set{iv(0, 1), iv(1, 2)}, false},
+		{"forest", interval.Set{iv(0, 4), iv(1, 2), iv(5, 9), iv(6, 7)}, true},
+		{"equal intervals", interval.Set{iv(0, 3), iv(0, 3)}, true},
+		{"empty", interval.Set{}, true},
+	}
+	for _, tc := range cases {
+		if got := IsLaminar(tc.set); got != tc.want {
+			t.Errorf("%s: IsLaminar = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	set := interval.Set{iv(0, 10), iv(1, 4), iv(2, 3), iv(5, 9), iv(6, 7), iv(20, 22)}
+	want := []int{1, 2, 3, 2, 3, 1}
+	got := Levels(set)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d (set %v)", i, got[i], want[i], set[i])
+		}
+	}
+}
+
+func TestLevelsEqualIntervalsChain(t *testing.T) {
+	set := interval.Set{iv(0, 3), iv(0, 3), iv(0, 3)}
+	got := Levels(set)
+	seen := map[int]bool{}
+	for _, l := range got {
+		if seen[l] {
+			t.Fatalf("duplicate level in chain: %v", got)
+		}
+		seen[l] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Errorf("levels = %v, want a 1-2-3 chain", got)
+	}
+}
+
+func TestScheduleAchievesFractionalBound(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		in := generator.Laminar(seed, 2, 3, 3, 4, 20)
+		s, err := Schedule(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lb := core.FractionalBound(in)
+		if math.Abs(s.Cost()-lb) > 1e-9 {
+			t.Errorf("seed %d: cost %v != fractional bound %v (optimality proof violated)",
+				seed, s.Cost(), lb)
+		}
+	}
+}
+
+func TestScheduleMatchesExactOnSmall(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		in := generator.Laminar(seed, 2, 2, 2, 3, 10)
+		if in.N() > 14 {
+			continue
+		}
+		s, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Cost(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Cost()-opt) > 1e-9 {
+			t.Errorf("seed %d: laminar %v != exact %v", seed, s.Cost(), opt)
+		}
+	}
+}
+
+func TestScheduleBeatsOrMatchesFirstFit(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		in := generator.Laminar(seed, 3, 3, 3, 4, 16)
+		s, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff := firstfit.Schedule(in)
+		if s.Cost() > ff.Cost()+1e-9 {
+			t.Errorf("seed %d: optimal laminar %v worse than FirstFit %v",
+				seed, s.Cost(), ff.Cost())
+		}
+	}
+}
+
+func TestRejectsNonLaminar(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 5), iv(3, 8))
+	if _, err := Schedule(in); err == nil {
+		t.Error("crossing instance accepted")
+	}
+}
+
+func TestRejectsDemands(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 5), iv(1, 2))
+	in.Jobs[0].Demand = 2
+	if _, err := Schedule(in); err == nil {
+		t.Error("weighted instance accepted")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	s, err := Schedule(core.NewInstance(2))
+	if err != nil || s.Cost() != 0 {
+		t.Errorf("empty: %v cost=%v", err, s.Cost())
+	}
+}
+
+func TestQuickGeneratorProducesLaminar(t *testing.T) {
+	f := func(seed int64, rr uint8) bool {
+		in := generator.Laminar(seed, 2, int(rr%4)+1, 3, 4, 15)
+		return IsLaminar(in.Set()) && in.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOptimalityOnRandomLaminar(t *testing.T) {
+	f := func(seed int64, gg uint8) bool {
+		g := int(gg%4) + 1
+		in := generator.Laminar(seed, g, 2, 3, 5, 25)
+		s, err := Schedule(in)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.Cost()-core.FractionalBound(in)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLaminar(b *testing.B) {
+	in := generator.Laminar(7, 3, 5, 4, 6, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

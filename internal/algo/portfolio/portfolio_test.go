@@ -1,0 +1,115 @@
+package portfolio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo"
+	"busytime/internal/algo/exact"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+)
+
+func TestRegistered(t *testing.T) {
+	if _, ok := algo.Lookup("portfolio"); !ok {
+		t.Fatal("portfolio not registered")
+	}
+}
+
+func TestNeverWorseThanFirstFit(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		in := generator.General(seed, 30, 3, 30, 10)
+		s, name, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "" {
+			t.Error("empty winner name")
+		}
+		if ff := firstfit.Schedule(in); s.Cost() > ff.Cost()+1e-9 {
+			t.Errorf("seed %d: portfolio %v worse than firstfit %v", seed, s.Cost(), ff.Cost())
+		}
+	}
+}
+
+func TestOptimalOnSmallInstances(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		in := generator.General(seed, 10, 2, 18, 7)
+		s, _, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Cost(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Cost()-opt) > 1e-9 {
+			t.Errorf("seed %d: portfolio %v != OPT %v on exactly solvable size",
+				seed, s.Cost(), opt)
+		}
+	}
+}
+
+func TestOptimalOnLaminar(t *testing.T) {
+	in := generator.Laminar(3, 2, 3, 3, 4, 20)
+	s, _, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Cost()-core.FractionalBound(in)) > 1e-9 {
+		t.Errorf("portfolio missed the laminar optimum: %v vs %v",
+			s.Cost(), core.FractionalBound(in))
+	}
+}
+
+func TestHandlesDemands(t *testing.T) {
+	base := generator.General(5, 20, 4, 25, 8)
+	in := generator.WithDemands(base, 6, 4)
+	s, _, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	s, _, err := Schedule(core.NewInstance(2))
+	if err != nil || s.Cost() != 0 {
+		t.Errorf("empty: %v cost=%v", err, s.Cost())
+	}
+}
+
+func TestRejectsInvalid(t *testing.T) {
+	if _, _, err := Schedule(&core.Instance{G: 0}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestQuickFeasibleAndAboveLB(t *testing.T) {
+	f := func(seed int64, nn, gg uint8) bool {
+		in := generator.General(seed, int(nn%20)+1, int(gg%3)+1, 25, 8)
+		s, _, err := Schedule(in)
+		if err != nil {
+			return false
+		}
+		return s.Verify() == nil && s.Cost() >= core.BestBound(in)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPortfolio100(b *testing.B) {
+	in := generator.General(7, 100, 3, 80, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package properfit implements the Greedy algorithm for proper interval
+// graphs (Section 3.1 of the paper): sort jobs by start time (for proper
+// instances this equals the completion-time order) and assign them NextFit
+// style — keep filling the current machine; when adding the next job would
+// create a (g+1)-clique on it, open a new machine.
+//
+// Theorem 3.1: on proper instances Greedy(J) ≤ OPT(J) + span(J) ≤ 2·OPT(J).
+package properfit
+
+import (
+	"sort"
+
+	"busytime/internal/algo"
+	"busytime/internal/core"
+)
+
+func init() {
+	algo.Register(algo.Algorithm{
+		Name:        "properfit",
+		Description: "NextFit by start time for proper instances (§3.1, 2-approximation)",
+		Run:         Schedule,
+	})
+}
+
+// Schedule runs the greedy NextFit. The 2-approximation guarantee of
+// Theorem 3.1 requires a proper instance (use core.Instance.IsProper to
+// check); the returned schedule is feasible for any instance.
+func Schedule(in *core.Instance) *core.Schedule {
+	order := startOrder(in)
+	s := core.NewSchedule(in)
+	cur := -1
+	for _, j := range order {
+		if cur < 0 || !s.CanAssign(j, cur) {
+			cur = s.OpenMachine()
+		}
+		s.Assign(j, cur)
+	}
+	return s
+}
+
+// startOrder returns job indices by (start, end, ID).
+func startOrder(in *core.Instance) []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	jobs := in.Jobs
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := jobs[order[a]], jobs[order[b]]
+		if ja.Iv.Start != jb.Iv.Start {
+			return ja.Iv.Start < jb.Iv.Start
+		}
+		if ja.Iv.End != jb.Iv.End {
+			return ja.Iv.End < jb.Iv.End
+		}
+		return ja.ID < jb.ID
+	})
+	return order
+}

@@ -1,0 +1,120 @@
+package properfit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestRegistered(t *testing.T) {
+	if _, ok := algo.Lookup("properfit"); !ok {
+		t.Fatal("properfit not registered")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := Schedule(core.NewInstance(3))
+	if s.NumMachines() != 0 || s.Verify() != nil {
+		t.Error("empty instance mishandled")
+	}
+}
+
+func TestNextFitOpensOnCliqueOverflow(t *testing.T) {
+	// Staircase of 4 mutually overlapping proper intervals, g = 2:
+	// jobs 0,1 share M0; job 2 overlaps both → M1; job 3 overlaps 1,2 → M1
+	// only if it fits with 2... job 3 overlaps job 2 on M1, fits (g=2).
+	in := core.NewInstance(2, iv(0, 10), iv(1, 11), iv(2, 12), iv(3, 13))
+	s := Schedule(in)
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if s.NumMachines() != 2 {
+		t.Errorf("machines = %d, want 2", s.NumMachines())
+	}
+	if s.MachineOf(0) != s.MachineOf(1) || s.MachineOf(2) != s.MachineOf(3) {
+		t.Errorf("grouping wrong: %v %v %v %v",
+			s.MachineOf(0), s.MachineOf(1), s.MachineOf(2), s.MachineOf(3))
+	}
+}
+
+func TestTheorem31CostDecomposition(t *testing.T) {
+	// ALG ≤ OPT + span and OPT ≥ span imply ALG ≤ 2·OPT. Here we check the
+	// measurable half on fixed instances: ALG ≤ fractional + span.
+	for seed := int64(0); seed < 30; seed++ {
+		in := generator.Proper(seed, 24, 3, 30, 8)
+		if !in.IsProper() {
+			t.Fatalf("generator produced non-proper instance (seed %d)", seed)
+		}
+		s := Schedule(in)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		bound := core.FractionalBound(in) + in.Span()
+		if s.Cost() > bound+1e-9 {
+			t.Errorf("seed %d: cost %v > fractional+span %v", seed, s.Cost(), bound)
+		}
+	}
+}
+
+func TestClaim1MachineCount(t *testing.T) {
+	// Claim 1: at any time t, N_t ≥ (M_t^A − 2)g + 2. Equivalently the
+	// number of machines active at t is at most (N_t − 2)/g + 2.
+	for seed := int64(0); seed < 20; seed++ {
+		in := generator.Proper(seed, 30, 3, 25, 7)
+		s := Schedule(in)
+		set := in.Set()
+		// Check at every job endpoint.
+		for _, jiv := range set {
+			for _, pt := range []float64{jiv.Start, jiv.End} {
+				nt := set.DepthAt(pt)
+				active := 0
+				for m := 0; m < s.NumMachines(); m++ {
+					if s.MachineSet(m).DepthAt(pt) > 0 {
+						active++
+					}
+				}
+				if nt < (active-2)*in.G+2 && active >= 2 {
+					t.Errorf("seed %d t=%v: N_t=%d < (M_t−2)g+2 with M_t=%d",
+						seed, pt, nt, active)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickFeasibleOnAnyInstance(t *testing.T) {
+	// The guarantee needs proper instances, but feasibility must hold always.
+	f := func(seed int64, nn, gg uint8) bool {
+		in := generator.General(seed, int(nn%30)+1, int(gg%4)+1, 40, 12)
+		s := Schedule(in)
+		return s.Verify() == nil && s.Complete()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProperGeneratorIsProper(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		in := generator.Proper(seed, int(nn%40)+1, 2, 30, 9)
+		return in.IsProper()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkProperFit1k(b *testing.B) {
+	in := generator.Proper(7, 1000, 4, 500, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Schedule(in)
+	}
+}

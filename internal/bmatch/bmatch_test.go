@@ -1,0 +1,216 @@
+package bmatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleMatching(t *testing.T) {
+	// U = {0,1}, V = {0,1}, complete bipartite, unit bounds → size 2.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	size, matched, err := g.Solve(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 || len(matched) != 2 {
+		t.Fatalf("size = %d, matched = %v", size, matched)
+	}
+}
+
+func TestBMatchingBounds(t *testing.T) {
+	// One left vertex with b=3 serving three right vertices.
+	g := NewGraph(1, 3)
+	for v := 0; v < 3; v++ {
+		g.AddEdge(0, v)
+	}
+	size, _, err := g.Solve([]int{3}, nil)
+	if err != nil || size != 3 {
+		t.Fatalf("size = %d err=%v, want 3", size, err)
+	}
+	size, _, err = g.Solve([]int{2}, nil)
+	if err != nil || size != 2 {
+		t.Fatalf("size = %d err=%v, want 2 with b(u)=2", size, err)
+	}
+}
+
+func TestPerfect(t *testing.T) {
+	g := NewGraph(2, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	ok, matched, err := g.Perfect([]int{2, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(matched) != 3 {
+		t.Fatalf("perfect = %v, matched = %v", ok, matched)
+	}
+	// Unit left bounds: only 2 of 3 right vertices can be saturated.
+	ok, _, err = g.Perfect(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("perfect claimed with insufficient left capacity")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := NewGraph(1, 1)
+	g.AddEdge(0, 0)
+	if _, _, err := g.Solve([]int{1, 2}, nil); err == nil {
+		t.Error("wrong bu length accepted")
+	}
+	if _, _, err := g.Solve(nil, []int{-1}); err == nil {
+		t.Error("negative bound accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge accepted")
+		}
+	}()
+	g.AddEdge(5, 0)
+}
+
+func TestMatchedRespectsBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		nu, nv := r.Intn(6)+1, r.Intn(6)+1
+		g := NewGraph(nu, nv)
+		for u := 0; u < nu; u++ {
+			for v := 0; v < nv; v++ {
+				if r.Intn(2) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		bu := make([]int, nu)
+		bv := make([]int, nv)
+		for i := range bu {
+			bu[i] = r.Intn(3)
+		}
+		for i := range bv {
+			bv[i] = r.Intn(3)
+		}
+		size, matched, err := g.Solve(bu, bv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != len(matched) {
+			t.Fatalf("size %d != len(matched) %d", size, len(matched))
+		}
+		du := make([]int, nu)
+		dv := make([]int, nv)
+		for _, e := range matched {
+			du[e[0]]++
+			dv[e[1]]++
+		}
+		for u, d := range du {
+			if d > bu[u] {
+				t.Fatalf("vertex u%d degree %d > bound %d", u, d, bu[u])
+			}
+		}
+		for v, d := range dv {
+			if d > bv[v] {
+				t.Fatalf("vertex v%d degree %d > bound %d", v, d, bv[v])
+			}
+		}
+	}
+}
+
+// bruteMax enumerates subsets of edges (≤ 2^12) for ground truth.
+func bruteMax(g *Graph, bu, bv []int) int {
+	m := len(g.edges)
+	best := 0
+	for mask := 0; mask < 1<<m; mask++ {
+		du := make([]int, g.nu)
+		dv := make([]int, g.nv)
+		cnt := 0
+		ok := true
+		for i := 0; i < m && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			e := g.edges[i]
+			du[e[0]]++
+			dv[e[1]]++
+			cnt++
+			if du[e[0]] > bu[e[0]] || dv[e[1]] > bv[e[1]] {
+				ok = false
+			}
+		}
+		if ok && cnt > best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nu, nv := r.Intn(4)+1, r.Intn(4)+1
+		g := NewGraph(nu, nv)
+		for u := 0; u < nu; u++ {
+			for v := 0; v < nv; v++ {
+				if r.Intn(3) == 0 && g.Edges() < 12 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		bu := make([]int, nu)
+		bv := make([]int, nv)
+		for i := range bu {
+			bu[i] = r.Intn(3)
+		}
+		for i := range bv {
+			bv[i] = r.Intn(3)
+		}
+		size, _, err := g.Solve(bu, bv)
+		if err != nil {
+			return false
+		}
+		return size == bruteMax(g, bu, bv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeBipartite(t *testing.T) {
+	// Complete bipartite K(50,50) with unit bounds: perfect matching of 50.
+	g := NewGraph(50, 50)
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	size, _, err := g.Solve(nil, nil)
+	if err != nil || size != 50 {
+		t.Fatalf("size = %d err=%v, want 50", size, err)
+	}
+}
+
+func BenchmarkMatching(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := NewGraph(100, 100)
+	for u := 0; u < 100; u++ {
+		for v := 0; v < 100; v++ {
+			if r.Intn(5) == 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Solve(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

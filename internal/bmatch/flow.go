@@ -1,0 +1,91 @@
+package bmatch
+
+// Dinic's maximum-flow algorithm on an integer-capacity network. This is the
+// engine behind the bipartite b-matching used by the Bounded_Length
+// algorithm's step 2(e); it is kept separate so it can be tested directly.
+
+type edge struct {
+	to  int
+	cap int
+	rev int // index of the reverse edge in flows.adj[to]
+}
+
+// flowNet is a directed flow network over vertices 0..n-1.
+type flowNet struct {
+	adj [][]edge
+}
+
+func newFlowNet(n int) *flowNet {
+	return &flowNet{adj: make([][]edge, n)}
+}
+
+// addEdge inserts a directed edge u→v with the given capacity (and a
+// residual reverse edge of capacity 0). It returns the index of the forward
+// edge within adj[u] so callers can read its final flow.
+func (f *flowNet) addEdge(u, v, cap int) int {
+	f.adj[u] = append(f.adj[u], edge{to: v, cap: cap, rev: len(f.adj[v])})
+	f.adj[v] = append(f.adj[v], edge{to: u, cap: 0, rev: len(f.adj[u]) - 1})
+	return len(f.adj[u]) - 1
+}
+
+// maxFlow computes the maximum s→t flow; capacities in f are mutated into
+// residual capacities.
+func (f *flowNet) maxFlow(s, t int) int {
+	total := 0
+	level := make([]int, len(f.adj))
+	iter := make([]int, len(f.adj))
+	for f.bfs(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfs(s, t, int(^uint(0)>>1), level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (f *flowNet) bfs(s, t int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	queue := []int{s}
+	level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range f.adj[u] {
+			if e.cap > 0 && level[e.to] < 0 {
+				level[e.to] = level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+func (f *flowNet) dfs(u, t, limit int, level, iter []int) int {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(f.adj[u]); iter[u]++ {
+		e := &f.adj[u][iter[u]]
+		if e.cap <= 0 || level[e.to] != level[u]+1 {
+			continue
+		}
+		min := limit
+		if e.cap < min {
+			min = e.cap
+		}
+		if pushed := f.dfs(e.to, t, min, level, iter); pushed > 0 {
+			e.cap -= pushed
+			f.adj[e.to][e.rev].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}

@@ -1,0 +1,388 @@
+// Package cli implements the busysched command-line front end as a
+// testable library: Run dispatches subcommands and writes to injected
+// streams, and cmd/busysched is a thin wrapper around it. Subcommands:
+//
+//	generate  create a random instance (JSON on stdout or -out)
+//	solve     run one algorithm on an instance file
+//	eval      run every registered algorithm on an instance and compare
+//	bounds    print the lower bounds of an instance
+//
+// Example:
+//
+//	busysched generate -kind general -n 50 -g 3 -seed 7 -out inst.json
+//	busysched solve -algo firstfit -in inst.json
+//	busysched eval -in inst.json
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"busytime/internal/algo"
+	_ "busytime/internal/algo/baselines"
+	_ "busytime/internal/algo/boundedlength"
+	_ "busytime/internal/algo/cliquealgo"
+	_ "busytime/internal/algo/exact"
+	_ "busytime/internal/algo/firstfit"
+	"busytime/internal/algo/laminar"
+	_ "busytime/internal/algo/portfolio"
+	_ "busytime/internal/algo/properfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/sim"
+	"busytime/internal/stats"
+	"busytime/internal/trace"
+	"busytime/internal/viz"
+)
+
+// CLI bundles the output streams of one invocation.
+type CLI struct {
+	Out io.Writer
+	Err io.Writer
+}
+
+// Run dispatches a busysched invocation (args excludes the program name)
+// and returns the process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	c := &CLI{Out: stdout, Err: stderr}
+	if len(args) < 1 {
+		c.usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "generate":
+		err = c.cmdGenerate(args[1:])
+	case "solve":
+		err = c.cmdSolve(args[1:])
+	case "eval":
+		err = c.cmdEval(args[1:])
+	case "bounds":
+		err = c.cmdBounds(args[1:])
+	case "show":
+		err = c.cmdShow(args[1:])
+	case "simulate":
+		err = c.cmdSimulate(args[1:])
+	case "convert":
+		err = c.cmdConvert(args[1:])
+	case "help", "-h", "--help":
+		c.usage()
+	default:
+		fmt.Fprintf(c.Err, "busysched: unknown command %q\n", args[0])
+		c.usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(c.Err, "busysched: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func (c *CLI) usage() {
+	fmt.Fprintln(c.Err, `usage: busysched <command> [flags]
+
+commands:
+  generate  -kind general|proper|clique|bounded|poisson|diurnal -n N -g G -seed S [-out FILE]
+  solve     -algo NAME -in FILE [-out FILE] [-replay]
+  eval      -in FILE
+  bounds    -in FILE
+  show      -in FILE [-algo NAME] [-width W]   ASCII Gantt chart + depth profile
+  simulate  -in FILE [-algo NAME]              discrete-event replay report
+  convert   -in FILE -out FILE                 json<->csv by extension
+
+registered algorithms:`)
+	for _, a := range algo.All() {
+		fmt.Fprintf(c.Err, "  %-16s %s\n", a.Name, a.Description)
+	}
+}
+
+func (c *CLI) cmdGenerate(args []string) error {
+	fs := newFlagSet(c, "generate")
+	kind := fs.String("kind", "general", "instance class: general, proper, clique, bounded")
+	n := fs.Int("n", 50, "number of jobs")
+	g := fs.Int("g", 3, "parallelism parameter")
+	seed := fs.Int64("seed", 1, "random seed")
+	horizon := fs.Float64("horizon", 100, "time horizon")
+	maxLen := fs.Float64("maxlen", 20, "maximum job length (general/proper)")
+	d := fs.Float64("d", 4, "length bound (bounded)")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in *core.Instance
+	switch *kind {
+	case "general":
+		in = generator.General(*seed, *n, *g, *horizon, *maxLen)
+	case "proper":
+		in = generator.Proper(*seed, *n, *g, *horizon, *maxLen)
+	case "clique":
+		in = generator.Clique(*seed, *n, *g, *horizon/2, *maxLen)
+	case "bounded":
+		segs := int(*horizon / *d)
+		if segs < 1 {
+			segs = 1
+		}
+		in = generator.BoundedLength(*seed, *n, *g, segs, *d)
+	case "poisson":
+		// Rate chosen so the expected job count matches -n.
+		in = trace.Poisson(*seed, *g, float64(*n) / *horizon, *horizon, *maxLen/2)
+	case "diurnal":
+		days := int(*horizon / 24)
+		if days < 1 {
+			days = 1
+		}
+		peak := float64(*n) / (float64(days) * 12) // rough midday rate
+		in = trace.Diurnal(*seed, *g, days, peak/8, peak, *maxLen/2)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	w := io.Writer(c.Out)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return core.WriteInstance(w, in)
+}
+
+func loadInstance(path string) (*core.Instance, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -in FILE")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadInstance(f)
+}
+
+func (c *CLI) cmdSolve(args []string) error {
+	fs := newFlagSet(c, "solve")
+	name := fs.String("algo", "firstfit", "algorithm name (see busysched help)")
+	in := fs.String("in", "", "instance file")
+	out := fs.String("out", "", "write the schedule JSON to this file")
+	replay := fs.Bool("replay", false, "cross-check via discrete-event replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	a, ok := algo.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *name)
+	}
+	s := a.Run(inst)
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("algorithm produced infeasible schedule: %w", err)
+	}
+	lb := core.BestBound(inst)
+	fmt.Fprintf(c.Out, "instance : %s (n=%d, g=%d)\n", inst.Name, inst.N(), inst.G)
+	fmt.Fprintf(c.Out, "algorithm: %s\n", a.Name)
+	fmt.Fprintf(c.Out, "machines : %d\n", s.NumMachines())
+	fmt.Fprintf(c.Out, "cost     : %.4f\n", s.Cost())
+	fmt.Fprintf(c.Out, "LB(frac) : %.4f  (cost/LB = %.4f)\n", lb, stats.Ratio(s.Cost(), lb))
+	if *replay {
+		if err := sim.Check(s, 1e-6); err != nil {
+			return fmt.Errorf("replay check failed: %w", err)
+		}
+		fmt.Fprintln(c.Out, "replay   : ok (measured busy time matches)")
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return core.WriteSchedule(f, s)
+	}
+	return nil
+}
+
+func (c *CLI) cmdEval(args []string) error {
+	fs := newFlagSet(c, "eval")
+	in := fs.String("in", "", "instance file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	lb := core.BestBound(inst)
+	tb := stats.NewTable(
+		fmt.Sprintf("evaluation of %s (n=%d, g=%d, LB=%.3f)", inst.Name, inst.N(), inst.G, lb),
+		"algorithm", "machines", "cost", "cost/LB")
+	for _, a := range algo.All() {
+		if a.Name == "exact" && inst.N() > 16 {
+			continue // exact is exponential; skip on big inputs
+		}
+		if a.Name == "clique" && !inst.IsClique() {
+			continue
+		}
+		if a.Name == "laminar" && !laminar.IsLaminar(inst.Set()) {
+			continue
+		}
+		s, err := runSafely(a, inst)
+		if err != nil {
+			tb.AddRow(a.Name, "-", "-", fmt.Sprintf("error: %v", err))
+			continue
+		}
+		tb.AddRow(a.Name, s.NumMachines(), s.Cost(), stats.Ratio(s.Cost(), lb))
+	}
+	fmt.Fprint(c.Out, tb.String())
+	return nil
+}
+
+// runSafely converts algorithm panics (e.g. class preconditions) to errors.
+func runSafely(a algo.Algorithm, in *core.Instance) (s *core.Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	s = a.Run(in)
+	if verr := s.Verify(); verr != nil {
+		return nil, verr
+	}
+	return s, nil
+}
+
+func (c *CLI) cmdBounds(args []string) error {
+	fs := newFlagSet(c, "bounds")
+	in := fs.String("in", "", "instance file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	b := core.AllBounds(inst)
+	fmt.Fprintf(c.Out, "instance    : %s (n=%d, g=%d)\n", inst.Name, inst.N(), inst.G)
+	fmt.Fprintf(c.Out, "span        : %.4f\n", b.Span)
+	fmt.Fprintf(c.Out, "parallelism : %.4f\n", b.Parallelism)
+	fmt.Fprintf(c.Out, "fractional  : %.4f  (dominates both)\n", b.Fractional)
+	fmt.Fprintf(c.Out, "proper      : %v\n", inst.IsProper())
+	fmt.Fprintf(c.Out, "clique      : %v\n", inst.IsClique())
+	fmt.Fprintf(c.Out, "components  : %d\n", len(inst.Components()))
+	return nil
+}
+
+func (c *CLI) cmdShow(args []string) error {
+	fs := newFlagSet(c, "show")
+	in := fs.String("in", "", "instance file")
+	name := fs.String("algo", "firstfit", "algorithm to schedule with")
+	width := fs.Int("width", 80, "chart width in columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	a, ok := algo.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *name)
+	}
+	s, err := runSafely(a, inst)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(c.Out, viz.DepthProfile(inst, *width))
+	fmt.Fprintln(c.Out)
+	fmt.Fprint(c.Out, viz.Gantt(s, *width))
+	return nil
+}
+
+func (c *CLI) cmdSimulate(args []string) error {
+	fs := newFlagSet(c, "simulate")
+	in := fs.String("in", "", "instance file")
+	name := fs.String("algo", "firstfit", "algorithm to schedule with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	a, ok := algo.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *name)
+	}
+	s, err := runSafely(a, inst)
+	if err != nil {
+		return err
+	}
+	rep, err := sim.Run(s)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("replay of %s via %s (%d events)", inst.Name, a.Name, rep.Events),
+		"machine", "jobs", "busy", "peak load", "power-ons")
+	for _, m := range rep.Machines {
+		tb.AddRow(m.Machine, m.Jobs, m.Busy, m.PeakLoad, m.Switches)
+	}
+	fmt.Fprint(c.Out, tb.String())
+	fmt.Fprintf(c.Out, "total busy %.4f (analytic %.4f), violations %d\n",
+		rep.TotalBusy, s.Cost(), len(rep.Violations))
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("schedule violates capacity")
+	}
+	return nil
+}
+
+func (c *CLI) cmdConvert(args []string) error {
+	fs := newFlagSet(c, "convert")
+	in := fs.String("in", "", "input file (.json or .csv)")
+	out := fs.String("out", "", "output file (.json or .csv)")
+	g := fs.Int("g", 1, "parallelism fallback for CSV inputs without a #g row")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert needs -in and -out")
+	}
+	var inst *core.Instance
+	rf, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	switch {
+	case strings.HasSuffix(*in, ".csv"):
+		inst, err = trace.ReadCSV(rf, *g)
+	default:
+		inst, err = core.ReadInstance(rf)
+	}
+	if err != nil {
+		return err
+	}
+	wf, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	if strings.HasSuffix(*out, ".csv") {
+		return trace.WriteCSV(wf, inst)
+	}
+	return core.WriteInstance(wf, inst)
+}
+
+// newFlagSet builds a flag set that reports parse errors on the CLI's
+// error stream instead of exiting the process.
+func newFlagSet(c *CLI, name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(c.Err)
+	return fs
+}

@@ -1,0 +1,234 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busytime/internal/core"
+)
+
+// run invokes the CLI and returns (exit code, stdout, stderr).
+func run(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := Run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	code, _, errOut := run()
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "usage: busysched") {
+		t.Errorf("usage missing: %q", errOut)
+	}
+	if !strings.Contains(errOut, "firstfit") {
+		t.Error("usage should list registered algorithms")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, errOut := run("frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Errorf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, _, errOut := run("help")
+	if code != 0 || !strings.Contains(errOut, "commands:") {
+		t.Errorf("help: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	code, out, errOut := run("generate", "-kind", "general", "-n", "5", "-g", "2", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"jobs"`) {
+		t.Errorf("no JSON instance on stdout: %q", out)
+	}
+}
+
+func TestGenerateBadKind(t *testing.T) {
+	code, _, errOut := run("generate", "-kind", "nonsense")
+	if code != 1 || !strings.Contains(errOut, "unknown kind") {
+		t.Errorf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestGenerateBadFlag(t *testing.T) {
+	code, _, _ := run("generate", "-definitely-not-a-flag")
+	if code != 1 {
+		t.Errorf("bad flag exit = %d, want 1", code)
+	}
+}
+
+// writeInstance generates an instance file in a temp dir and returns its path.
+func writeInstance(t *testing.T, kind string, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	code, _, errOut := run("generate", "-kind", kind, "-n", "10", "-g", "2", "-seed", "5", "-out", path)
+	if code != 0 {
+		t.Fatalf("generate: %s", errOut)
+	}
+	return path
+}
+
+func TestSolveAndReplay(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	code, out, errOut := run("solve", "-algo", "firstfit", "-in", path, "-replay")
+	if code != 0 {
+		t.Fatalf("solve: %s", errOut)
+	}
+	for _, want := range []string{"machines", "cost", "LB(frac)", "replay   : ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSolveSchedulOutFile(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	sched := filepath.Join(t.TempDir(), "sched.json")
+	code, _, errOut := run("solve", "-algo", "firstfit", "-in", path, "-out", sched)
+	if code != 0 {
+		t.Fatalf("solve: %s", errOut)
+	}
+	data, err := os.ReadFile(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"assignment"`) {
+		t.Error("schedule file missing assignment")
+	}
+}
+
+func TestSolveUnknownAlgo(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	code, _, errOut := run("solve", "-algo", "nope", "-in", path)
+	if code != 1 || !strings.Contains(errOut, "unknown algorithm") {
+		t.Errorf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestSolveMissingInput(t *testing.T) {
+	code, _, errOut := run("solve", "-algo", "firstfit")
+	if code != 1 || !strings.Contains(errOut, "missing -in") {
+		t.Errorf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestEval(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	code, out, errOut := run("eval", "-in", path)
+	if code != 0 {
+		t.Fatalf("eval: %s", errOut)
+	}
+	for _, want := range []string{"firstfit", "nextfit", "cost/LB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eval output missing %q", want)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	code, out, errOut := run("bounds", "-in", path)
+	if code != 0 {
+		t.Fatalf("bounds: %s", errOut)
+	}
+	for _, want := range []string{"span", "parallelism", "fractional", "components"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bounds output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShow(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	code, out, errOut := run("show", "-in", path, "-width", "40")
+	if code != 0 {
+		t.Fatalf("show: %s", errOut)
+	}
+	if !strings.Contains(out, "depth profile") || !strings.Contains(out, "M0") {
+		t.Errorf("show output incomplete:\n%s", out)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	code, out, errOut := run("simulate", "-in", path)
+	if code != 0 {
+		t.Fatalf("simulate: %s", errOut)
+	}
+	if !strings.Contains(out, "violations 0") {
+		t.Errorf("simulate output:\n%s", out)
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	path := writeInstance(t, "general", 10)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "inst.csv")
+	backPath := filepath.Join(dir, "back.json")
+	if code, _, errOut := run("convert", "-in", path, "-out", csvPath); code != 0 {
+		t.Fatalf("to csv: %s", errOut)
+	}
+	if code, _, errOut := run("convert", "-in", csvPath, "-out", backPath); code != 0 {
+		t.Fatalf("to json: %s", errOut)
+	}
+	// CSV does not carry the instance name, so compare semantically.
+	a := readInstanceFile(t, path)
+	b := readInstanceFile(t, backPath)
+	if a.G != b.G || a.N() != b.N() {
+		t.Fatalf("round trip changed shape: g %d→%d, n %d→%d", a.G, b.G, a.N(), b.N())
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Errorf("job %d changed: %+v → %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func readInstanceFile(t *testing.T, path string) *core.Instance {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in, err := core.ReadInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestConvertMissingFlags(t *testing.T) {
+	code, _, errOut := run("convert", "-in", "x.json")
+	if code != 1 || !strings.Contains(errOut, "convert needs") {
+		t.Errorf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []string{"general", "proper", "clique", "bounded", "poisson", "diurnal"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "inst.json")
+			code, _, errOut := run("generate", "-kind", kind, "-n", "20", "-g", "3",
+				"-seed", "7", "-horizon", "48", "-out", path)
+			if code != 0 {
+				t.Fatalf("generate %s: %s", kind, errOut)
+			}
+			if code, _, errOut := run("eval", "-in", path); code != 0 {
+				t.Fatalf("eval %s: %s", kind, errOut)
+			}
+		})
+	}
+}

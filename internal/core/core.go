@@ -1,0 +1,214 @@
+// Package core defines the busy-time scheduling problem of Flammini et al.:
+// jobs are fixed closed intervals, a machine may process at most g jobs
+// simultaneously, and the objective is to minimize the total busy time (the
+// sum over machines of the measure of the time each machine has at least one
+// active job).
+//
+// The package provides the instance and schedule models shared by every
+// algorithm, schedule validation, cost accounting, the paper's lower bounds
+// (Observation 1.1) plus the stronger fractional bound ∫⌈N_t/g⌉dt, JSON
+// serialization, and decomposition into connected components.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"busytime/internal/interval"
+)
+
+// Job is a unit of work that must be processed during exactly its interval.
+// Demand is the machine capacity the job consumes while active; the paper's
+// base problem has Demand == 1, and the demand extension ([15]) allows
+// 1 ≤ Demand ≤ g.
+type Job struct {
+	ID     int
+	Iv     interval.Interval
+	Demand int
+}
+
+// Len returns the job's processing length.
+func (j Job) Len() float64 { return j.Iv.Len() }
+
+func (j Job) String() string {
+	if j.Demand > 1 {
+		return fmt.Sprintf("J%d%v×%d", j.ID, j.Iv, j.Demand)
+	}
+	return fmt.Sprintf("J%d%v", j.ID, j.Iv)
+}
+
+// Instance is a busy-time scheduling instance: a job set and the parallelism
+// parameter G (max simultaneous jobs per machine, demand-weighted).
+type Instance struct {
+	Name string
+	G    int
+	Jobs []Job
+}
+
+// NewInstance builds an instance with parallelism g from raw intervals,
+// assigning sequential IDs starting at 0 and unit demands.
+func NewInstance(g int, ivs ...interval.Interval) *Instance {
+	jobs := make([]Job, len(ivs))
+	for i, iv := range ivs {
+		jobs[i] = Job{ID: i, Iv: iv, Demand: 1}
+	}
+	return &Instance{G: g, Jobs: jobs}
+}
+
+// Validate checks structural well-formedness: g ≥ 1, unique job IDs, and
+// demands in [1, g].
+func (in *Instance) Validate() error {
+	if in.G < 1 {
+		return fmt.Errorf("core: parallelism g = %d, want ≥ 1", in.G)
+	}
+	seen := make(map[int]bool, len(in.Jobs))
+	for _, j := range in.Jobs {
+		if seen[j.ID] {
+			return fmt.Errorf("core: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Demand < 1 || j.Demand > in.G {
+			return fmt.Errorf("core: job %d demand %d outside [1, %d]", j.ID, j.Demand, in.G)
+		}
+		if j.Iv.End < j.Iv.Start {
+			return fmt.Errorf("core: job %d has reversed interval %v", j.ID, j.Iv)
+		}
+	}
+	return nil
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Jobs) }
+
+// Set returns the jobs' intervals as an interval.Set in job order.
+func (in *Instance) Set() interval.Set {
+	s := make(interval.Set, len(in.Jobs))
+	for i, j := range in.Jobs {
+		s[i] = j.Iv
+	}
+	return s
+}
+
+// TotalLen returns len(J) = Σ len(J_j), unweighted by demand.
+func (in *Instance) TotalLen() float64 { return in.Set().TotalLen() }
+
+// WeightedLen returns Σ Demand_j · len(J_j), the demand-weighted total work.
+func (in *Instance) WeightedLen() float64 {
+	var sum float64
+	for _, j := range in.Jobs {
+		sum += float64(j.Demand) * j.Len()
+	}
+	return sum
+}
+
+// Span returns span(J), the measure of the union of all job intervals.
+func (in *Instance) Span() float64 { return in.Set().Span() }
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	jobs := make([]Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	return &Instance{Name: in.Name, G: in.G, Jobs: jobs}
+}
+
+// IsProper reports whether no job interval properly contains another.
+func (in *Instance) IsProper() bool { return in.Set().IsProper() }
+
+// IsClique reports whether all job intervals pairwise intersect.
+func (in *Instance) IsClique() bool { return in.Set().IsClique() }
+
+// SortJobsByLenDesc sorts jobs in place by non-increasing length, breaking
+// ties by (start, end, ID) for determinism. This is FirstFit's order.
+func (in *Instance) SortJobsByLenDesc() {
+	sort.Slice(in.Jobs, func(a, b int) bool {
+		ja, jb := in.Jobs[a], in.Jobs[b]
+		if la, lb := ja.Len(), jb.Len(); la != lb {
+			return la > lb
+		}
+		if ja.Iv.Start != jb.Iv.Start {
+			return ja.Iv.Start < jb.Iv.Start
+		}
+		if ja.Iv.End != jb.Iv.End {
+			return ja.Iv.End < jb.Iv.End
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// SortJobsByStart sorts jobs in place by (start, end, ID). This is the
+// proper-instance greedy order.
+func (in *Instance) SortJobsByStart() {
+	sort.Slice(in.Jobs, func(a, b int) bool {
+		ja, jb := in.Jobs[a], in.Jobs[b]
+		if ja.Iv.Start != jb.Iv.Start {
+			return ja.Iv.Start < jb.Iv.Start
+		}
+		if ja.Iv.End != jb.Iv.End {
+			return ja.Iv.End < jb.Iv.End
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// Components splits the instance into one sub-instance per connected
+// component of the interval graph, ordered by component start. Indices refer
+// to jobs by their IDs, which are preserved. Solving each component
+// separately and concatenating is lossless for total busy time.
+func (in *Instance) Components() []*Instance {
+	n := in.N()
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := in.Jobs[order[a]].Iv, in.Jobs[order[b]].Iv
+		if ia.Start != ib.Start {
+			return ia.Start < ib.Start
+		}
+		return ia.End < ib.End
+	})
+	var out []*Instance
+	var cur []Job
+	reach := in.Jobs[order[0]].Iv.End
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		jobs := make([]Job, len(cur))
+		copy(jobs, cur)
+		out = append(out, &Instance{
+			Name: fmt.Sprintf("%s/comp%d", in.Name, len(out)),
+			G:    in.G,
+			Jobs: jobs,
+		})
+		cur = cur[:0]
+	}
+	for _, idx := range order {
+		j := in.Jobs[idx]
+		if len(cur) > 0 && j.Iv.Start > reach {
+			flush()
+			reach = j.Iv.End
+		}
+		cur = append(cur, j)
+		if j.Iv.End > reach {
+			reach = j.Iv.End
+		}
+	}
+	flush()
+	return out
+}
+
+var errNoJobs = errors.New("core: instance has no jobs")
+
+// Hull returns the smallest interval containing all jobs.
+func (in *Instance) Hull() (interval.Interval, error) {
+	h, ok := in.Set().Hull()
+	if !ok {
+		return interval.Interval{}, errNoJobs
+	}
+	return h, nil
+}

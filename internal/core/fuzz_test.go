@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance checks the JSON decoder never panics and that accepted
+// instances are valid and round-trip losslessly.
+func FuzzReadInstance(f *testing.F) {
+	f.Add(`{"g":2,"jobs":[{"id":0,"start":0,"end":1}]}`)
+	f.Add(`{"g":1,"jobs":[]}`)
+	f.Add(`{"name":"x","g":3,"jobs":[{"id":5,"start":1.5,"end":2.25,"demand":2}]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"g":2,"jobs":[{"id":0,"start":9,"end":1}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := ReadInstance(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted instance fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("WriteInstance: %v", err)
+		}
+		rt, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if rt.N() != in.N() || rt.G != in.G || rt.Name != in.Name {
+			t.Fatal("round trip changed instance shape")
+		}
+		for i := range in.Jobs {
+			if rt.Jobs[i] != in.Jobs[i] {
+				t.Fatalf("job %d changed in round trip", i)
+			}
+		}
+	})
+}

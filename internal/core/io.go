@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"busytime/internal/interval"
+)
+
+// jobJSON is the wire form of a Job. Demand is omitted when 1.
+type jobJSON struct {
+	ID     int     `json:"id"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Demand int     `json:"demand,omitempty"`
+}
+
+// instanceJSON is the wire form of an Instance.
+type instanceJSON struct {
+	Name string    `json:"name,omitempty"`
+	G    int       `json:"g"`
+	Jobs []jobJSON `json:"jobs"`
+}
+
+// MarshalJSON implements json.Marshaler for Instance.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	w := instanceJSON{Name: in.Name, G: in.G, Jobs: make([]jobJSON, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		d := j.Demand
+		if d == 1 {
+			d = 0 // omitempty
+		}
+		w.Jobs[i] = jobJSON{ID: j.ID, Start: j.Iv.Start, End: j.Iv.End, Demand: d}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Instance. Missing demands
+// default to 1; the decoded instance is validated.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var w instanceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: decoding instance: %w", err)
+	}
+	dec := Instance{Name: w.Name, G: w.G, Jobs: make([]Job, len(w.Jobs))}
+	for i, j := range w.Jobs {
+		if j.End < j.Start {
+			return fmt.Errorf("core: job %d has end %v < start %v", j.ID, j.End, j.Start)
+		}
+		d := j.Demand
+		if d == 0 {
+			d = 1
+		}
+		dec.Jobs[i] = Job{ID: j.ID, Iv: interval.New(j.Start, j.End), Demand: d}
+	}
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	*in = dec
+	return nil
+}
+
+// WriteInstance encodes the instance as indented JSON to w.
+func WriteInstance(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadInstance decodes an instance from JSON.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// scheduleJSON is the wire form of a finished schedule.
+type scheduleJSON struct {
+	Instance   *Instance   `json:"instance"`
+	Assignment map[int]int `json:"assignment"` // Job.ID -> machine
+	Machines   int         `json:"machines"`
+	Cost       float64     `json:"cost"`
+}
+
+// WriteSchedule encodes a verified schedule (with its instance) as JSON.
+func WriteSchedule(w io.Writer, s *Schedule) error {
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("core: refusing to serialize infeasible schedule: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(scheduleJSON{
+		Instance:   s.inst,
+		Assignment: s.Assignment(),
+		Machines:   s.NumMachines(),
+		Cost:       s.Cost(),
+	})
+}
+
+// ReadSchedule decodes a schedule written by WriteSchedule and verifies it.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	var w scheduleJSON
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, err
+	}
+	if w.Instance == nil {
+		return nil, fmt.Errorf("core: schedule JSON missing instance")
+	}
+	s, err := FromAssignment(w.Instance, w.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Verify(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

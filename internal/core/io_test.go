@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := NewInstance(3, iv(0, 2.5), iv(1, 3))
+	in.Name = "rt"
+	in.Jobs[1].Demand = 2
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatalf("WriteInstance: %v", err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatalf("ReadInstance: %v", err)
+	}
+	if got.Name != in.Name || got.G != in.G || got.N() != in.N() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+	}
+	for i := range in.Jobs {
+		if got.Jobs[i] != in.Jobs[i] {
+			t.Errorf("job %d: %+v != %+v", i, got.Jobs[i], in.Jobs[i])
+		}
+	}
+}
+
+func TestInstanceJSONDefaultDemand(t *testing.T) {
+	src := `{"g":2,"jobs":[{"id":0,"start":0,"end":1}]}`
+	in, err := ReadInstance(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadInstance: %v", err)
+	}
+	if in.Jobs[0].Demand != 1 {
+		t.Errorf("default demand = %d, want 1", in.Jobs[0].Demand)
+	}
+}
+
+func TestInstanceJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"g":0,"jobs":[]}`,
+		`{"g":2,"jobs":[{"id":0,"start":5,"end":1}]}`,
+		`{"g":2,"jobs":[{"id":0,"start":0,"end":1,"demand":7}]}`,
+		`{not json`,
+	}
+	for _, src := range cases {
+		if _, err := ReadInstance(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted invalid instance %q", src)
+		}
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in := NewInstance(2, iv(0, 2), iv(1, 3), iv(4, 5))
+	s := NewSchedule(in)
+	m := s.AssignNew(0)
+	s.Assign(1, m)
+	s.Assign(2, m)
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatalf("WriteSchedule: %v", err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatalf("ReadSchedule: %v", err)
+	}
+	if got.Cost() != s.Cost() || got.NumMachines() != s.NumMachines() {
+		t.Errorf("round trip: cost %v machines %d, want %v/%d",
+			got.Cost(), got.NumMachines(), s.Cost(), s.NumMachines())
+	}
+}
+
+func TestWriteScheduleRejectsInfeasible(t *testing.T) {
+	in := NewInstance(1, iv(0, 2), iv(1, 3))
+	s := NewSchedule(in)
+	m := s.AssignNew(0)
+	s.Assign(1, m) // overload
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err == nil {
+		t.Error("serialized an infeasible schedule")
+	}
+}
+
+func TestReadScheduleRejectsBad(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"instance":{"g":1,"jobs":[{"id":0,"start":0,"end":2},{"id":1,"start":1,"end":3}]},"assignment":{"0":0,"1":0}}`,
+	}
+	for _, src := range cases {
+		if _, err := ReadSchedule(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted bad schedule %q", src)
+		}
+	}
+}

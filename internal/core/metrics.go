@@ -1,0 +1,40 @@
+package core
+
+// Scheduling-quality metrics derived from a schedule. Utilization measures
+// how much of the paid machine-time carries work: a machine that is busy for
+// B time units offers g·B capacity-time, of which Σ demand·len is used. A
+// utilization of 1 means the schedule meets the parallelism lower bound; the
+// fleet-wide value is exactly ParallelismBound/Cost.
+
+// MachineUtilization returns the fraction of machine m's paid capacity-time
+// that is used by its jobs: Σ_{j∈M_m} demand_j·len_j / (g·busy_m).
+// An empty machine has utilization 0.
+func (s *Schedule) MachineUtilization(m int) float64 {
+	busy := s.MachineBusy(m)
+	if busy == 0 {
+		return 0
+	}
+	var work float64
+	for _, j := range s.machines[m].jobs {
+		job := s.inst.Jobs[j]
+		work += float64(job.Demand) * job.Len()
+	}
+	return work / (float64(s.inst.G) * busy)
+}
+
+// Utilization returns the fleet-wide capacity utilization:
+// Σ demand_j·len_j / (g·Cost). It equals ParallelismBound/Cost, so a
+// schedule meeting the parallelism lower bound has utilization 1.
+func (s *Schedule) Utilization() float64 {
+	cost := s.Cost()
+	if cost == 0 {
+		return 0
+	}
+	return s.inst.WeightedLen() / (float64(s.inst.G) * cost)
+}
+
+// IdleCapacity returns the total unused capacity-time the schedule pays
+// for: g·Cost − Σ demand_j·len_j.
+func (s *Schedule) IdleCapacity() float64 {
+	return float64(s.inst.G)*s.Cost() - s.inst.WeightedLen()
+}

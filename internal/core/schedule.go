@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"busytime/internal/interval"
+	"busytime/internal/itree"
+)
+
+// Unassigned marks a job that has not been placed on any machine.
+const Unassigned = -1
+
+// Schedule is an assignment of an instance's jobs to machines. Machines are
+// dense indices 0..NumMachines()-1; jobs are addressed by position in the
+// instance's job slice (not by Job.ID, which is preserved metadata).
+//
+// Schedule maintains one interval tree per machine so feasibility checks run
+// in O(log n + k). A demand-d job occupies d capacity slots, implemented by
+// storing d copies in the capacity tree.
+type Schedule struct {
+	inst     *Instance
+	assign   []int
+	machines []*machineState
+}
+
+type machineState struct {
+	tree *itree.Tree
+	jobs []int
+}
+
+// NewSchedule returns an empty schedule (all jobs unassigned) for inst.
+func NewSchedule(inst *Instance) *Schedule {
+	assign := make([]int, inst.N())
+	for i := range assign {
+		assign[i] = Unassigned
+	}
+	return &Schedule{inst: inst, assign: assign}
+}
+
+// Instance returns the instance this schedule belongs to.
+func (s *Schedule) Instance() *Instance { return s.inst }
+
+// NumMachines returns the number of opened machines.
+func (s *Schedule) NumMachines() int { return len(s.machines) }
+
+// MachineOf returns the machine of job index j, or Unassigned.
+func (s *Schedule) MachineOf(j int) int { return s.assign[j] }
+
+// MachineJobs returns the job indices assigned to machine m in assignment
+// order. The returned slice is owned by the schedule.
+func (s *Schedule) MachineJobs(m int) []int { return s.machines[m].jobs }
+
+// OpenMachine creates a new empty machine and returns its index.
+func (s *Schedule) OpenMachine() int {
+	s.machines = append(s.machines, &machineState{tree: itree.New(uint64(len(s.machines) + 1))})
+	return len(s.machines) - 1
+}
+
+// CanAssign reports whether job index j fits on machine m without violating
+// the capacity g at any instant (closed semantics, demand-weighted).
+func (s *Schedule) CanAssign(j, m int) bool {
+	job := s.inst.Jobs[j]
+	used := s.machines[m].tree.MaxDepthWithin(job.Iv)
+	return used+job.Demand <= s.inst.G
+}
+
+// Assign places job index j on machine m. It panics if the job is already
+// assigned or the machine does not exist; it does not re-check capacity
+// (algorithms call CanAssign, and Verify re-checks everything).
+func (s *Schedule) Assign(j, m int) {
+	if s.assign[j] != Unassigned {
+		panic(fmt.Sprintf("core: job index %d already assigned to machine %d", j, s.assign[j]))
+	}
+	job := s.inst.Jobs[j]
+	st := s.machines[m]
+	for d := 0; d < job.Demand; d++ {
+		st.tree.Insert(itree.Item{Iv: job.Iv, ID: j})
+	}
+	st.jobs = append(st.jobs, j)
+	s.assign[j] = m
+}
+
+// AssignNew opens a fresh machine for job index j and returns the machine.
+func (s *Schedule) AssignNew(j int) int {
+	m := s.OpenMachine()
+	s.Assign(j, m)
+	return m
+}
+
+// Complete reports whether every job is assigned.
+func (s *Schedule) Complete() bool {
+	for _, m := range s.assign {
+		if m == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// MachineSet returns the interval set of the jobs on machine m.
+func (s *Schedule) MachineSet(m int) interval.Set {
+	jobs := s.machines[m].jobs
+	set := make(interval.Set, len(jobs))
+	for i, j := range jobs {
+		set[i] = s.inst.Jobs[j].Iv
+	}
+	return set
+}
+
+// MachineBusy returns span(J_m): the measure of time machine m has at least
+// one active job. This is the machine's contribution to the objective.
+func (s *Schedule) MachineBusy(m int) float64 { return s.MachineSet(m).Span() }
+
+// Cost returns the total busy time Σ_m span(J_m). Unassigned jobs contribute
+// nothing; call Complete or Verify to ensure totality.
+func (s *Schedule) Cost() float64 {
+	var total float64
+	for m := range s.machines {
+		total += s.MachineBusy(m)
+	}
+	return total
+}
+
+// Verify checks that the schedule is feasible: instance valid, every job
+// assigned to an existing machine, and no machine exceeds capacity g at any
+// instant (demand-weighted, closed semantics). It returns nil if feasible.
+func (s *Schedule) Verify() error {
+	if err := s.inst.Validate(); err != nil {
+		return err
+	}
+	for j, m := range s.assign {
+		if m == Unassigned {
+			return fmt.Errorf("core: job index %d (ID %d) unassigned", j, s.inst.Jobs[j].ID)
+		}
+		if m < 0 || m >= len(s.machines) {
+			return fmt.Errorf("core: job index %d assigned to invalid machine %d", j, m)
+		}
+	}
+	for m, st := range s.machines {
+		if peak := maxWeightedDepth(s.inst, st.jobs); peak > s.inst.G {
+			return fmt.Errorf("core: machine %d reaches load %d > g = %d", m, peak, s.inst.G)
+		}
+	}
+	return nil
+}
+
+// maxWeightedDepth computes the maximum demand-weighted closed depth of the
+// given job indices, independently of the capacity trees (so Verify can
+// catch bookkeeping bugs in the trees themselves).
+func maxWeightedDepth(inst *Instance, jobs []int) int {
+	type ev struct {
+		t     float64
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(jobs))
+	for _, j := range jobs {
+		job := inst.Jobs[j]
+		evs = append(evs, ev{job.Iv.Start, job.Demand}, ev{job.Iv.End, -job.Demand})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta > evs[j].delta
+	})
+	depth, best := 0, 0
+	for _, e := range evs {
+		depth += e.delta
+		if depth > best {
+			best = depth
+		}
+	}
+	return best
+}
+
+// Assignment exports the job→machine map keyed by Job.ID.
+func (s *Schedule) Assignment() map[int]int {
+	out := make(map[int]int, len(s.assign))
+	for j, m := range s.assign {
+		out[s.inst.Jobs[j].ID] = m
+	}
+	return out
+}
+
+// MachineSummary describes one machine of a finished schedule.
+type MachineSummary struct {
+	Machine int
+	JobIDs  []int
+	Busy    interval.Set // disjoint busy intervals (union of its jobs)
+	Cost    float64
+}
+
+// Summary returns a per-machine breakdown sorted by machine index.
+func (s *Schedule) Summary() []MachineSummary {
+	out := make([]MachineSummary, len(s.machines))
+	for m, st := range s.machines {
+		ids := make([]int, len(st.jobs))
+		for i, j := range st.jobs {
+			ids[i] = s.inst.Jobs[j].ID
+		}
+		sort.Ints(ids)
+		busy := s.MachineSet(m).Union()
+		out[m] = MachineSummary{Machine: m, JobIDs: ids, Busy: busy, Cost: busy.TotalLen()}
+	}
+	return out
+}
+
+// FromAssignment reconstructs a schedule from a Job.ID→machine map, e.g. one
+// previously exported with Assignment or decoded from JSON. Machine indices
+// are compacted preserving their relative order.
+func FromAssignment(inst *Instance, byID map[int]int) (*Schedule, error) {
+	s := NewSchedule(inst)
+	machines := make([]int, 0, len(byID))
+	seen := map[int]bool{}
+	for _, m := range byID {
+		if !seen[m] {
+			seen[m] = true
+			machines = append(machines, m)
+		}
+	}
+	sort.Ints(machines)
+	remap := make(map[int]int, len(machines))
+	for dense, m := range machines {
+		remap[m] = dense
+		s.OpenMachine()
+	}
+	for j, job := range inst.Jobs {
+		m, ok := byID[job.ID]
+		if !ok {
+			return nil, fmt.Errorf("core: assignment missing job ID %d", job.ID)
+		}
+		s.Assign(j, remap[m])
+	}
+	return s, nil
+}

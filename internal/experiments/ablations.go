@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"busytime/internal/algo/baselines"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/algo/laminar"
+	"busytime/internal/algo/localsearch"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/online"
+	"busytime/internal/stats"
+	"busytime/internal/trace"
+)
+
+// Ablations returns the design-choice ablation experiments (DESIGN.md §4,
+// "Ablations" in EXPERIMENTS.md). They are extensions, not paper artifacts,
+// so they are listed separately from All().
+func Ablations() []Experiment {
+	return []Experiment{
+		{"A1", "ablation: job ordering in FirstFit", A1Ordering},
+		{"A2", "ablation: interval-tree index vs linear scans", A2TreeIndex},
+		{"A3", "ablation: local-search post-pass on FirstFit", A3LocalSearch},
+		{"A4", "extension: online policies vs offline FirstFit", A4Online},
+		{"A5", "extension: exact level-grouping on laminar instances", A5Laminar},
+	}
+}
+
+// A5Laminar evaluates the laminar special case: the level-grouping schedule
+// provably equals the fractional lower bound (optimal), and the table shows
+// how far the paper's general-purpose FirstFit lands from that optimum on
+// nested workloads.
+func A5Laminar(cfg Config) (*Result, error) {
+	cfg = cfg.fill()
+	tb := stats.NewTable("A5 — laminar instances (level grouping is optimal)",
+		"g", "algorithm", "mean cost/OPT", "max cost/OPT")
+	metrics := map[string]float64{}
+	for _, g := range []int{2, 3} {
+		g := g
+		lamRatio, err := ratioStats(cfg.Trials, func(t int) (float64, float64, error) {
+			in := generator.Laminar(cfg.Seed+int64(g*97+t), g, 3, 3, 4, 20)
+			s, err := laminar.Schedule(in)
+			if err != nil {
+				return 0, 0, err
+			}
+			return s.Cost(), core.FractionalBound(in), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ffRatio, err := ratioStats(cfg.Trials, func(t int) (float64, float64, error) {
+			in := generator.Laminar(cfg.Seed+int64(g*97+t), g, 3, 3, 4, 20)
+			opt, err := laminar.Schedule(in) // provably optimal reference
+			if err != nil {
+				return 0, 0, err
+			}
+			return firstfit.Schedule(in).Cost(), opt.Cost(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(g, "laminar (exact)", lamRatio.Mean(), lamRatio.Max())
+		tb.AddRow(g, "firstfit", ffRatio.Mean(), ffRatio.Max())
+		metrics[fmt.Sprintf("g%d/laminarMax", g)] = lamRatio.Max()
+		metrics[fmt.Sprintf("g%d/firstfitMax", g)] = ffRatio.Max()
+	}
+	return &Result{ID: "A5", Name: "laminar extension", Table: tb, Metrics: metrics}, nil
+}
+
+// A4Online measures the price of online arrival (assign on reveal,
+// irrevocably, no length sort) against the offline FirstFit and the
+// fractional bound, on uniform and Poisson workloads.
+func A4Online(cfg Config) (*Result, error) {
+	cfg = cfg.fill()
+	tb := stats.NewTable("A4 — online policies vs offline FirstFit",
+		"workload", "policy", "mean cost/LB", "max cost/LB")
+	metrics := map[string]float64{}
+	type workload struct {
+		name string
+		gen  func(t int) *core.Instance
+	}
+	workloads := []workload{
+		{"uniform", func(t int) *core.Instance {
+			return generator.General(cfg.Seed+int64(t), 80, 3, 60, 18)
+		}},
+		{"poisson", func(t int) *core.Instance {
+			return trace.Poisson(cfg.Seed+int64(t), 3, 1.5, 60, 6)
+		}},
+	}
+	for _, w := range workloads {
+		w := w
+		offline, err := ratioStats(cfg.Trials, func(t int) (float64, float64, error) {
+			in := w.gen(t)
+			return firstfit.Schedule(in).Cost(), core.BestBound(in), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(w.name, "offline firstfit", offline.Mean(), offline.Max())
+		metrics[w.name+"/offline/mean"] = offline.Mean()
+		for _, polName := range []string{"online-firstfit", "online-bestfit", "online-nextfit"} {
+			polName := polName
+			sample, err := ratioStats(cfg.Trials, func(t int) (float64, float64, error) {
+				in := w.gen(t)
+				var pol online.Policy
+				switch polName {
+				case "online-firstfit":
+					pol = online.FirstFit{}
+				case "online-bestfit":
+					pol = online.BestFit{}
+				default:
+					pol = &online.NextFit{}
+				}
+				s, err := online.Run(in, pol)
+				if err != nil {
+					return 0, 0, err
+				}
+				return s.Cost(), core.BestBound(in), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(w.name, polName, sample.Mean(), sample.Max())
+			metrics[w.name+"/"+polName+"/mean"] = sample.Mean()
+		}
+		// Semi-online lookahead sweep: buffering k future arrivals and
+		// extracting longest-first interpolates towards offline FirstFit.
+		for _, k := range []int{2, 8, 32} {
+			k := k
+			sample, err := ratioStats(cfg.Trials, func(t int) (float64, float64, error) {
+				in := w.gen(t)
+				s, err := online.RunLookahead(in, k, online.FirstFit{})
+				if err != nil {
+					return 0, 0, err
+				}
+				return s.Cost(), core.BestBound(in), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(w.name, fmt.Sprintf("lookahead-%d firstfit", k), sample.Mean(), sample.Max())
+			metrics[fmt.Sprintf("%s/lookahead%d/mean", w.name, k)] = sample.Mean()
+		}
+	}
+	return &Result{ID: "A4", Name: "online extension", Table: tb, Metrics: metrics}, nil
+}
+
+// A1Ordering isolates step 1 of the paper's FirstFit (the non-increasing
+// length sort, which Observation 2.2(b) relies on): the same first-fit rule
+// runs under length order, start order, and random order.
+func A1Ordering(cfg Config) (*Result, error) {
+	cfg = cfg.fill()
+	tb := stats.NewTable("A1 — FirstFit ordering ablation",
+		"g", "order", "mean cost/LB", "max cost/LB")
+	metrics := map[string]float64{}
+	for _, g := range []int{2, 4} {
+		g := g
+		type variant struct {
+			name string
+			run  func(*core.Instance) *core.Schedule
+		}
+		variants := []variant{
+			{"length (paper)", firstfit.Schedule},
+			{"start time", baselines.FirstFitByStart},
+			{"random", func(in *core.Instance) *core.Schedule { return baselines.RandomFit(in, 99) }},
+		}
+		for _, v := range variants {
+			v := v
+			sample, err := ratioStats(cfg.Trials, func(t int) (float64, float64, error) {
+				in := generator.General(cfg.Seed+int64(g*53+t), 80, g, 60, 18)
+				return v.run(in).Cost(), core.BestBound(in), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(g, v.name, sample.Mean(), sample.Max())
+			metrics[fmt.Sprintf("g%d/%s/mean", g, v.name)] = sample.Mean()
+		}
+	}
+	return &Result{ID: "A1", Name: "ordering ablation", Table: tb, Metrics: metrics}, nil
+}
+
+// A2TreeIndex times tree-backed FirstFit against the linear-scan variant at
+// increasing instance sizes; the assignments are identical (asserted), only
+// the capacity-check data structure differs.
+func A2TreeIndex(cfg Config) (*Result, error) {
+	cfg = cfg.fill()
+	tb := stats.NewTable("A2 — capacity-check index ablation",
+		"n", "variant", "time/run", "cost")
+	metrics := map[string]float64{}
+	for _, n := range []int{100, 1000, 4000} {
+		in := generator.General(cfg.Seed, n, 4, float64(n)/2, 30)
+		reps := 3
+		var treeCost, linCost float64
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			treeCost = firstfit.Schedule(in).Cost()
+		}
+		treeTime := time.Since(start) / time.Duration(reps)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			linCost = firstfit.ScheduleLinear(in).Cost()
+		}
+		linTime := time.Since(start) / time.Duration(reps)
+		if treeCost != linCost {
+			return nil, fmt.Errorf("A2: variants disagree at n=%d: %v vs %v", n, treeCost, linCost)
+		}
+		tb.AddRow(n, "itree", treeTime.Round(time.Microsecond).String(), treeCost)
+		tb.AddRow(n, "linear", linTime.Round(time.Microsecond).String(), linCost)
+		metrics[fmt.Sprintf("n%d/speedup", n)] = float64(linTime) / float64(treeTime)
+	}
+	return &Result{ID: "A2", Name: "index ablation", Table: tb, Metrics: metrics}, nil
+}
+
+// A3LocalSearch measures the cost reduction of the move/merge local search
+// applied after FirstFit and after arrival-order NextFit.
+func A3LocalSearch(cfg Config) (*Result, error) {
+	cfg = cfg.fill()
+	tb := stats.NewTable("A3 — local-search post-pass",
+		"g", "base algorithm", "mean base/LB", "mean improved/LB", "mean gain (%)")
+	metrics := map[string]float64{}
+	for _, g := range []int{2, 4} {
+		g := g
+		type variant struct {
+			name string
+			run  func(*core.Instance) *core.Schedule
+		}
+		for _, v := range []variant{
+			{"firstfit", firstfit.Schedule},
+			{"nextfit", baselines.NextFit},
+		} {
+			var base, improved, gain stats.Sample
+			for t := 0; t < cfg.Trials; t++ {
+				in := generator.General(cfg.Seed+int64(g*71+t), 60, g, 50, 15)
+				lb := core.BestBound(in)
+				b := v.run(in)
+				imp, err := localsearch.Improve(b, localsearch.Options{MaxRounds: 10})
+				if err != nil {
+					return nil, err
+				}
+				if imp.Cost() > b.Cost()+1e-9 {
+					return nil, fmt.Errorf("A3: local search increased cost")
+				}
+				if lb > 0 {
+					base.Add(b.Cost() / lb)
+					improved.Add(imp.Cost() / lb)
+				}
+				if b.Cost() > 0 {
+					gain.Add(100 * (b.Cost() - imp.Cost()) / b.Cost())
+				}
+			}
+			tb.AddRow(g, v.name, base.Mean(), improved.Mean(), gain.Mean())
+			metrics[fmt.Sprintf("g%d/%s/gainPct", g, v.name)] = gain.Mean()
+		}
+	}
+	return &Result{ID: "A3", Name: "local search ablation", Table: tb, Metrics: metrics}, nil
+}

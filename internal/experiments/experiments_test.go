@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps unit-test experiment runs quick; the bench harness uses the
+// default (larger) configuration.
+var fastCfg = Config{Trials: 8, Seed: 1, LargeN: 300}
+
+func TestAllListsTen(t *testing.T) {
+	exps := All()
+	if len(exps) != 10 {
+		t.Fatalf("got %d experiments, want 10", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(fastCfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %s, want %s", res.ID, e.ID)
+			}
+			out := res.Table.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("table missing experiment ID:\n%s", out)
+			}
+			if len(res.Metrics) == 0 {
+				t.Error("no metrics reported")
+			}
+		})
+	}
+}
+
+func TestE1Theorem21Holds(t *testing.T) {
+	res, err := E1FirstFitGeneral(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["worstRatio"] > 4+1e-9 {
+		t.Errorf("FirstFit ratio %v exceeds Theorem 2.1 bound 4", res.Metrics["worstRatio"])
+	}
+}
+
+func TestE2RatioApproachesThree(t *testing.T) {
+	res, err := E2Fig4(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratios increase with g towards 3−2ε′ and stay below 3 and above 1.
+	prev := 0.0
+	for _, g := range []int{2, 4, 8, 16, 32} {
+		r := res.Metrics[fmt.Sprintf("g%d/ratio", g)]
+		if r <= prev {
+			t.Errorf("g=%d: ratio %v not increasing (prev %v)", g, r, prev)
+		}
+		if r >= 3 {
+			t.Errorf("g=%d: ratio %v ≥ 3", g, r)
+		}
+		prev = r
+	}
+	if res.Metrics["finalRatio"] < 2.7 {
+		t.Errorf("final ratio %v too far from 3", res.Metrics["finalRatio"])
+	}
+}
+
+func TestE3Theorem31Holds(t *testing.T) {
+	res, err := E3ProperGreedy(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{2, 3} {
+		if r := res.Metrics[fmt.Sprintf("g%d/greedyMax", g)]; r > 2+1e-9 {
+			t.Errorf("g=%d: greedy ratio %v exceeds 2", g, r)
+		}
+	}
+}
+
+func TestE4Lemma33Holds(t *testing.T) {
+	res, err := E4BoundedLength(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{2, 3, 4} {
+		if r := res.Metrics[fmt.Sprintf("d%g/segMax", d)]; r > 2+1e-9 {
+			t.Errorf("d=%g: segmentation overhead %v exceeds 2", d, r)
+		}
+	}
+}
+
+func TestE5TheoremA1Holds(t *testing.T) {
+	res, err := E5Clique(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Metrics {
+		if strings.HasSuffix(k, "cliqueMax") && v > 2+1e-9 {
+			t.Errorf("%s = %v exceeds 2", k, v)
+		}
+	}
+}
+
+func TestE6BoundsAreLowerBounds(t *testing.T) {
+	res, err := E6LowerBounds(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Metrics {
+		if v < 1-1e-9 {
+			t.Errorf("%s = %v < 1: OPT fell below a lower bound", k, v)
+		}
+	}
+}
+
+func TestE7GroomingReducesRegenerators(t *testing.T) {
+	res, err := E7Optical(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More grooming capacity must not increase FirstFit regenerators.
+	r1 := res.Metrics["g1/firstfit/regen"]
+	r8 := res.Metrics["g8/firstfit/regen"]
+	if r8 > r1 {
+		t.Errorf("regenerators grew with grooming: g=1 %v → g=8 %v", r1, r8)
+	}
+}
+
+func TestE8TradeoffDirection(t *testing.T) {
+	res, err := E8MachineMin(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{2, 4} {
+		mmM := res.Metrics[fmt.Sprintf("g%d/machineMinMachines", g)]
+		ffM := res.Metrics[fmt.Sprintf("g%d/firstfitMachines", g)]
+		if mmM > ffM+1e-9 {
+			t.Errorf("g=%d: machine-min used more machines (%v) than firstfit (%v)", g, mmM, ffM)
+		}
+		// Busy time is not what machine-min optimizes: no per-instance
+		// direction is guaranteed, but both costs must be positive and
+		// the recorded ratio finite.
+		mmC := res.Metrics[fmt.Sprintf("g%d/machineMinCost", g)]
+		ffC := res.Metrics[fmt.Sprintf("g%d/firstfitCost", g)]
+		if mmC <= 0 || ffC <= 0 {
+			t.Errorf("g=%d: degenerate costs mm=%v ff=%v", g, mmC, ffC)
+		}
+	}
+}
+
+func TestE9GreedyBeatsFirstFitOnProperAdversarial(t *testing.T) {
+	res, err := E9ProperAdversarial(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{4, 8, 16} {
+		ff := res.Metrics[fmt.Sprintf("g%d/firstfit", g)]
+		gr := res.Metrics[fmt.Sprintf("g%d/greedy", g)]
+		if gr > 2+1e-6 {
+			t.Errorf("g=%d: greedy ratio %v exceeds 2", g, gr)
+		}
+		if ff <= gr {
+			t.Errorf("g=%d: FirstFit ratio %v not worse than greedy %v", g, ff, gr)
+		}
+	}
+	if res.Metrics["g16/firstfit"] < 2.5 {
+		t.Errorf("FirstFit ratio %v not approaching 3", res.Metrics["g16/firstfit"])
+	}
+}
+
+func TestE10RatiosFinite(t *testing.T) {
+	res, err := E10Demand(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Metrics {
+		if v < 1-1e-9 {
+			t.Errorf("%s = %v below 1: cost beat a lower bound", k, v)
+		}
+		if v > 10 {
+			t.Errorf("%s = %v implausibly large", k, v)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package experiments
+
+import "math/rand"
+
+// newRand returns a seeded PRNG; isolated so every experiment draws from an
+// explicitly seeded source and nothing depends on the global generator.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

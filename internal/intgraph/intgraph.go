@@ -1,0 +1,307 @@
+// Package intgraph provides an interval-graph toolkit: the intersection
+// graph of a set of closed intervals, with the classical polynomial
+// structure exploited by the paper — maximum clique and minimum coloring via
+// sweeps, connected components, and class tests (proper, clique).
+//
+// Vertex i of a Graph corresponds to the i-th interval of the set it was
+// built from; all results are reported in terms of these indices.
+package intgraph
+
+import (
+	"container/heap"
+	"sort"
+
+	"busytime/internal/interval"
+)
+
+// Graph is the intersection graph of a fixed interval set.
+type Graph struct {
+	ivs interval.Set
+	adj [][]int
+}
+
+// New builds the intersection graph of ivs (closed semantics: touching
+// intervals are adjacent). Construction is O(n log n + m) using a sweep.
+func New(ivs interval.Set) *Graph {
+	g := &Graph{ivs: ivs.Clone(), adj: make([][]int, len(ivs))}
+	order := make([]int, len(ivs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := ivs[order[a]], ivs[order[b]]
+		if ia.Start != ib.Start {
+			return ia.Start < ib.Start
+		}
+		return ia.End < ib.End
+	})
+	// Active vertices kept in a min-heap by end time; a new interval is
+	// adjacent to every active vertex whose end ≥ its start.
+	active := &endHeap{}
+	for _, v := range order {
+		iv := ivs[v]
+		for active.Len() > 0 && (*active)[0].end < iv.Start {
+			heap.Pop(active)
+		}
+		for _, a := range *active {
+			g.adj[v] = append(g.adj[v], a.v)
+			g.adj[a.v] = append(g.adj[a.v], v)
+		}
+		heap.Push(active, endVertex{end: iv.End, v: v})
+	}
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+	}
+	return g
+}
+
+type endVertex struct {
+	end float64
+	v   int
+}
+
+type endHeap []endVertex
+
+func (h endHeap) Len() int            { return len(h) }
+func (h endHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x interface{}) { *h = append(*h, x.(endVertex)) }
+func (h *endHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.ivs) }
+
+// Interval returns the interval of vertex v.
+func (g *Graph) Interval(v int) interval.Interval { return g.ivs[v] }
+
+// Intervals returns a copy of the underlying interval set.
+func (g *Graph) Intervals() interval.Set { return g.ivs.Clone() }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Adjacent reports whether u and v are adjacent.
+func (g *Graph) Adjacent(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.ivs[u].Overlaps(g.ivs[v])
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted, ordered by their earliest interval start. For interval graphs
+// components are exactly the maximal groups whose union is contiguous.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := g.ivs[order[a]], g.ivs[order[b]]
+		if ia.Start != ib.Start {
+			return ia.Start < ib.Start
+		}
+		return ia.End < ib.End
+	})
+	var comps [][]int
+	var cur []int
+	reach := g.ivs[order[0]].End
+	for _, v := range order {
+		iv := g.ivs[v]
+		if len(cur) > 0 && iv.Start > reach {
+			sort.Ints(cur)
+			comps = append(comps, cur)
+			cur = nil
+			reach = iv.End
+		}
+		cur = append(cur, v)
+		if iv.End > reach {
+			reach = iv.End
+		}
+	}
+	sort.Ints(cur)
+	return append(comps, cur)
+}
+
+// MaxClique returns the size of a maximum clique and the vertices of one
+// witness clique (sorted). For interval graphs the maximum clique is realized
+// at some point stabbing the most intervals.
+func (g *Graph) MaxClique() (size int, members []int) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	// Find the point of maximum closed depth via the event sweep, then stab.
+	type ev struct {
+		t     float64
+		delta int
+	}
+	evs := make([]ev, 0, 2*g.N())
+	for _, iv := range g.ivs {
+		evs = append(evs, ev{iv.Start, +1}, ev{iv.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta > evs[j].delta
+	})
+	depth, best, bestT := 0, 0, 0.0
+	for _, e := range evs {
+		depth += e.delta
+		if depth > best {
+			best, bestT = depth, e.t
+		}
+	}
+	for v, iv := range g.ivs {
+		if iv.Contains(bestT) {
+			members = append(members, v)
+		}
+	}
+	return best, members
+}
+
+// CliqueNumber returns ω(G), the maximum clique size.
+func (g *Graph) CliqueNumber() int {
+	size, _ := g.MaxClique()
+	return size
+}
+
+// IsProper reports whether the interval representation is proper (no
+// interval properly contains another).
+func (g *Graph) IsProper() bool { return g.ivs.IsProper() }
+
+// IsClique reports whether all intervals pairwise intersect.
+func (g *Graph) IsClique() bool { return g.ivs.IsClique() }
+
+// MinColoring returns an optimal proper coloring: colors[v] ∈ [0, ω) with
+// adjacent vertices receiving distinct colors. The greedy sweep by start
+// time is exact on interval graphs, so exactly CliqueNumber colors are used.
+func (g *Graph) MinColoring() []int {
+	n := g.N()
+	colors := make([]int, n)
+	if n == 0 {
+		return colors
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := g.ivs[order[a]], g.ivs[order[b]]
+		if ia.Start != ib.Start {
+			return ia.Start < ib.Start
+		}
+		if ia.End != ib.End {
+			return ia.End < ib.End
+		}
+		return order[a] < order[b]
+	})
+	active := &endColorHeap{}
+	var free []int // colors released by expired intervals, reused smallest-first
+	next := 0      // next never-used color
+	for _, v := range order {
+		iv := g.ivs[v]
+		for active.Len() > 0 && (*active)[0].end < iv.Start {
+			ec := heap.Pop(active).(endColor)
+			free = append(free, ec.color)
+		}
+		var c int
+		if len(free) > 0 {
+			// Smallest free color keeps the coloring canonical.
+			sort.Ints(free)
+			c, free = free[0], free[1:]
+		} else {
+			c = next
+			next++
+		}
+		colors[v] = c
+		heap.Push(active, endColor{end: iv.End, color: c})
+	}
+	return colors
+}
+
+type endColor struct {
+	end   float64
+	color int
+}
+
+type endColorHeap []endColor
+
+func (h endColorHeap) Len() int            { return len(h) }
+func (h endColorHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h endColorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endColorHeap) Push(x interface{}) { *h = append(*h, x.(endColor)) }
+func (h *endColorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ChromaticNumber returns χ(G) = ω(G) for interval graphs.
+func (g *Graph) ChromaticNumber() int {
+	colors := g.MinColoring()
+	max := 0
+	for _, c := range colors {
+		if c+1 > max {
+			max = c + 1
+		}
+	}
+	return max
+}
+
+// ColorClasses groups vertices by color. Each class is an independent set of
+// the graph (pairwise measure-disjoint intervals up to touching — with
+// closed semantics members of one class never intersect at all).
+func ColorClasses(colors []int) [][]int {
+	max := -1
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	classes := make([][]int, max+1)
+	for v, c := range colors {
+		classes[c] = append(classes[c], v)
+	}
+	return classes
+}
+
+// ValidColoring reports whether colors is a proper coloring of g.
+func (g *Graph) ValidColoring(colors []int) bool {
+	if len(colors) != g.N() {
+		return false
+	}
+	for v := range g.adj {
+		for _, u := range g.adj[v] {
+			if colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

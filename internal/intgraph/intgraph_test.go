@@ -1,0 +1,252 @@
+package intgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(nil)
+	if g.N() != 0 || g.Edges() != 0 {
+		t.Error("empty graph has vertices or edges")
+	}
+	if g.ConnectedComponents() != nil {
+		t.Error("empty graph has components")
+	}
+	if size, _ := g.MaxClique(); size != 0 {
+		t.Error("empty graph has a clique")
+	}
+	if len(g.MinColoring()) != 0 {
+		t.Error("empty graph produced colors")
+	}
+}
+
+func TestAdjacencyBasics(t *testing.T) {
+	// 0:[0,2] 1:[1,3] 2:[3,4] 3:[5,6]
+	g := New(interval.Set{iv(0, 2), iv(1, 3), iv(3, 4), iv(5, 6)})
+	wantAdj := map[int][]int{0: {1}, 1: {0, 2}, 2: {1}, 3: {}}
+	for v, want := range wantAdj {
+		got := g.Neighbors(v)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Neighbors(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if !g.Adjacent(1, 2) {
+		t.Error("touching intervals [1,3],[3,4] must be adjacent")
+	}
+	if g.Adjacent(0, 0) {
+		t.Error("self-adjacency")
+	}
+	if g.Edges() != 2 {
+		t.Errorf("Edges = %d, want 2", g.Edges())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(interval.Set{iv(0, 1), iv(1, 2), iv(5, 7), iv(6, 8), iv(10, 11)})
+	comps := g.ConnectedComponents()
+	want := [][]int{{0, 1}, {2, 3}, {4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Errorf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestMaxClique(t *testing.T) {
+	g := New(interval.Set{iv(0, 4), iv(1, 5), iv(2, 6), iv(7, 8)})
+	size, members := g.MaxClique()
+	if size != 3 {
+		t.Fatalf("clique size = %d, want 3", size)
+	}
+	if !reflect.DeepEqual(members, []int{0, 1, 2}) {
+		t.Errorf("clique members = %v, want [0 1 2]", members)
+	}
+	// Witness really is a clique.
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if !g.Adjacent(members[i], members[j]) {
+				t.Errorf("witness vertices %d,%d not adjacent", members[i], members[j])
+			}
+		}
+	}
+}
+
+func TestClassTests(t *testing.T) {
+	if !New(interval.Set{iv(0, 2), iv(1, 3), iv(2, 4)}).IsProper() {
+		t.Error("staircase set should be proper")
+	}
+	if New(interval.Set{iv(0, 5), iv(1, 2)}).IsProper() {
+		t.Error("nested set misreported as proper")
+	}
+	if !New(interval.Set{iv(0, 3), iv(1, 4), iv(2, 5)}).IsClique() {
+		t.Error("clique set misreported")
+	}
+	if New(interval.Set{iv(0, 1), iv(2, 3)}).IsClique() {
+		t.Error("disjoint set reported as clique")
+	}
+}
+
+func TestMinColoringOptimal(t *testing.T) {
+	set := interval.Set{iv(0, 4), iv(1, 5), iv(2, 6), iv(5, 9), iv(6, 10)}
+	g := New(set)
+	colors := g.MinColoring()
+	if !g.ValidColoring(colors) {
+		t.Fatal("coloring not proper")
+	}
+	if got, want := g.ChromaticNumber(), g.CliqueNumber(); got != want {
+		t.Errorf("χ = %d, ω = %d; interval graphs must have χ = ω", got, want)
+	}
+}
+
+func TestColorClassesAreIndependent(t *testing.T) {
+	set := interval.Set{iv(0, 3), iv(1, 4), iv(2, 5), iv(4, 7), iv(6, 9)}
+	g := New(set)
+	classes := ColorClasses(g.MinColoring())
+	for c, class := range classes {
+		for i := range class {
+			for j := i + 1; j < len(class); j++ {
+				if g.Adjacent(class[i], class[j]) {
+					t.Errorf("color %d contains adjacent pair %d,%d", c, class[i], class[j])
+				}
+			}
+		}
+	}
+}
+
+func TestValidColoringRejects(t *testing.T) {
+	g := New(interval.Set{iv(0, 2), iv(1, 3)})
+	if g.ValidColoring([]int{0, 0}) {
+		t.Error("monochromatic edge accepted")
+	}
+	if g.ValidColoring([]int{0}) {
+		t.Error("wrong-length coloring accepted")
+	}
+}
+
+func randomSet(r *rand.Rand, n int) interval.Set {
+	s := make(interval.Set, n)
+	for i := range s {
+		start := r.Float64() * 60
+		s[i] = interval.New(start, start+r.Float64()*15)
+	}
+	return s
+}
+
+func TestQuickAdjacencyMatchesBrute(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		set := randomSet(rand.New(rand.NewSource(seed)), int(sz%32)+1)
+		g := New(set)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				want := u != v && set[u].Overlaps(set[v])
+				if g.Adjacent(u, v) != want {
+					return false
+				}
+			}
+		}
+		// Adjacency lists agree with Adjacent.
+		for u := 0; u < g.N(); u++ {
+			seen := map[int]bool{}
+			for _, v := range g.Neighbors(u) {
+				seen[v] = true
+			}
+			for v := 0; v < g.N(); v++ {
+				if seen[v] != g.Adjacent(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCliqueEqualsMaxDepth(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		set := randomSet(rand.New(rand.NewSource(seed)), int(sz%40)+1)
+		return New(set).CliqueNumber() == set.MaxDepth()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickColoringProperAndOptimal(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		set := randomSet(rand.New(rand.NewSource(seed)), int(sz%40)+1)
+		g := New(set)
+		colors := g.MinColoring()
+		return g.ValidColoring(colors) && g.ChromaticNumber() == g.CliqueNumber()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		set := randomSet(rand.New(rand.NewSource(seed)), int(sz%32)+1)
+		g := New(set)
+		comps := g.ConnectedComponents()
+		seen := map[int]bool{}
+		for _, comp := range comps {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != g.N() {
+			return false
+		}
+		// No edges between different components.
+		compOf := make([]int, g.N())
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if compOf[u] != compOf[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	set := randomSet(rand.New(rand.NewSource(1)), 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = New(set)
+	}
+}
+
+func BenchmarkMinColoring(b *testing.B) {
+	g := New(randomSet(rand.New(rand.NewSource(1)), 2048))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.MinColoring()
+	}
+}

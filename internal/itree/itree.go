@@ -1,0 +1,275 @@
+// Package itree implements a dynamic interval tree: a treap keyed by
+// interval start, augmented with subtree maximum end. It supports insertion,
+// deletion, stabbing queries and window-overlap queries in expected
+// O(log n + k) time, where k is the number of reported items.
+//
+// Schedulers use one tree per machine to find the jobs that conflict with a
+// candidate job without scanning the machine's whole job list.
+package itree
+
+import (
+	"busytime/internal/interval"
+)
+
+// Item is an interval with an opaque integer payload (typically a job index).
+type Item struct {
+	Iv interval.Interval
+	ID int
+}
+
+type node struct {
+	item        Item
+	priority    uint64
+	maxEnd      float64
+	size        int
+	left, right *node
+}
+
+// Tree is a dynamic interval tree. The zero value is an empty tree ready to
+// use. Tree is not safe for concurrent mutation.
+type Tree struct {
+	root *node
+	rng  uint64
+}
+
+// New returns an empty tree. Equivalent to new(Tree) but allows seeding the
+// internal priority generator for reproducible shapes in tests.
+func New(seed uint64) *Tree {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Tree{rng: seed}
+}
+
+// nextPriority is a splitmix64 step; treap priorities only need to be
+// well-distributed, not cryptographic.
+func (t *Tree) nextPriority() uint64 {
+	if t.rng == 0 {
+		t.rng = 0x9e3779b97f4a7c15
+	}
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return size(t.root) }
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func maxEnd(n *node) float64 {
+	if n == nil {
+		return negInf
+	}
+	return n.maxEnd
+}
+
+const negInf = -1.7976931348623157e308
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+	n.maxEnd = n.item.Iv.End
+	if m := maxEnd(n.left); m > n.maxEnd {
+		n.maxEnd = m
+	}
+	if m := maxEnd(n.right); m > n.maxEnd {
+		n.maxEnd = m
+	}
+}
+
+// less orders items by (start, end, id) so duplicates are handled
+// deterministically.
+func less(a, b Item) bool {
+	if a.Iv.Start != b.Iv.Start {
+		return a.Iv.Start < b.Iv.Start
+	}
+	if a.Iv.End != b.Iv.End {
+		return a.Iv.End < b.Iv.End
+	}
+	return a.ID < b.ID
+}
+
+// split partitions n into (< pivot, ≥ pivot).
+func split(n *node, pivot Item) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if less(n.item, pivot) {
+		n.right, r = split(n.right, pivot)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, pivot)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.priority > r.priority:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Insert adds an item to the tree. Duplicate intervals (even with equal IDs)
+// are stored as separate items.
+func (t *Tree) Insert(it Item) {
+	nn := &node{item: it, priority: t.nextPriority()}
+	nn.update()
+	l, r := split(t.root, it)
+	t.root = merge(merge(l, nn), r)
+}
+
+// Delete removes one item equal to it (same interval and ID). It reports
+// whether an item was removed.
+func (t *Tree) Delete(it Item) bool {
+	var removed bool
+	t.root = deleteNode(t.root, it, &removed)
+	return removed
+}
+
+func deleteNode(n *node, it Item, removed *bool) *node {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case n.item == it && !*removed:
+		*removed = true
+		return merge(n.left, n.right)
+	case less(it, n.item):
+		n.left = deleteNode(n.left, it, removed)
+	default:
+		n.right = deleteNode(n.right, it, removed)
+	}
+	n.update()
+	return n
+}
+
+// Stab appends to dst every item whose closed interval contains t and
+// returns the extended slice.
+func (t *Tree) Stab(dst []Item, pt float64) []Item {
+	return stab(t.root, dst, pt)
+}
+
+func stab(n *node, dst []Item, pt float64) []Item {
+	if n == nil || n.maxEnd < pt {
+		return dst
+	}
+	dst = stab(n.left, dst, pt)
+	if n.item.Iv.Contains(pt) {
+		dst = append(dst, n.item)
+	}
+	if n.item.Iv.Start <= pt {
+		dst = stab(n.right, dst, pt)
+	}
+	return dst
+}
+
+// Overlapping appends to dst every item whose closed interval intersects w
+// (touching counts) and returns the extended slice.
+func (t *Tree) Overlapping(dst []Item, w interval.Interval) []Item {
+	return overlapping(t.root, dst, w)
+}
+
+func overlapping(n *node, dst []Item, w interval.Interval) []Item {
+	if n == nil || n.maxEnd < w.Start {
+		return dst
+	}
+	dst = overlapping(n.left, dst, w)
+	if n.item.Iv.Overlaps(w) {
+		dst = append(dst, n.item)
+	}
+	if n.item.Iv.Start <= w.End {
+		dst = overlapping(n.right, dst, w)
+	}
+	return dst
+}
+
+// AnyOverlap reports whether any stored interval intersects w.
+func (t *Tree) AnyOverlap(w interval.Interval) bool {
+	n := t.root
+	for n != nil {
+		if n.maxEnd < w.Start {
+			return false
+		}
+		if n.item.Iv.Overlaps(w) {
+			return true
+		}
+		if anyOverlap(n.left, w) {
+			return true
+		}
+		if n.item.Iv.Start > w.End {
+			n = n.left
+			continue
+		}
+		n = n.right
+	}
+	return false
+}
+
+func anyOverlap(n *node, w interval.Interval) bool {
+	if n == nil || n.maxEnd < w.Start {
+		return false
+	}
+	if n.item.Iv.Overlaps(w) {
+		return true
+	}
+	if anyOverlap(n.left, w) {
+		return true
+	}
+	if n.item.Iv.Start <= w.End {
+		return anyOverlap(n.right, w)
+	}
+	return false
+}
+
+// Items appends all stored items in (start, end, id) order to dst and
+// returns the extended slice.
+func (t *Tree) Items(dst []Item) []Item {
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		dst = append(dst, n.item)
+		walk(n.right)
+	}
+	walk(t.root)
+	return dst
+}
+
+// MaxDepthWithin returns the maximum number of stored intervals
+// simultaneously active at any point of the closed window w. It collects the
+// overlapping items and runs a sweep clipped to w; touching intervals count
+// together (closed semantics), matching machine-capacity checks.
+func (t *Tree) MaxDepthWithin(w interval.Interval) int {
+	items := t.Overlapping(nil, w)
+	if len(items) == 0 {
+		return 0
+	}
+	set := make(interval.Set, 0, len(items))
+	for _, it := range items {
+		if x, ok := it.Iv.Intersect(w); ok {
+			set = append(set, x)
+		}
+	}
+	return set.MaxDepth()
+}

@@ -1,0 +1,261 @@
+package itree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/interval"
+)
+
+func buildRandom(r *rand.Rand, n int) (*Tree, []Item) {
+	t := New(uint64(r.Int63()) | 1)
+	items := make([]Item, n)
+	for i := range items {
+		start := r.Float64() * 100
+		items[i] = Item{Iv: interval.New(start, start+r.Float64()*25), ID: i}
+		t.Insert(items[i])
+	}
+	return t, items
+}
+
+func bruteStab(items []Item, pt float64) []Item {
+	var out []Item
+	for _, it := range items {
+		if it.Iv.Contains(pt) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func bruteOverlap(items []Item, w interval.Interval) []Item {
+	var out []Item
+	for _, it := range items {
+		if it.Iv.Overlaps(w) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return less(items[i], items[j]) })
+}
+
+func sameItems(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortItems(a)
+	sortItems(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if got := tr.Stab(nil, 1); len(got) != 0 {
+		t.Error("stab on empty tree returned items")
+	}
+	if tr.AnyOverlap(interval.New(0, 10)) {
+		t.Error("AnyOverlap true on empty tree")
+	}
+	if tr.MaxDepthWithin(interval.New(0, 10)) != 0 {
+		t.Error("MaxDepthWithin nonzero on empty tree")
+	}
+	if tr.Delete(Item{Iv: interval.New(0, 1)}) {
+		t.Error("Delete succeeded on empty tree")
+	}
+}
+
+func TestInsertLenItems(t *testing.T) {
+	tr := New(7)
+	ivs := []interval.Interval{
+		interval.New(5, 9), interval.New(0, 3), interval.New(2, 4), interval.New(2, 4),
+	}
+	for i, iv := range ivs {
+		tr.Insert(Item{Iv: iv, ID: i})
+	}
+	if tr.Len() != len(ivs) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ivs))
+	}
+	items := tr.Items(nil)
+	if len(items) != len(ivs) {
+		t.Fatalf("Items returned %d, want %d", len(items), len(ivs))
+	}
+	for i := 1; i < len(items); i++ {
+		if less(items[i], items[i-1]) {
+			t.Fatalf("Items not sorted: %v", items)
+		}
+	}
+}
+
+func TestStabTouching(t *testing.T) {
+	tr := New(1)
+	tr.Insert(Item{Iv: interval.New(0, 1), ID: 0})
+	tr.Insert(Item{Iv: interval.New(1, 2), ID: 1})
+	got := tr.Stab(nil, 1)
+	if len(got) != 2 {
+		t.Errorf("Stab(1) = %v, want both touching intervals", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(3)
+	a := Item{Iv: interval.New(0, 5), ID: 1}
+	b := Item{Iv: interval.New(0, 5), ID: 1} // duplicate
+	c := Item{Iv: interval.New(2, 3), ID: 2}
+	tr.Insert(a)
+	tr.Insert(b)
+	tr.Insert(c)
+	if !tr.Delete(a) {
+		t.Fatal("Delete failed for present item")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", tr.Len())
+	}
+	// The duplicate must still be found.
+	if got := tr.Stab(nil, 4); len(got) != 1 || got[0] != b {
+		t.Errorf("after delete, Stab(4) = %v, want one copy", got)
+	}
+	if tr.Delete(Item{Iv: interval.New(9, 10), ID: 9}) {
+		t.Error("Delete reported success for absent item")
+	}
+}
+
+func TestQuickStabMatchesBrute(t *testing.T) {
+	f := func(seed int64, sz uint8, ptSeed uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, items := buildRandom(r, int(sz%64)+1)
+		pt := float64(ptSeed%1300) / 10
+		return sameItems(tr.Stab(nil, pt), bruteStab(items, pt))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverlapMatchesBrute(t *testing.T) {
+	f := func(seed int64, sz uint8, a, b uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, items := buildRandom(r, int(sz%64)+1)
+		lo, hi := float64(a%1200)/10, float64(b%1200)/10
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		w := interval.New(lo, hi)
+		if !sameItems(tr.Overlapping(nil, w), bruteOverlap(items, w)) {
+			return false
+		}
+		return tr.AnyOverlap(w) == (len(bruteOverlap(items, w)) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeleteKeepsQueriesConsistent(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(sz%32) + 2
+		tr, items := buildRandom(r, n)
+		// Delete a random half.
+		perm := r.Perm(n)
+		alive := map[int]bool{}
+		for _, i := range perm[:n/2] {
+			if !tr.Delete(items[i]) {
+				return false
+			}
+		}
+		for _, i := range perm[n/2:] {
+			alive[i] = true
+		}
+		var kept []Item
+		for i, it := range items {
+			if alive[i] {
+				kept = append(kept, it)
+			}
+		}
+		if tr.Len() != len(kept) {
+			return false
+		}
+		pt := r.Float64() * 120
+		return sameItems(tr.Stab(nil, pt), bruteStab(kept, pt))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxDepthWithinMatchesSweep(t *testing.T) {
+	f := func(seed int64, sz uint8, a, b uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, items := buildRandom(r, int(sz%48)+1)
+		lo, hi := float64(a%1200)/10, float64(b%1200)/10
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		w := interval.New(lo, hi)
+		var clipped interval.Set
+		for _, it := range items {
+			if x, ok := it.Iv.Intersect(w); ok {
+				clipped = append(clipped, x)
+			}
+		}
+		return tr.MaxDepthWithin(w) == clipped.MaxDepth()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeShapeIndependence(t *testing.T) {
+	// Two trees with different priorities must answer identically.
+	r := rand.New(rand.NewSource(42))
+	t1, t2 := New(1), New(99999)
+	var items []Item
+	for i := 0; i < 200; i++ {
+		start := r.Float64() * 50
+		it := Item{Iv: interval.New(start, start+r.Float64()*10), ID: i}
+		items = append(items, it)
+		t1.Insert(it)
+		t2.Insert(it)
+	}
+	for pt := 0.0; pt < 60; pt += 0.7 {
+		if !sameItems(t1.Stab(nil, pt), t2.Stab(nil, pt)) {
+			t.Fatalf("trees disagree at %v", pt)
+		}
+	}
+	_ = items
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	tr := New(1)
+	for i := 0; i < b.N; i++ {
+		start := r.Float64() * 1e6
+		tr.Insert(Item{Iv: interval.New(start, start+10), ID: i})
+	}
+}
+
+func BenchmarkOverlapQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr, _ := buildRandom(r, 4096)
+	w := interval.New(40, 45)
+	buf := make([]Item, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.Overlapping(buf[:0], w)
+	}
+}

@@ -1,0 +1,199 @@
+// Package online studies the online variant of busy-time scheduling: jobs
+// are revealed at their start times (with their end times) and must be
+// assigned to a machine immediately and irrevocably. The offline FirstFit of
+// the paper needs the full job list up front (it sorts by length); online
+// algorithms cannot, which is exactly the gap the §2.1 length sort closes.
+//
+// The package provides an event-driven runner and three online policies —
+// FirstFit, BestFit and NextFit by arrival — plus a harness hook measuring
+// empirical competitive ratios against the offline optimum / lower bound.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"busytime/internal/core"
+)
+
+// Policy decides the machine for each arriving job. Implementations receive
+// the current schedule (for feasibility queries) and the arriving job index
+// and return an existing machine or core.Unassigned to request a new one.
+type Policy interface {
+	Name() string
+	Place(s *core.Schedule, j int) int
+}
+
+// Run replays the instance in arrival order (start, end, ID) through the
+// policy and returns the resulting schedule. The returned schedule is
+// verified feasible; a policy returning an infeasible machine is an error.
+func Run(in *core.Instance, p Policy) (*core.Schedule, error) {
+	order := arrivalOrder(in)
+	s := core.NewSchedule(in)
+	for _, j := range order {
+		m := p.Place(s, j)
+		if m == core.Unassigned {
+			s.AssignNew(j)
+			continue
+		}
+		if m < 0 || m >= s.NumMachines() {
+			return nil, fmt.Errorf("online: policy %s returned invalid machine %d", p.Name(), m)
+		}
+		if !s.CanAssign(j, m) {
+			return nil, fmt.Errorf("online: policy %s chose overloaded machine %d for job %d",
+				p.Name(), m, j)
+		}
+		s.Assign(j, m)
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("online: %s produced infeasible schedule: %w", p.Name(), err)
+	}
+	return s, nil
+}
+
+func arrivalOrder(in *core.Instance) []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	jobs := in.Jobs
+	sort.Slice(order, func(a, b int) bool {
+		a, b = order[a], order[b]
+		if jobs[a].Iv.Start != jobs[b].Iv.Start {
+			return jobs[a].Iv.Start < jobs[b].Iv.Start
+		}
+		if jobs[a].Iv.End != jobs[b].Iv.End {
+			return jobs[a].Iv.End < jobs[b].Iv.End
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return order
+}
+
+// FirstFit places each arrival on the lowest-indexed feasible machine.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "online-firstfit" }
+
+// Place implements Policy.
+func (FirstFit) Place(s *core.Schedule, j int) int {
+	for m := 0; m < s.NumMachines(); m++ {
+		if s.CanAssign(j, m) {
+			return m
+		}
+	}
+	return core.Unassigned
+}
+
+// BestFit places each arrival on the feasible machine whose busy time grows
+// the least (ties to the lowest index).
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "online-bestfit" }
+
+// Place implements Policy.
+func (BestFit) Place(s *core.Schedule, j int) int {
+	in := s.Instance()
+	best, bestDelta := core.Unassigned, 0.0
+	for m := 0; m < s.NumMachines(); m++ {
+		if !s.CanAssign(j, m) {
+			continue
+		}
+		set := s.MachineSet(m)
+		delta := append(set, in.Jobs[j].Iv).Span() - set.Span()
+		if best == core.Unassigned || delta < bestDelta {
+			best, bestDelta = m, delta
+		}
+	}
+	return best
+}
+
+// NextFit keeps one open machine and abandons it permanently on overflow.
+type NextFit struct {
+	cur int
+	ok  bool
+}
+
+// Name implements Policy.
+func (*NextFit) Name() string { return "online-nextfit" }
+
+// Place implements Policy.
+func (p *NextFit) Place(s *core.Schedule, j int) int {
+	if p.ok && s.CanAssign(j, p.cur) {
+		return p.cur
+	}
+	p.ok = true
+	p.cur = s.NumMachines() // the runner opens it via AssignNew
+	return core.Unassigned
+}
+
+// Policies returns fresh instances of every built-in policy.
+func Policies() []Policy {
+	return []Policy{FirstFit{}, BestFit{}, &NextFit{}}
+}
+
+// RunLookahead is the semi-online variant: the scheduler sees a buffer of
+// the next k future arrivals and repeatedly extracts the longest buffered
+// job (ties by start, end, ID — FirstFit's offline order) before placing it
+// with the policy. k = 1 degenerates to arrival order; k ≥ n recovers the
+// offline processing order exactly, so with the FirstFit policy it equals
+// the paper's offline FirstFit.
+func RunLookahead(in *core.Instance, k int, p Policy) (*core.Schedule, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("online: lookahead %d, want ≥ 1", k)
+	}
+	arrivals := arrivalOrder(in)
+	s := core.NewSchedule(in)
+	buffer := make([]int, 0, k)
+	next := 0
+	fill := func() {
+		for len(buffer) < k && next < len(arrivals) {
+			buffer = append(buffer, arrivals[next])
+			next++
+		}
+	}
+	longest := func() int {
+		best := 0
+		for i := 1; i < len(buffer); i++ {
+			ji, jb := in.Jobs[buffer[i]], in.Jobs[buffer[best]]
+			switch {
+			case ji.Len() != jb.Len():
+				if ji.Len() > jb.Len() {
+					best = i
+				}
+			case ji.Iv.Start != jb.Iv.Start:
+				if ji.Iv.Start < jb.Iv.Start {
+					best = i
+				}
+			case ji.Iv.End != jb.Iv.End:
+				if ji.Iv.End < jb.Iv.End {
+					best = i
+				}
+			case ji.ID < jb.ID:
+				best = i
+			}
+		}
+		return best
+	}
+	for fill(); len(buffer) > 0; fill() {
+		i := longest()
+		j := buffer[i]
+		buffer = append(buffer[:i], buffer[i+1:]...)
+		m := p.Place(s, j)
+		if m == core.Unassigned {
+			s.AssignNew(j)
+			continue
+		}
+		if m < 0 || m >= s.NumMachines() || !s.CanAssign(j, m) {
+			return nil, fmt.Errorf("online: policy %s made invalid placement %d for job %d",
+				p.Name(), m, j)
+		}
+		s.Assign(j, m)
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("online: lookahead %s infeasible: %w", p.Name(), err)
+	}
+	return s, nil
+}

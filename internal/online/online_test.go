@@ -1,0 +1,217 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busytime/internal/algo/exact"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestPoliciesFeasibleOnRandom(t *testing.T) {
+	for _, p := range Policies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			f := func(seed int64, nn, gg uint8) bool {
+				in := generator.General(seed, int(nn%30)+1, int(gg%4)+1, 40, 12)
+				// NextFit is stateful: fresh policy per run.
+				var pol Policy
+				switch p.(type) {
+				case FirstFit:
+					pol = FirstFit{}
+				case BestFit:
+					pol = BestFit{}
+				default:
+					pol = &NextFit{}
+				}
+				s, err := Run(in, pol)
+				if err != nil {
+					return false
+				}
+				return s.Complete() && s.Cost() >= core.BestBound(in)-1e-9
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestOnlineFirstFitKnownPlacement(t *testing.T) {
+	// Arrivals: [0,2], [1,3], [1.5,4] with g=2. Third job overflows M0.
+	in := core.NewInstance(2, iv(0, 2), iv(1, 3), iv(1.5, 4))
+	s, err := Run(in, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MachineOf(0) != 0 || s.MachineOf(1) != 0 || s.MachineOf(2) != 1 {
+		t.Errorf("placements: %d %d %d", s.MachineOf(0), s.MachineOf(1), s.MachineOf(2))
+	}
+}
+
+func TestOnlineBestFitPrefersCheapMachine(t *testing.T) {
+	// g=2. Arrivals: two copies of [0,4] fill M0; [3,7] overflows M0's
+	// capacity on [3,4] and opens M1. Arrival [5,8]: M0 is feasible at
+	// growth 3 (disjoint), M1 is feasible at growth 1 ([3,7]∪[5,8]=[3,8]).
+	// BestFit must choose M1; FirstFit would have chosen M0.
+	in := core.NewInstance(2, iv(0, 4), iv(0, 4), iv(3, 7), iv(5, 8))
+	s, err := Run(in, BestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MachineOf(3) != s.MachineOf(2) {
+		t.Errorf("BestFit placed [5,8] on machine %d, want machine of [3,7] (%d)",
+			s.MachineOf(3), s.MachineOf(2))
+	}
+	ff, err := Run(in, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.MachineOf(3) != ff.MachineOf(0) {
+		t.Errorf("FirstFit placed [5,8] on machine %d, want machine of [0,4] (%d)",
+			ff.MachineOf(3), ff.MachineOf(0))
+	}
+	if s.Cost() >= ff.Cost() {
+		t.Errorf("BestFit cost %v not below FirstFit %v on this instance", s.Cost(), ff.Cost())
+	}
+}
+
+func TestOnlineNextFitAbandons(t *testing.T) {
+	// g=1: [0,4] opens M0; [1,2] conflicts → M1; [5,6] fits M1 (current),
+	// never returns to M0 even though it also fits.
+	in := core.NewInstance(1, iv(0, 4), iv(1, 2), iv(5, 6))
+	s, err := Run(in, &NextFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MachineOf(2) != s.MachineOf(1) {
+		t.Errorf("NextFit revisited an abandoned machine")
+	}
+}
+
+func TestOnlineVsOfflineGap(t *testing.T) {
+	// Online policies cannot sort by length; measure that they are still
+	// within a constant of OPT on random instances, and never below it.
+	for seed := int64(0); seed < 15; seed++ {
+		in := generator.General(seed, 9, 2, 16, 7)
+		opt, err := exact.Cost(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range Policies() {
+			s, err := Run(in, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Cost() < opt-1e-9 {
+				t.Fatalf("%s beat OPT", pol.Name())
+			}
+			if s.Cost() > 5*opt {
+				t.Errorf("seed %d: %s ratio %v implausibly high", seed, pol.Name(), s.Cost()/opt)
+			}
+		}
+	}
+}
+
+func TestRunRejectsStalePolicy(t *testing.T) {
+	// A policy returning an out-of-range machine index is rejected.
+	bad := policyFunc{name: "bad", f: func(s *core.Schedule, j int) int { return 99 }}
+	in := core.NewInstance(2, iv(0, 1))
+	if _, err := Run(in, bad); err == nil {
+		t.Error("invalid machine index accepted")
+	}
+	// A policy choosing an overloaded machine is rejected.
+	over := policyFunc{name: "over", f: func(s *core.Schedule, j int) int {
+		if s.NumMachines() > 0 {
+			return 0
+		}
+		return core.Unassigned
+	}}
+	in2 := core.NewInstance(1, iv(0, 2), iv(1, 3))
+	if _, err := Run(in2, over); err == nil {
+		t.Error("overloaded placement accepted")
+	}
+}
+
+type policyFunc struct {
+	name string
+	f    func(*core.Schedule, int) int
+}
+
+func (p policyFunc) Name() string                      { return p.name }
+func (p policyFunc) Place(s *core.Schedule, j int) int { return p.f(s, j) }
+
+func BenchmarkOnlineFirstFit1k(b *testing.B) {
+	in := generator.General(7, 1000, 4, 500, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(in, FirstFit{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLookaheadFullBufferEqualsOfflineFirstFit(t *testing.T) {
+	// With k ≥ n the extraction order is the global longest-first order, so
+	// the FirstFit policy reproduces the paper's offline FirstFit exactly.
+	for seed := int64(0); seed < 20; seed++ {
+		in := generator.General(seed, 25, 3, 30, 10)
+		got, err := RunLookahead(in, in.N(), FirstFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := firstfit.Schedule(in)
+		if got.Cost() != want.Cost() || got.NumMachines() != want.NumMachines() {
+			t.Fatalf("seed %d: lookahead-n %v/%d != offline %v/%d", seed,
+				got.Cost(), got.NumMachines(), want.Cost(), want.NumMachines())
+		}
+		for j := 0; j < in.N(); j++ {
+			if got.MachineOf(j) != want.MachineOf(j) {
+				t.Fatalf("seed %d: job %d placement differs", seed, j)
+			}
+		}
+	}
+}
+
+func TestLookaheadOneEqualsArrivalOrder(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := generator.General(seed, 20, 3, 25, 8)
+		got, err := RunLookahead(in, 1, FirstFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(in, FirstFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost() != want.Cost() {
+			t.Fatalf("seed %d: k=1 cost %v != pure online %v", seed, got.Cost(), want.Cost())
+		}
+	}
+}
+
+func TestLookaheadRejectsBadK(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 1))
+	if _, err := RunLookahead(in, 0, FirstFit{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestLookaheadFeasibleAcrossK(t *testing.T) {
+	in := generator.General(9, 30, 3, 30, 10)
+	for _, k := range []int{1, 2, 5, 10, 30} {
+		s, err := RunLookahead(in, k, BestFit{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}

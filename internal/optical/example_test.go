@@ -1,0 +1,43 @@
+package optical_test
+
+import (
+	"fmt"
+
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/optical"
+)
+
+// ExampleNetwork_ToInstance shows the §4.2 reduction: a lightpath (a, b)
+// becomes the job [a+½, b−½], and the regenerator count of any coloring
+// equals the total busy time of the corresponding schedule.
+func ExampleNetwork_ToInstance() {
+	net := &optical.Network{
+		Nodes: 8,
+		G:     2,
+		Paths: []optical.Lightpath{
+			{ID: 0, A: 0, B: 4},
+			{ID: 1, A: 2, B: 6},
+			{ID: 2, A: 4, B: 7},
+		},
+	}
+	in := net.ToInstance()
+	s := firstfit.Schedule(in)
+	col, _ := optical.FromSchedule(net, s)
+	fmt.Println(col.Regenerators() == int(s.Cost()))
+	// Output: true
+}
+
+// ExampleRingNetwork_ColorRing colors arcs on a ring via the cut reduction.
+func ExampleRingNetwork_ColorRing() {
+	net := &optical.RingNetwork{
+		Nodes: 6,
+		G:     1,
+		Arcs: []optical.Arc{
+			{ID: 0, A: 0, B: 3}, // edges 0,1,2
+			{ID: 1, A: 4, B: 0}, // edges 4,5 — crosses the wrap-around
+		},
+	}
+	col, _ := net.ColorRing(-1)
+	fmt.Println(col.Validate() == nil, col.Wavelengths())
+	// Output: true 1
+}

@@ -1,0 +1,230 @@
+// Package optical implements the application of Section 4: traffic grooming
+// on a path network. Lightpaths (a, b) over nodes 0..L−1 must be assigned
+// wavelengths (colors) such that at most g lightpaths of one wavelength
+// share an edge; the hardware cost combines regenerators (one per internal
+// node per wavelength passing through, shared by up to g groomed paths) and
+// ADMs (add-drop multiplexers at endpoints).
+//
+// The paper's reduction maps lightpath (a, b) to the job [a+½, b−½]: a
+// wavelength corresponds to a machine, the regenerator at node i to the unit
+// cell [i−½, i+½], and the number of regenerators of a coloring equals the
+// total busy time of the corresponding schedule exactly. Minimizing
+// regenerators (α = 1 in the paper's cost α·REG + (1−α)·ADM) is therefore
+// the scheduling problem, and every approximation guarantee carries over.
+package optical
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+// Lightpath is a connection request between nodes A < B of a path network.
+type Lightpath struct {
+	ID int
+	A  int
+	B  int
+}
+
+// Hops returns the number of edges the lightpath uses.
+func (p Lightpath) Hops() int { return p.B - p.A }
+
+// Network is a path topology with a grooming factor.
+type Network struct {
+	Name  string
+	Nodes int // nodes are 0..Nodes-1
+	G     int // grooming factor
+	Paths []Lightpath
+}
+
+// Validate checks topology bounds and ID uniqueness.
+func (n *Network) Validate() error {
+	if n.Nodes < 2 {
+		return fmt.Errorf("optical: %d nodes, want ≥ 2", n.Nodes)
+	}
+	if n.G < 1 {
+		return fmt.Errorf("optical: grooming factor %d, want ≥ 1", n.G)
+	}
+	seen := map[int]bool{}
+	for _, p := range n.Paths {
+		if seen[p.ID] {
+			return fmt.Errorf("optical: duplicate lightpath ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.A < 0 || p.B >= n.Nodes || p.A >= p.B {
+			return fmt.Errorf("optical: lightpath %d spans (%d,%d) outside path of %d nodes",
+				p.ID, p.A, p.B, n.Nodes)
+		}
+	}
+	return nil
+}
+
+// ToInstance applies the §4.2 reduction: lightpath (a, b) becomes the job
+// [a+½, b−½] and the grooming factor becomes the parallelism parameter.
+// Job order follows Paths order and IDs are preserved.
+func (n *Network) ToInstance() *core.Instance {
+	in := &core.Instance{Name: n.Name + "/jobs", G: n.G, Jobs: make([]core.Job, len(n.Paths))}
+	for i, p := range n.Paths {
+		in.Jobs[i] = core.Job{
+			ID:     p.ID,
+			Iv:     interval.New(float64(p.A)+0.5, float64(p.B)-0.5),
+			Demand: 1,
+		}
+	}
+	return in
+}
+
+// Coloring assigns a wavelength to every lightpath of a network.
+type Coloring struct {
+	Net    *Network
+	Colors map[int]int // Lightpath.ID -> wavelength
+}
+
+// FromSchedule converts a feasible schedule of n.ToInstance() into a
+// coloring: machine indices become wavelengths.
+func FromSchedule(n *Network, s *core.Schedule) (*Coloring, error) {
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("optical: schedule infeasible: %w", err)
+	}
+	return &Coloring{Net: n, Colors: s.Assignment()}, nil
+}
+
+// Validate checks that every lightpath is colored and no edge carries more
+// than g lightpaths of one wavelength.
+func (c *Coloring) Validate() error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	load := map[[2]int]int{} // (edge, wavelength) -> count
+	for _, p := range c.Net.Paths {
+		w, ok := c.Colors[p.ID]
+		if !ok {
+			return fmt.Errorf("optical: lightpath %d uncolored", p.ID)
+		}
+		for e := p.A; e < p.B; e++ {
+			key := [2]int{e, w}
+			load[key]++
+			if load[key] > c.Net.G {
+				return fmt.Errorf("optical: edge (%d,%d) wavelength %d exceeds grooming %d",
+					e, e+1, w, c.Net.G)
+			}
+		}
+	}
+	return nil
+}
+
+// Wavelengths returns the number of distinct wavelengths used.
+func (c *Coloring) Wavelengths() int {
+	seen := map[int]bool{}
+	for _, w := range c.Colors {
+		seen[w] = true
+	}
+	return len(seen)
+}
+
+// Regenerators returns the total regenerator count: for every wavelength w
+// and internal node v, one regenerator if at least one lightpath colored w
+// passes strictly through v (shared by up to g groomed paths).
+func (c *Coloring) Regenerators() int {
+	need := map[[2]int]bool{} // (node, wavelength)
+	for _, p := range c.Net.Paths {
+		w := c.Colors[p.ID]
+		for v := p.A + 1; v < p.B; v++ {
+			need[[2]int{v, w}] = true
+		}
+	}
+	return len(need)
+}
+
+// ADMs returns the total ADM count. An ADM at (node v, wavelength w) serves
+// up to g same-wavelength lightpaths terminating at v through its left edge
+// and up to g through its right edge, so the count per (v, w) is
+// max(⌈left/g⌉, ⌈right/g⌉).
+func (c *Coloring) ADMs() int {
+	type key struct{ v, w int }
+	left := map[key]int{}  // lightpaths ending at v (arrive via edge v-1,v)
+	right := map[key]int{} // lightpaths starting at v (leave via edge v,v+1)
+	keys := map[key]bool{}
+	for _, p := range c.Net.Paths {
+		w := c.Colors[p.ID]
+		kb, ka := key{p.B, w}, key{p.A, w}
+		left[kb]++
+		right[ka]++
+		keys[kb] = true
+		keys[ka] = true
+	}
+	g := float64(c.Net.G)
+	total := 0
+	for k := range keys {
+		l := math.Ceil(float64(left[k]) / g)
+		r := math.Ceil(float64(right[k]) / g)
+		total += int(math.Max(l, r))
+	}
+	return total
+}
+
+// Cost returns α·Regenerators + (1−α)·ADMs, the paper's combined objective.
+func (c *Coloring) Cost(alpha float64) float64 {
+	return alpha*float64(c.Regenerators()) + (1-alpha)*float64(c.ADMs())
+}
+
+// WavelengthLoad is one row of a per-wavelength breakdown: how many
+// lightpaths a wavelength carries and how many regenerators it needs.
+type WavelengthLoad struct {
+	Wavelength   int
+	Lightpaths   int
+	Regenerators int
+}
+
+// Breakdown returns per-wavelength statistics sorted by wavelength.
+func (c *Coloring) Breakdown() []WavelengthLoad {
+	paths := map[int]int{}
+	regen := map[int]map[int]bool{}
+	for _, p := range c.Net.Paths {
+		w := c.Colors[p.ID]
+		paths[w]++
+		if regen[w] == nil {
+			regen[w] = map[int]bool{}
+		}
+		for v := p.A + 1; v < p.B; v++ {
+			regen[w][v] = true
+		}
+	}
+	var ws []int
+	for w := range paths {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	out := make([]WavelengthLoad, len(ws))
+	for i, w := range ws {
+		out[i] = WavelengthLoad{Wavelength: w, Lightpaths: paths[w], Regenerators: len(regen[w])}
+	}
+	return out
+}
+
+// RandomTraffic generates n lightpaths with endpoints uniform over the path,
+// hop counts in [1, maxHops]. Deterministic in seed.
+func RandomTraffic(seed int64, nodes, n, maxHops, g int) *Network {
+	r := rand.New(rand.NewSource(seed))
+	if maxHops < 1 {
+		maxHops = 1
+	}
+	if maxHops > nodes-1 {
+		maxHops = nodes - 1
+	}
+	net := &Network{
+		Name:  fmt.Sprintf("traffic(seed=%d,nodes=%d,n=%d)", seed, nodes, n),
+		Nodes: nodes,
+		G:     g,
+	}
+	for i := 0; i < n; i++ {
+		hops := 1 + r.Intn(maxHops)
+		a := r.Intn(nodes - hops)
+		net.Paths = append(net.Paths, Lightpath{ID: i, A: a, B: a + hops})
+	}
+	return net
+}

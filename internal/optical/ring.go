@@ -1,0 +1,263 @@
+package optical
+
+// Ring topology support. The paper treats the path topology (§4) and notes
+// that [9] generalizes the results to arbitrary topologies; rings are the
+// classical next step (traffic grooming was introduced for rings, Gerstel
+// et al. [12]). This file implements the standard cut reduction:
+//
+//	Cut the ring at one edge. Arcs that avoid the cut edge become single
+//	interval jobs exactly as on a path. Arcs that cross the cut split into
+//	two interval pieces that must receive the same wavelength (a bonded
+//	group), and the cut edge's grooming capacity becomes a side constraint:
+//	at most g crossing arcs per wavelength.
+//
+// With node cells [i−½, i+½], a wavelength's regenerator count still equals
+// its machines' total busy time, so the busy-time objective carries over to
+// rings unchanged.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"busytime/internal/interval"
+)
+
+// Arc is a clockwise lightpath on a ring: it starts at node A, traverses
+// edges A, A+1, …, and ends at node B (indices mod the ring size). A ≠ B.
+type Arc struct {
+	ID int
+	A  int
+	B  int
+}
+
+// RingNetwork is a cycle of Nodes nodes with grooming factor G. Edge i
+// connects node i to node (i+1) mod Nodes.
+type RingNetwork struct {
+	Name  string
+	Nodes int
+	G     int
+	Arcs  []Arc
+}
+
+// Hops returns the number of edges arc p uses on a ring of size l.
+func (p Arc) Hops(l int) int { return ((p.B-p.A)%l + l) % l }
+
+// uses reports whether the arc traverses edge e on a ring of size l.
+func (p Arc) uses(e, l int) bool {
+	d := ((e-p.A)%l + l) % l
+	return d < p.Hops(l)
+}
+
+// Validate checks ring bounds and arc sanity.
+func (r *RingNetwork) Validate() error {
+	if r.Nodes < 3 {
+		return fmt.Errorf("optical: ring with %d nodes, want ≥ 3", r.Nodes)
+	}
+	if r.G < 1 {
+		return fmt.Errorf("optical: grooming factor %d, want ≥ 1", r.G)
+	}
+	seen := map[int]bool{}
+	for _, p := range r.Arcs {
+		if seen[p.ID] {
+			return fmt.Errorf("optical: duplicate arc ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.A < 0 || p.A >= r.Nodes || p.B < 0 || p.B >= r.Nodes || p.A == p.B {
+			return fmt.Errorf("optical: arc %d endpoints (%d,%d) invalid on %d-ring",
+				p.ID, p.A, p.B, r.Nodes)
+		}
+	}
+	return nil
+}
+
+// BestCut returns the edge crossed by the fewest arcs — cutting there
+// minimizes the number of bonded groups the scheduler must co-locate.
+func (r *RingNetwork) BestCut() int {
+	best, bestLoad := 0, len(r.Arcs)+1
+	for e := 0; e < r.Nodes; e++ {
+		load := 0
+		for _, p := range r.Arcs {
+			if p.uses(e, r.Nodes) {
+				load++
+			}
+		}
+		if load < bestLoad {
+			best, bestLoad = e, load
+		}
+	}
+	return best
+}
+
+// RingColoring assigns a wavelength to every arc.
+type RingColoring struct {
+	Net    *RingNetwork
+	Colors map[int]int // Arc.ID -> wavelength
+	Cut    int         // the cut edge used by the construction
+}
+
+// Validate checks that every arc is colored and no edge of the ring carries
+// more than g same-wavelength arcs.
+func (c *RingColoring) Validate() error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	for _, p := range c.Net.Arcs {
+		if _, ok := c.Colors[p.ID]; !ok {
+			return fmt.Errorf("optical: arc %d uncolored", p.ID)
+		}
+	}
+	for e := 0; e < c.Net.Nodes; e++ {
+		load := map[int]int{}
+		for _, p := range c.Net.Arcs {
+			if !p.uses(e, c.Net.Nodes) {
+				continue
+			}
+			w := c.Colors[p.ID]
+			load[w]++
+			if load[w] > c.Net.G {
+				return fmt.Errorf("optical: ring edge %d wavelength %d exceeds grooming %d",
+					e, w, c.Net.G)
+			}
+		}
+	}
+	return nil
+}
+
+// Wavelengths returns the number of distinct wavelengths used.
+func (c *RingColoring) Wavelengths() int {
+	seen := map[int]bool{}
+	for _, w := range c.Colors {
+		seen[w] = true
+	}
+	return len(seen)
+}
+
+// Regenerators counts, per wavelength and node, one regenerator when some
+// same-wavelength arc passes strictly through the node.
+func (c *RingColoring) Regenerators() int {
+	need := map[[2]int]bool{}
+	l := c.Net.Nodes
+	for _, p := range c.Net.Arcs {
+		w := c.Colors[p.ID]
+		for k := 1; k < p.Hops(l); k++ {
+			v := (p.A + k) % l
+			need[[2]int{v, w}] = true
+		}
+	}
+	return len(need)
+}
+
+// ColorRing colors the ring's arcs by cutting at the given edge (pass a
+// negative cut to use BestCut) and running a group-aware FirstFit on the
+// unrolled pieces: arcs avoiding the cut become one piece, crossing arcs two
+// bonded pieces plus one unit of the machine's cut-edge budget (at most g
+// crossing arcs per wavelength).
+func (r *RingNetwork) ColorRing(cut int) (*RingColoring, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if cut < 0 {
+		cut = r.BestCut()
+	}
+	if cut >= r.Nodes {
+		return nil, fmt.Errorf("optical: cut edge %d outside ring of %d edges", cut, r.Nodes)
+	}
+	l := r.Nodes
+	// Relabel nodes so the cut edge becomes (l−1, 0): node v ↦ (v−cut−1) mod l.
+	relabel := func(v int) int { return ((v-cut-1)%l + l) % l }
+
+	type group struct {
+		id      int
+		pieces  interval.Set
+		crosses bool
+		length  float64
+	}
+	groups := make([]group, 0, len(r.Arcs))
+	for _, p := range r.Arcs {
+		a, b := relabel(p.A), relabel(p.B)
+		gr := group{id: p.ID}
+		if a < b { // does not use the cut edge after relabeling
+			gr.pieces = interval.Set{interval.New(float64(a)+0.5, float64(b)-0.5)}
+		} else { // crosses the cut: tail piece and, if it continues, head piece
+			gr.crosses = true
+			gr.pieces = interval.Set{interval.New(float64(a)+0.5, float64(l)-0.5)}
+			if b > 0 {
+				gr.pieces = append(gr.pieces, interval.New(-0.5, float64(b)-0.5))
+			}
+		}
+		gr.length = gr.pieces.TotalLen()
+		groups = append(groups, gr)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].length != groups[j].length {
+			return groups[i].length > groups[j].length
+		}
+		return groups[i].id < groups[j].id
+	})
+
+	type machine struct {
+		load     interval.Set
+		crossing int
+	}
+	var machines []*machine
+	colors := make(map[int]int, len(groups))
+	fits := func(mc *machine, gr group) bool {
+		if gr.crosses && mc.crossing+1 > r.G {
+			return false
+		}
+		for _, piece := range gr.pieces {
+			if mc.load.Clip(piece).MaxDepth()+1 > r.G {
+				return false
+			}
+		}
+		return true
+	}
+	for _, gr := range groups {
+		placed := -1
+		for m, mc := range machines {
+			if fits(mc, gr) {
+				placed = m
+				break
+			}
+		}
+		if placed < 0 {
+			machines = append(machines, &machine{})
+			placed = len(machines) - 1
+		}
+		mc := machines[placed]
+		mc.load = append(mc.load, gr.pieces...)
+		if gr.crosses {
+			mc.crossing++
+		}
+		colors[gr.id] = placed
+	}
+	col := &RingColoring{Net: r, Colors: colors, Cut: cut}
+	if err := col.Validate(); err != nil {
+		return nil, fmt.Errorf("optical: ring coloring construction failed: %w", err)
+	}
+	return col, nil
+}
+
+// RandomRingTraffic generates n random arcs on a ring with hop counts in
+// [1, maxHops]. Deterministic in seed.
+func RandomRingTraffic(seed int64, nodes, n, maxHops, g int) *RingNetwork {
+	r := rand.New(rand.NewSource(seed))
+	if maxHops < 1 {
+		maxHops = 1
+	}
+	if maxHops > nodes-1 {
+		maxHops = nodes - 1
+	}
+	net := &RingNetwork{
+		Name:  fmt.Sprintf("ring(seed=%d,nodes=%d,n=%d)", seed, nodes, n),
+		Nodes: nodes,
+		G:     g,
+	}
+	for i := 0; i < n; i++ {
+		a := r.Intn(nodes)
+		hops := 1 + r.Intn(maxHops)
+		net.Arcs = append(net.Arcs, Arc{ID: i, A: a, B: (a + hops) % nodes})
+	}
+	return net
+}

@@ -1,0 +1,199 @@
+package optical
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArcHopsAndUses(t *testing.T) {
+	const l = 8
+	p := Arc{A: 6, B: 2} // edges 6, 7, 0, 1
+	if got := p.Hops(l); got != 4 {
+		t.Errorf("Hops = %d, want 4", got)
+	}
+	for _, tc := range []struct {
+		e    int
+		want bool
+	}{{6, true}, {7, true}, {0, true}, {1, true}, {2, false}, {5, false}} {
+		if got := p.uses(tc.e, l); got != tc.want {
+			t.Errorf("uses(%d) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestRingValidate(t *testing.T) {
+	bad := []*RingNetwork{
+		{Nodes: 2, G: 1},
+		{Nodes: 5, G: 0},
+		{Nodes: 5, G: 1, Arcs: []Arc{{ID: 0, A: 1, B: 1}}},
+		{Nodes: 5, G: 1, Arcs: []Arc{{ID: 0, A: 0, B: 7}}},
+		{Nodes: 5, G: 1, Arcs: []Arc{{ID: 0, A: 0, B: 1}, {ID: 0, A: 1, B: 2}}},
+	}
+	for i, n := range bad {
+		if n.Validate() == nil {
+			t.Errorf("case %d: invalid ring accepted", i)
+		}
+	}
+}
+
+func TestBestCutAvoidsTraffic(t *testing.T) {
+	// All arcs use edges 0..3; edges 4..7 are free — the cut must be there.
+	net := &RingNetwork{Nodes: 8, G: 2, Arcs: []Arc{
+		{ID: 0, A: 0, B: 4}, {ID: 1, A: 1, B: 3}, {ID: 2, A: 0, B: 2},
+	}}
+	cut := net.BestCut()
+	if cut < 4 {
+		t.Errorf("cut = %d, want an unused edge ≥ 4", cut)
+	}
+}
+
+func TestColorRingNoCrossing(t *testing.T) {
+	// With the cut on a free edge the reduction is exactly the path case.
+	net := &RingNetwork{Nodes: 8, G: 1, Arcs: []Arc{
+		{ID: 0, A: 0, B: 2}, {ID: 1, A: 1, B: 3}, {ID: 2, A: 2, B: 4},
+	}}
+	col, err := net.ColorRing(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Arcs 0 and 1 share edge 1; g=1 forces distinct wavelengths.
+	if col.Colors[0] == col.Colors[1] {
+		t.Error("edge-sharing arcs got one wavelength with g=1")
+	}
+}
+
+func TestColorRingCrossingArcs(t *testing.T) {
+	// Two arcs crossing every cut (long arcs) with g=1: wavelengths differ.
+	net := &RingNetwork{Nodes: 6, G: 1, Arcs: []Arc{
+		{ID: 0, A: 0, B: 5}, {ID: 1, A: 3, B: 2},
+	}}
+	col, err := net.ColorRing(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Colors[0] == col.Colors[1] {
+		t.Error("overlapping arcs share a wavelength with g=1")
+	}
+}
+
+func TestColorRingCutCapacity(t *testing.T) {
+	// Three arcs all crossing edge 5 of a 6-ring, g=2: at most two may share
+	// a wavelength even though their pieces barely overlap elsewhere.
+	net := &RingNetwork{Nodes: 6, G: 2, Arcs: []Arc{
+		{ID: 0, A: 5, B: 1}, {ID: 1, A: 5, B: 1}, {ID: 2, A: 5, B: 1},
+	}}
+	col, err := net.ColorRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, w := range col.Colors {
+		counts[w]++
+	}
+	for w, c := range counts {
+		if c > 2 {
+			t.Errorf("wavelength %d carries %d crossing arcs > g", w, c)
+		}
+	}
+}
+
+func TestRegeneratorsRing(t *testing.T) {
+	// Arc 6→2 on an 8-ring passes through nodes 7, 0, 1.
+	net := &RingNetwork{Nodes: 8, G: 1, Arcs: []Arc{{ID: 0, A: 6, B: 2}}}
+	col := &RingColoring{Net: net, Colors: map[int]int{0: 0}}
+	if got := col.Regenerators(); got != 3 {
+		t.Errorf("regenerators = %d, want 3", got)
+	}
+}
+
+func TestColorRingAnyCutFeasible(t *testing.T) {
+	net := RandomRingTraffic(5, 12, 40, 6, 3)
+	for cut := 0; cut < net.Nodes; cut++ {
+		col, err := net.ColorRing(cut)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := col.Validate(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+	}
+}
+
+func TestQuickRingColoringValid(t *testing.T) {
+	f := func(seed int64, nn, gg uint8) bool {
+		net := RandomRingTraffic(seed, 10, int(nn%40)+1, 7, int(gg%3)+1)
+		if net.Validate() != nil {
+			return false
+		}
+		col, err := net.ColorRing(-1)
+		if err != nil {
+			return false
+		}
+		return col.Validate() == nil && col.Wavelengths() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCutChoiceNeverBreaksValidity(t *testing.T) {
+	f := func(seed int64, cutSel uint8) bool {
+		net := RandomRingTraffic(seed, 9, 25, 6, 2)
+		col, err := net.ColorRing(int(cutSel) % net.Nodes)
+		if err != nil {
+			return false
+		}
+		return col.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorRingRejectsBadCut(t *testing.T) {
+	net := RandomRingTraffic(1, 8, 5, 4, 2)
+	if _, err := net.ColorRing(99); err == nil {
+		t.Error("out-of-range cut accepted")
+	}
+}
+
+func TestGroomingReducesRingWavelengths(t *testing.T) {
+	base := RandomRingTraffic(7, 16, 60, 10, 1)
+	groomed := &RingNetwork{Name: base.Name, Nodes: base.Nodes, G: 4, Arcs: base.Arcs}
+	c1, err := base.ColorRing(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := groomed.ColorRing(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Wavelengths() >= c1.Wavelengths() {
+		t.Errorf("grooming did not reduce wavelengths: %d vs %d",
+			c4.Wavelengths(), c1.Wavelengths())
+	}
+	if c4.Regenerators() > c1.Regenerators() {
+		t.Errorf("grooming increased regenerators: %d vs %d",
+			c4.Regenerators(), c1.Regenerators())
+	}
+}
+
+func BenchmarkColorRing(b *testing.B) {
+	net := RandomRingTraffic(7, 48, 400, 20, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ColorRing(-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

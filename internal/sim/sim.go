@@ -1,0 +1,175 @@
+// Package sim replays a schedule as a discrete-event simulation and
+// measures, independently of the analytic cost accounting in core, each
+// machine's busy time, peak load and any capacity violations. It is the
+// cross-check that the library's span-based cost formula corresponds to what
+// a machine executing the schedule would actually bill.
+//
+// Events are processed in time order with starts before ends at equal
+// timestamps, matching the closed-interval semantics: a job ending at t and
+// a job starting at t are simultaneously active at t, so the machine never
+// goes idle between them.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"busytime/internal/core"
+)
+
+// EventKind distinguishes job starts from job completions.
+type EventKind int
+
+// Event kinds.
+const (
+	JobStart EventKind = iota
+	JobEnd
+)
+
+func (k EventKind) String() string {
+	if k == JobStart {
+		return "start"
+	}
+	return "end"
+}
+
+// Event is one simulation event on a machine.
+type Event struct {
+	T       float64
+	Kind    EventKind
+	Job     int // job index within the instance
+	Machine int
+}
+
+// Violation records a capacity overrun observed during replay.
+type Violation struct {
+	Machine int
+	T       float64
+	Load    int // demand-weighted load after the offending start
+}
+
+// MachineReport aggregates one machine's replay.
+type MachineReport struct {
+	Machine  int
+	Jobs     int
+	Busy     float64 // measured busy time (on/off integration)
+	PeakLoad int     // max demand-weighted simultaneous load
+	Switches int     // number of power-on transitions
+}
+
+// Report is the result of replaying a complete schedule.
+type Report struct {
+	Machines   []MachineReport
+	TotalBusy  float64
+	PeakLoad   int
+	Violations []Violation
+	Events     int
+}
+
+// Run replays the schedule. The schedule need not be feasible — violations
+// are recorded, not rejected — but every job must be assigned.
+func Run(s *core.Schedule) (*Report, error) {
+	in := s.Instance()
+	for j := 0; j < in.N(); j++ {
+		if s.MachineOf(j) == core.Unassigned {
+			return nil, fmt.Errorf("sim: job index %d unassigned", j)
+		}
+	}
+	events := make([]Event, 0, 2*in.N())
+	for j, job := range in.Jobs {
+		m := s.MachineOf(j)
+		events = append(events,
+			Event{T: job.Iv.Start, Kind: JobStart, Job: j, Machine: m},
+			Event{T: job.Iv.End, Kind: JobEnd, Job: j, Machine: m},
+		)
+	}
+	sort.Slice(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.T != eb.T {
+			return ea.T < eb.T
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind == JobStart // starts before ends (closed semantics)
+		}
+		return ea.Job < eb.Job
+	})
+
+	type mstate struct {
+		load     int
+		busy     float64
+		onSince  float64
+		on       bool
+		peak     int
+		jobs     int
+		switches int
+	}
+	states := make([]*mstate, s.NumMachines())
+	for i := range states {
+		states[i] = &mstate{}
+	}
+	rep := &Report{Events: len(events)}
+	for _, ev := range events {
+		st := states[ev.Machine]
+		switch ev.Kind {
+		case JobStart:
+			st.jobs++
+			if !st.on {
+				st.on = true
+				st.onSince = ev.T
+				st.switches++
+			}
+			st.load += in.Jobs[ev.Job].Demand
+			if st.load > st.peak {
+				st.peak = st.load
+			}
+			if st.load > in.G {
+				rep.Violations = append(rep.Violations, Violation{
+					Machine: ev.Machine, T: ev.T, Load: st.load,
+				})
+			}
+		case JobEnd:
+			st.load -= in.Jobs[ev.Job].Demand
+			if st.load == 0 && st.on {
+				st.on = false
+				st.busy += ev.T - st.onSince
+			}
+		}
+	}
+	rep.Machines = make([]MachineReport, len(states))
+	for m, st := range states {
+		if st.on {
+			return nil, fmt.Errorf("sim: machine %d still on after replay (unbalanced events)", m)
+		}
+		rep.Machines[m] = MachineReport{
+			Machine:  m,
+			Jobs:     st.jobs,
+			Busy:     st.busy,
+			PeakLoad: st.peak,
+			Switches: st.switches,
+		}
+		rep.TotalBusy += st.busy
+		if st.peak > rep.PeakLoad {
+			rep.PeakLoad = st.peak
+		}
+	}
+	return rep, nil
+}
+
+// Check replays the schedule and returns an error when the measured busy
+// time disagrees with the analytic cost by more than tol or any capacity
+// violation occurred. It is the library's end-to-end consistency assertion.
+func Check(s *core.Schedule, tol float64) error {
+	rep, err := Run(s)
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		v := rep.Violations[0]
+		return fmt.Errorf("sim: machine %d load %d > g at t=%v (%d violations total)",
+			v.Machine, v.Load, v.T, len(rep.Violations))
+	}
+	if d := rep.TotalBusy - s.Cost(); d > tol || d < -tol {
+		return fmt.Errorf("sim: measured busy %v != analytic cost %v", rep.TotalBusy, s.Cost())
+	}
+	return nil
+}

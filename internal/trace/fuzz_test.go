@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// everything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("#g,2\nid,start,end,demand\n0,0,1,1\n")
+	f.Add("id,start,end\n0,0,1\n1,0.5,2.25\n")
+	f.Add("")
+	f.Add("#g,0\n")
+	f.Add("id,start,end\n0,5,1\n")
+	f.Add("garbage,,,,\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := ReadCSV(strings.NewReader(src), 2)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted instance fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatalf("WriteCSV on accepted instance: %v", err)
+		}
+		rt, err := ReadCSV(&buf, in.G)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if rt.N() != in.N() || rt.G != in.G {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", rt.N(), rt.G, in.N(), in.G)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+// Package trace provides workload-trace interchange and arrival-process
+// generators beyond the uniform families in internal/generator:
+//
+//   - CSV reading/writing of instances (one job per row: id,start,end,demand)
+//     for interoperability with spreadsheet- or script-produced traces;
+//   - a homogeneous Poisson arrival process with exponential durations (the
+//     standard stochastic model for service requests);
+//   - a diurnal (day/night) non-homogeneous Poisson process via thinning,
+//     modeling the load pattern of VM-consolidation workloads.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+// WriteCSV writes the instance as CSV with a header row. The parallelism g
+// is carried in a leading comment-like row ("#g", value) so a round trip is
+// lossless.
+func WriteCSV(w io.Writer, in *core.Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#g", strconv.Itoa(in.G)}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"id", "start", "end", "demand"}); err != nil {
+		return err
+	}
+	for _, j := range in.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			strconv.FormatFloat(j.Iv.Start, 'g', -1, 64),
+			strconv.FormatFloat(j.Iv.End, 'g', -1, 64),
+			strconv.Itoa(j.Demand),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses an instance written by WriteCSV (or hand-authored in the
+// same shape). A missing "#g" row falls back to the provided defaultG; a
+// missing demand column defaults to 1. The decoded instance is validated.
+func ReadCSV(r io.Reader, defaultG int) (*core.Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	in := &core.Instance{Name: "csv", G: defaultG}
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	for _, rec := range rows {
+		if len(rec) == 0 {
+			continue
+		}
+		switch rec[0] {
+		case "#g":
+			if len(rec) < 2 {
+				return nil, fmt.Errorf("trace: #g row missing value")
+			}
+			g, err := strconv.Atoi(rec[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad g %q: %w", rec[1], err)
+			}
+			in.G = g
+			continue
+		case "id":
+			continue // header
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("trace: row %v has %d fields, want ≥ 3", rec, len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad id %q: %w", rec[0], err)
+		}
+		start, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad start %q: %w", rec[1], err)
+		}
+		end, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad end %q: %w", rec[2], err)
+		}
+		if end < start {
+			return nil, fmt.Errorf("trace: job %d has end %v < start %v", id, end, start)
+		}
+		demand := 1
+		if len(rec) >= 4 && rec[3] != "" {
+			demand, err = strconv.Atoi(rec[3])
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad demand %q: %w", rec[3], err)
+			}
+		}
+		in.Jobs = append(in.Jobs, core.Job{ID: id, Iv: interval.New(start, end), Demand: demand})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Poisson generates jobs arriving as a homogeneous Poisson process of the
+// given rate over [0, horizon), with i.i.d. exponential durations of the
+// given mean. Deterministic in seed.
+func Poisson(seed int64, g int, rate, horizon, meanLen float64) *core.Instance {
+	if rate <= 0 || horizon <= 0 || meanLen <= 0 {
+		panic("trace: Poisson requires positive rate, horizon and mean length")
+	}
+	r := rand.New(rand.NewSource(seed))
+	in := &core.Instance{
+		Name: fmt.Sprintf("poisson(seed=%d,rate=%g)", seed, rate),
+		G:    g,
+	}
+	t := r.ExpFloat64() / rate
+	id := 0
+	for t < horizon {
+		length := r.ExpFloat64() * meanLen
+		in.Jobs = append(in.Jobs, core.Job{
+			ID:     id,
+			Iv:     interval.New(t, t+length),
+			Demand: 1,
+		})
+		id++
+		t += r.ExpFloat64() / rate
+	}
+	return in
+}
+
+// Diurnal generates a non-homogeneous Poisson process over the given number
+// of 24-unit days: the arrival rate swings sinusoidally between baseRate (at
+// night, t mod 24 = 0) and peakRate (midday), realized by thinning.
+// Durations are exponential with the given mean. Deterministic in seed.
+func Diurnal(seed int64, g, days int, baseRate, peakRate, meanLen float64) *core.Instance {
+	if days < 1 || baseRate < 0 || peakRate < baseRate || peakRate <= 0 || meanLen <= 0 {
+		panic("trace: Diurnal requires days ≥ 1, 0 ≤ baseRate ≤ peakRate, peakRate > 0, meanLen > 0")
+	}
+	r := rand.New(rand.NewSource(seed))
+	in := &core.Instance{
+		Name: fmt.Sprintf("diurnal(seed=%d,days=%d)", seed, days),
+		G:    g,
+	}
+	horizon := float64(days) * 24
+	rate := func(t float64) float64 {
+		phase := 0.5 - 0.5*math.Cos(2*math.Pi*math.Mod(t, 24)/24)
+		return baseRate + (peakRate-baseRate)*phase
+	}
+	t := r.ExpFloat64() / peakRate
+	id := 0
+	for t < horizon {
+		if r.Float64() <= rate(t)/peakRate { // thinning acceptance
+			length := r.ExpFloat64() * meanLen
+			in.Jobs = append(in.Jobs, core.Job{
+				ID:     id,
+				Iv:     interval.New(t, t+length),
+				Demand: 1,
+			})
+			id++
+		}
+		t += r.ExpFloat64() / peakRate
+	}
+	return in
+}

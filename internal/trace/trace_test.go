@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := core.NewInstance(3,
+		interval.New(0, 2.5), interval.New(1.25, 4), interval.New(10, 11))
+	in.Jobs[1].Demand = 2
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G != in.G {
+		t.Errorf("g = %d, want %d", got.G, in.G)
+	}
+	if got.N() != in.N() {
+		t.Fatalf("n = %d, want %d", got.N(), in.N())
+	}
+	for i := range in.Jobs {
+		if got.Jobs[i] != in.Jobs[i] {
+			t.Errorf("job %d: %+v != %+v", i, got.Jobs[i], in.Jobs[i])
+		}
+	}
+}
+
+func TestReadCSVDefaults(t *testing.T) {
+	src := "id,start,end,demand\n0,0,1,\n1,2,3\n"
+	in, err := ReadCSV(strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.G != 2 {
+		t.Errorf("defaultG not applied: %d", in.G)
+	}
+	for _, j := range in.Jobs {
+		if j.Demand != 1 {
+			t.Errorf("job %d demand %d, want 1", j.ID, j.Demand)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"id,start,end\nx,0,1\n",
+		"id,start,end\n0,z,1\n",
+		"id,start,end\n0,0,y\n",
+		"id,start,end\n0,5,1\n",
+		"id,start,end,demand\n0,0,1,eight\n",
+		"#g\n",
+		"#g,abc\n",
+		"id,start,end\n0,0\n",
+		"#g,0\nid,start,end\n0,0,1\n", // invalid g → Validate fails
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src), 2); err == nil {
+			t.Errorf("accepted bad CSV %q", src)
+		}
+	}
+}
+
+func TestPoissonDeterministicAndPlausible(t *testing.T) {
+	a := Poisson(7, 4, 2.0, 100, 3.0)
+	b := Poisson(7, 4, 2.0, 100, 3.0)
+	if a.N() != b.N() {
+		t.Fatal("same seed, different instance")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected ~200 arrivals; accept a generous band.
+	if a.N() < 120 || a.N() > 300 {
+		t.Errorf("n = %d, expected ≈ 200", a.N())
+	}
+	// Starts are increasing (arrival process).
+	for i := 1; i < a.N(); i++ {
+		if a.Jobs[i].Iv.Start < a.Jobs[i-1].Iv.Start {
+			t.Fatal("arrivals not time-ordered")
+		}
+	}
+	// Mean length ≈ 3.
+	var sum float64
+	for _, j := range a.Jobs {
+		sum += j.Len()
+	}
+	mean := sum / float64(a.N())
+	if mean < 2 || mean > 4.5 {
+		t.Errorf("mean length %v, expected ≈ 3", mean)
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nonpositive rate accepted")
+		}
+	}()
+	Poisson(1, 2, 0, 10, 1)
+}
+
+func TestDiurnalPattern(t *testing.T) {
+	in := Diurnal(3, 4, 20, 0.5, 8, 1.5)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals by hour-of-day halves: midday rate must exceed night.
+	night, day := 0, 0
+	for _, j := range in.Jobs {
+		h := math.Mod(j.Iv.Start, 24)
+		switch {
+		case h >= 9 && h < 15:
+			day++
+		case h < 3 || h >= 21:
+			night++
+		}
+	}
+	if day <= night {
+		t.Errorf("diurnal pattern inverted: day=%d night=%d", day, night)
+	}
+}
+
+func TestDiurnalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("peak < base accepted")
+		}
+	}()
+	Diurnal(1, 2, 1, 5, 1, 1)
+}
+
+func TestGeneratedTracesScheduleCleanly(t *testing.T) {
+	for _, in := range []*core.Instance{
+		Poisson(11, 3, 1.5, 50, 2),
+		Diurnal(11, 3, 3, 0.2, 4, 2),
+	} {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadCSV(&buf, in.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.N() != in.N() {
+			t.Errorf("%s: CSV round trip lost jobs", in.Name)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package viz renders schedules and instances as fixed-width ASCII art for
+// terminals: per-machine Gantt charts (cell value = number of active jobs),
+// instance depth profiles, and simple histograms. The CLI's `show`
+// subcommand is built on it.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+// Gantt renders one row per machine over a shared time axis of the given
+// width (columns). Each cell shows the number of jobs active in that time
+// slice: '·' for idle, digits 1–9, '+' beyond 9. A trailing column lists
+// the machine's busy time.
+func Gantt(s *core.Schedule, width int) string {
+	in := s.Instance()
+	hull, ok := in.Set().Hull()
+	if !ok || width < 1 {
+		return "(empty schedule)\n"
+	}
+	if hull.Len() == 0 {
+		return "(degenerate time axis)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time [%g, %g], %d machines, cost %.3f\n",
+		hull.Start, hull.End, s.NumMachines(), s.Cost())
+	b.WriteString(axis(hull, width))
+	for m := 0; m < s.NumMachines(); m++ {
+		set := s.MachineSet(m)
+		fmt.Fprintf(&b, "M%-3d |%s| %8.3f\n", m, row(set, hull, width), s.MachineBusy(m))
+	}
+	return b.String()
+}
+
+// DepthProfile renders the instance's demand-weighted depth N_t and the
+// per-slice machine requirement ⌈N_t/g⌉ over a width-column axis.
+func DepthProfile(in *core.Instance, width int) string {
+	hull, ok := in.Set().Hull()
+	if !ok || width < 1 {
+		return "(empty instance)\n"
+	}
+	if hull.Len() == 0 {
+		return "(degenerate time axis)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "depth profile of %s (n=%d, g=%d)\n", in.Name, in.N(), in.G)
+	b.WriteString(axis(hull, width))
+	depthCells := make([]int, width)
+	needCells := make([]int, width)
+	for c := 0; c < width; c++ {
+		mid := hull.Start + (float64(c)+0.5)*hull.Len()/float64(width)
+		d := 0
+		for _, j := range in.Jobs {
+			if j.Iv.Contains(mid) {
+				d += j.Demand
+			}
+		}
+		depthCells[c] = d
+		needCells[c] = int(math.Ceil(float64(d) / float64(in.G)))
+	}
+	fmt.Fprintf(&b, "N_t  |%s|\n", cells(depthCells))
+	fmt.Fprintf(&b, "⌈/g⌉ |%s|\n", cells(needCells))
+	return b.String()
+}
+
+// Histogram renders value counts over equal-width bins as horizontal bars.
+func Histogram(values []float64, bins, width int) string {
+	if len(values) == 0 || bins < 1 {
+		return "(no data)\n"
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b == bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		left := lo + float64(i)*(hi-lo)/float64(bins)
+		right := lo + float64(i+1)*(hi-lo)/float64(bins)
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "[%8.3f, %8.3f) %s %d\n", left, right, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// axis renders the column header with start/end labels.
+func axis(hull interval.Interval, width int) string {
+	startLbl := fmt.Sprintf("%g", hull.Start)
+	endLbl := fmt.Sprintf("%g", hull.End)
+	pad := width - len(startLbl) - len(endLbl)
+	if pad < 1 {
+		pad = 1
+	}
+	return fmt.Sprintf("     |%s%s%s|\n", startLbl, strings.Repeat(" ", pad), endLbl)
+}
+
+// row renders one machine's activity over the hull.
+func row(set interval.Set, hull interval.Interval, width int) string {
+	counts := make([]int, width)
+	for c := 0; c < width; c++ {
+		mid := hull.Start + (float64(c)+0.5)*hull.Len()/float64(width)
+		for _, iv := range set {
+			if iv.Contains(mid) {
+				counts[c]++
+			}
+		}
+	}
+	return cells(counts)
+}
+
+// cells maps counts to characters.
+func cells(counts []int) string {
+	out := make([]byte, len(counts))
+	for i, c := range counts {
+		switch {
+		case c == 0:
+			out[i] = '.'
+		case c <= 9:
+			out[i] = byte('0' + c)
+		default:
+			out[i] = '+'
+		}
+	}
+	return string(out)
+}

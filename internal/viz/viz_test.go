@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+func iv(s, e float64) interval.Interval { return interval.New(s, e) }
+
+func TestGanttBasic(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 5), iv(2, 8), iv(20, 25))
+	s := firstfit.Schedule(in)
+	out := Gantt(s, 50)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + axis + one line per machine.
+	if len(lines) != 2+s.NumMachines() {
+		t.Fatalf("got %d lines for %d machines:\n%s", len(lines), s.NumMachines(), out)
+	}
+	if !strings.Contains(lines[0], "cost") {
+		t.Errorf("header missing cost: %q", lines[0])
+	}
+	// Busy cells and idle cells both present (the gap [8,20] is idle).
+	body := strings.Join(lines[2:], "\n")
+	if !strings.ContainsAny(body, "123456789") {
+		t.Error("no busy cells rendered")
+	}
+	if !strings.Contains(body, ".") {
+		t.Error("no idle cells rendered")
+	}
+}
+
+func TestGanttDepthDigits(t *testing.T) {
+	// Two overlapping jobs on one machine → a '2' cell must appear.
+	in := core.NewInstance(2, iv(0, 10), iv(0, 10))
+	s := firstfit.Schedule(in)
+	if s.NumMachines() != 1 {
+		t.Fatal("setup: expected one machine")
+	}
+	out := Gantt(s, 20)
+	if !strings.Contains(out, "2") {
+		t.Errorf("missing depth-2 cells:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	s := core.NewSchedule(core.NewInstance(2))
+	if out := Gantt(s, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty schedule rendering: %q", out)
+	}
+}
+
+func TestDepthProfile(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 4), iv(0, 4), iv(0, 4))
+	in.Name = "profile-test"
+	out := DepthProfile(in, 20)
+	if !strings.Contains(out, "profile-test") {
+		t.Error("missing instance name")
+	}
+	if !strings.Contains(out, "3") {
+		t.Errorf("depth 3 not rendered:\n%s", out)
+	}
+	// ⌈3/2⌉ = 2 machines needed.
+	if !strings.Contains(out, "2") {
+		t.Errorf("machine requirement not rendered:\n%s", out)
+	}
+}
+
+func TestDepthProfileEmpty(t *testing.T) {
+	if out := DepthProfile(core.NewInstance(2), 10); !strings.Contains(out, "empty") {
+		t.Errorf("empty rendering: %q", out)
+	}
+}
+
+func TestHighDepthPlus(t *testing.T) {
+	ivs := make([]interval.Interval, 12)
+	for i := range ivs {
+		ivs[i] = iv(0, 5)
+	}
+	in := core.NewInstance(12, ivs...)
+	out := DepthProfile(in, 10)
+	if !strings.Contains(out, "+") {
+		t.Errorf("depth > 9 should render '+':\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]float64{1, 1, 1, 2, 3}, 2, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d bins:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Error("first bin should have bars")
+	}
+	if Histogram(nil, 3, 10) != "(no data)\n" {
+		t.Error("empty data rendering wrong")
+	}
+	// Constant data doesn't divide by zero.
+	if out := Histogram([]float64{5, 5, 5}, 2, 10); !strings.Contains(out, "3") {
+		t.Errorf("constant data: %q", out)
+	}
+}
+
+func TestGanttWidthsStable(t *testing.T) {
+	in := generator.General(3, 30, 3, 40, 10)
+	s := firstfit.Schedule(in)
+	for _, w := range []int{10, 60, 120} {
+		out := Gantt(s, w)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		for _, ln := range lines[2:] {
+			inner := ln[strings.Index(ln, "|")+1 : strings.LastIndex(ln, "|")]
+			if len(inner) != w {
+				t.Fatalf("width %d: row has %d cells", w, len(inner))
+			}
+		}
+	}
+}
