@@ -1,14 +1,17 @@
 package busytime_test
 
-// One benchmark per experiment (E1–E10, see DESIGN.md §4 and
-// EXPERIMENTS.md): each bench regenerates the corresponding table of the
-// reproduction at reduced trial counts, so `go test -bench=.` exercises the
-// entire harness. cmd/benchtables prints the full tables.
+// One benchmark per experiment (E1–E10, see DESIGN.md §4): each bench
+// regenerates the corresponding table of the reproduction at reduced trial
+// counts, so `go test -bench=.` exercises the entire harness. cmd/benchtables
+// prints the full tables.
 
 import (
+	"runtime"
 	"testing"
 
 	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/engine"
 	"busytime/internal/experiments"
 	"busytime/internal/generator"
 )
@@ -42,7 +45,7 @@ func BenchmarkE8MachineMin(b *testing.B)        { runExperiment(b, experiments.E
 func BenchmarkE9ProperAdversarial(b *testing.B) { runExperiment(b, experiments.E9ProperAdversarial) }
 func BenchmarkE10Demand(b *testing.B)           { runExperiment(b, experiments.E10Demand) }
 
-// Design-choice ablations (DESIGN.md §4, EXPERIMENTS.md "Ablations").
+// Design-choice ablations (DESIGN.md §4, "Ablations").
 
 func BenchmarkA1Ordering(b *testing.B)    { runExperiment(b, experiments.A1Ordering) }
 func BenchmarkA2TreeIndex(b *testing.B)   { runExperiment(b, experiments.A2TreeIndex) }
@@ -64,3 +67,78 @@ func benchFirstFitN(b *testing.B, n int) {
 func BenchmarkFirstFitN1e2(b *testing.B) { benchFirstFitN(b, 100) }
 func BenchmarkFirstFitN1e3(b *testing.B) { benchFirstFitN(b, 1000) }
 func BenchmarkFirstFitN1e4(b *testing.B) { benchFirstFitN(b, 10000) }
+func BenchmarkFirstFitN1e5(b *testing.B) { benchFirstFitN(b, 100000) }
+
+// Batch-engine benchmarks (DESIGN.md §5): the same batch of seeded 100k-job
+// instances scheduled through internal/engine versus a naive sequential
+// loop. The engine run should beat the loop by roughly the core count; the
+// determinism test in internal/engine guarantees the outputs are identical.
+
+// batch100k builds one 100k-job instance per available core (min 4) across
+// the large-scale scenario generators.
+func batch100k() []*core.Instance {
+	k := runtime.GOMAXPROCS(0)
+	if k < 4 {
+		k = 4
+	}
+	out := make([]*core.Instance, 0, k)
+	for i := 0; i < k; i++ {
+		seed := int64(100 + i)
+		switch i % 3 {
+		case 0:
+			out = append(out, generator.General(seed, 100000, 8, 100000, 30))
+		case 1:
+			out = append(out, generator.CloudBurst(seed, 100000, 8, 50000, 15, 12, 0.5))
+		default:
+			out = append(out, generator.LightpathWave(seed, 50, 2000, 8, 2000, 800, 400))
+		}
+	}
+	return out
+}
+
+func BenchmarkBatchFirstFit(b *testing.B) {
+	batch := batch100k()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Run(batch, engine.Options{Algorithm: "firstfit"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(batch) {
+			b.Fatalf("got %d results, want %d", len(res), len(batch))
+		}
+	}
+}
+
+func BenchmarkBatchFirstFitSequential(b *testing.B) {
+	batch := batch100k()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The naive loop the engine replaces: fresh schedule state per
+		// instance, one instance at a time.
+		for _, in := range batch {
+			s := firstfit.Schedule(in)
+			if s.NumMachines() == 0 {
+				b.Fatal("empty schedule")
+			}
+			_ = s.Cost()
+			_ = core.BestBound(in)
+		}
+	}
+}
+
+func BenchmarkBatchPortfolio(b *testing.B) {
+	batch := make([]*core.Instance, 16)
+	for i := range batch {
+		batch[i] = generator.General(int64(200+i), 400, 4, 400, 30)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(batch, engine.Options{Algorithm: "portfolio"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Command benchtables regenerates every quantitative artifact of the paper
-// (see EXPERIMENTS.md): it runs experiments E1–E10 and prints one table per
+// (see DESIGN.md §4): it runs experiments E1–E10 and prints one table per
 // experiment. Flags scale the number of trials and instance sizes.
 //
 //	benchtables               # full run

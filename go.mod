@@ -1,0 +1,3 @@
+module busytime
+
+go 1.24

@@ -22,6 +22,11 @@ type Algorithm struct {
 	Name        string
 	Description string
 	Run         Func
+	// RunScratch, when non-nil, runs the algorithm drawing all schedule
+	// state from the scratch so batch drivers can recycle allocations
+	// across instances. The returned schedule is only valid until the
+	// scratch's next use; it must agree exactly with Run.
+	RunScratch func(*core.Instance, *core.Scratch) *core.Schedule
 }
 
 var registry = map[string]Algorithm{}

@@ -20,15 +20,26 @@ func init() {
 		Name:        "firstfit",
 		Description: "FirstFit by non-increasing length (§2.1, 4-approximation)",
 		Run:         Schedule,
+		RunScratch:  ScheduleScratch,
 	})
 }
 
 // Schedule runs FirstFit on a copy of the instance and returns a complete
 // feasible schedule of the original instance (job order preserved).
 func Schedule(in *core.Instance) *core.Schedule {
-	order := lengthOrder(in)
 	s := core.NewSchedule(in)
-	for _, j := range order {
+	for _, j := range lengthOrder(in) {
+		assignFirstFit(s, j)
+	}
+	return s
+}
+
+// ScheduleScratch is Schedule with all schedule state drawn from sc, so a
+// worker looping over a batch of instances reuses one set of allocations.
+// The returned schedule is only valid until sc's next use.
+func ScheduleScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	s := sc.NewSchedule(in)
+	for _, j := range lengthOrder(in) {
 		assignFirstFit(s, j)
 	}
 	return s
@@ -46,11 +57,14 @@ func ScheduleOrder(in *core.Instance, order []int) *core.Schedule {
 }
 
 // assignFirstFit places job index j on the first machine that can process
-// it, opening a new machine if none can (step 2 of the algorithm).
+// it, opening a new machine if none can (step 2 of the algorithm). Each
+// probe consults the machine's residual-capacity hints (busy hull, peak
+// load, saturation witnesses) before falling back to the interval-tree
+// query, so the scan prunes saturated and disjoint machines in O(1); see
+// core.Schedule.TryAssign.
 func assignFirstFit(s *core.Schedule, j int) {
 	for m := 0; m < s.NumMachines(); m++ {
-		if s.CanAssign(j, m) {
-			s.Assign(j, m)
+		if s.TryAssign(j, m) {
 			return
 		}
 	}

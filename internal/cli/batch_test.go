@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBatchGeneratedSuiteCSV(t *testing.T) {
+	code, out, errOut := run("batch",
+		"-algo", "firstfit", "-kind", "burst", "-count", "6", "-n", "200", "-g", "4", "-seed", "9", "-verify")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out)
+	}
+	if len(recs) != 7 { // header + 6 instances
+		t.Fatalf("got %d CSV rows, want 7:\n%s", len(recs), out)
+	}
+	if recs[0][0] != "index" || recs[0][5] != "cost" {
+		t.Errorf("unexpected header: %v", recs[0])
+	}
+	for _, rec := range recs[1:] {
+		if rec[8] != "" {
+			t.Errorf("instance %s reported error: %s", rec[0], rec[8])
+		}
+	}
+}
+
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	args := []string{"batch", "-algo", "firstfit", "-kind", "waves", "-count", "8", "-n", "300", "-seed", "4"}
+	_, seq, _ := run(append(args, "-workers", "1")...)
+	_, par, _ := run(append(args, "-workers", "4")...)
+	if seq != par {
+		t.Errorf("worker count changed batch output:\nworkers=1:\n%s\nworkers=4:\n%s", seq, par)
+	}
+}
+
+func TestBatchFromFilesJSON(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, "inst"+strings.Repeat("x", i+1)+".json")
+		code, _, errOut := run("generate", "-kind", "general", "-n", "30", "-g", "3", "-seed", "7", "-out", paths[i])
+		if code != 0 {
+			t.Fatalf("generate: %s", errOut)
+		}
+	}
+	outFile := filepath.Join(dir, "results.json")
+	code, _, errOut := run(append([]string{"batch", "-algo", "firstfit", "-format", "json", "-out", outFile}, paths...)...)
+	if code != 0 {
+		t.Fatalf("batch: %s", errOut)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"machines"`) {
+		t.Errorf("JSON results missing fields:\n%s", data)
+	}
+}
+
+func TestBatchBadFormatAndKind(t *testing.T) {
+	if code, _, errOut := run("batch", "-format", "xml"); code != 1 || !strings.Contains(errOut, "unknown format") {
+		t.Errorf("format: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run("batch", "-kind", "nonsense"); code != 1 || !strings.Contains(errOut, "unknown kind") {
+		t.Errorf("kind: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run("batch", "-algo", "nope"); code != 1 || !strings.Contains(errOut, "unknown algorithm") {
+		t.Errorf("algo: code=%d err=%q", code, errOut)
+	}
+}

@@ -6,12 +6,14 @@
 //	solve     run one algorithm on an instance file
 //	eval      run every registered algorithm on an instance and compare
 //	bounds    print the lower bounds of an instance
+//	batch     run one algorithm over many instances in parallel (CSV/JSON)
 //
 // Example:
 //
 //	busysched generate -kind general -n 50 -g 3 -seed 7 -out inst.json
 //	busysched solve -algo firstfit -in inst.json
 //	busysched eval -in inst.json
+//	busysched batch -algo firstfit -count 64 -kind burst -n 100000 -format csv
 package cli
 
 import (
@@ -31,6 +33,7 @@ import (
 	_ "busytime/internal/algo/portfolio"
 	_ "busytime/internal/algo/properfit"
 	"busytime/internal/core"
+	"busytime/internal/engine"
 	"busytime/internal/generator"
 	"busytime/internal/sim"
 	"busytime/internal/stats"
@@ -68,6 +71,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = c.cmdSimulate(args[1:])
 	case "convert":
 		err = c.cmdConvert(args[1:])
+	case "batch":
+		err = c.cmdBatch(args[1:])
 	case "help", "-h", "--help":
 		c.usage()
 	default:
@@ -86,13 +91,17 @@ func (c *CLI) usage() {
 	fmt.Fprintln(c.Err, `usage: busysched <command> [flags]
 
 commands:
-  generate  -kind general|proper|clique|bounded|poisson|diurnal -n N -g G -seed S [-out FILE]
+  generate  -kind general|proper|clique|bounded|poisson|diurnal|burst|waves
+            -n N -g G -seed S [-out FILE]
   solve     -algo NAME -in FILE [-out FILE] [-replay]
   eval      -in FILE
   bounds    -in FILE
   show      -in FILE [-algo NAME] [-width W]   ASCII Gantt chart + depth profile
   simulate  -in FILE [-algo NAME]              discrete-event replay report
   convert   -in FILE -out FILE                 json<->csv by extension
+  batch     -algo NAME [-workers W] [-format csv|json] [-out FILE] [-verify]
+            FILE...                            schedule instance files, or
+            -kind ... -count K -n N -g G -seed S   a generated suite
 
 registered algorithms:`)
 	for _, a := range algo.All() {
@@ -102,7 +111,7 @@ registered algorithms:`)
 
 func (c *CLI) cmdGenerate(args []string) error {
 	fs := newFlagSet(c, "generate")
-	kind := fs.String("kind", "general", "instance class: general, proper, clique, bounded")
+	kind := fs.String("kind", "general", "instance class: general, proper, clique, bounded, poisson, diurnal, burst, waves")
 	n := fs.Int("n", 50, "number of jobs")
 	g := fs.Int("g", 3, "parallelism parameter")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -113,32 +122,9 @@ func (c *CLI) cmdGenerate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var in *core.Instance
-	switch *kind {
-	case "general":
-		in = generator.General(*seed, *n, *g, *horizon, *maxLen)
-	case "proper":
-		in = generator.Proper(*seed, *n, *g, *horizon, *maxLen)
-	case "clique":
-		in = generator.Clique(*seed, *n, *g, *horizon/2, *maxLen)
-	case "bounded":
-		segs := int(*horizon / *d)
-		if segs < 1 {
-			segs = 1
-		}
-		in = generator.BoundedLength(*seed, *n, *g, segs, *d)
-	case "poisson":
-		// Rate chosen so the expected job count matches -n.
-		in = trace.Poisson(*seed, *g, float64(*n) / *horizon, *horizon, *maxLen/2)
-	case "diurnal":
-		days := int(*horizon / 24)
-		if days < 1 {
-			days = 1
-		}
-		peak := float64(*n) / (float64(days) * 12) // rough midday rate
-		in = trace.Diurnal(*seed, *g, days, peak/8, peak, *maxLen/2)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+	in, err := generateInstance(*kind, *seed, *n, *g, *horizon, *maxLen, *d)
+	if err != nil {
+		return err
 	}
 	w := io.Writer(c.Out)
 	if *out != "" {
@@ -377,6 +363,129 @@ func (c *CLI) cmdConvert(args []string) error {
 		return trace.WriteCSV(wf, inst)
 	}
 	return core.WriteInstance(wf, inst)
+}
+
+// cmdBatch runs one algorithm over a batch of instances through the
+// internal/engine fan-out and reports one CSV or JSON row per instance.
+// Instances come either from the positional file arguments or, when none are
+// given, from a generated suite (-kind/-count/-n/-g/-seed, seeds increasing
+// per instance). Generated suites stream into the engine shard by shard, so
+// arbitrarily long suites run in bounded memory.
+func (c *CLI) cmdBatch(args []string) error {
+	fs := newFlagSet(c, "batch")
+	name := fs.String("algo", "firstfit", "algorithm name (see busysched help)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	format := fs.String("format", "csv", "output format: csv or json")
+	out := fs.String("out", "", "output file (default stdout)")
+	verify := fs.Bool("verify", false, "re-verify every schedule's feasibility")
+	kind := fs.String("kind", "general", "generated suite class: general, proper, clique, bounded, poisson, diurnal, burst, waves")
+	count := fs.Int("count", 16, "generated suite size")
+	n := fs.Int("n", 1000, "jobs per generated instance")
+	g := fs.Int("g", 4, "parallelism parameter")
+	seed := fs.Int64("seed", 1, "base seed; instance i uses seed+i")
+	horizon := fs.Float64("horizon", 0, "time horizon (default n/10)")
+	maxLen := fs.Float64("maxlen", 20, "maximum (or mean, for burst/waves) job length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	opt := engine.Options{Algorithm: *name, Workers: *workers, Verify: *verify}
+
+	var results []engine.Result
+	var err error
+	if files := fs.Args(); len(files) > 0 {
+		instances := make([]*core.Instance, len(files))
+		for i, path := range files {
+			if instances[i], err = loadInstance(path); err != nil {
+				return err
+			}
+		}
+		results, err = engine.Run(instances, opt)
+	} else {
+		hz := *horizon
+		if hz <= 0 {
+			hz = float64(*n) / 10
+		}
+		i := 0
+		next := func() (*core.Instance, bool) {
+			if i >= *count {
+				return nil, false
+			}
+			in, genErr := generateInstance(*kind, *seed+int64(i), *n, *g, hz, *maxLen, *maxLen)
+			if genErr != nil {
+				err = genErr
+				return nil, false
+			}
+			i++
+			return in, true
+		}
+		var runErr error
+		results, runErr = engine.RunStream(next, opt)
+		if err == nil {
+			err = runErr
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(c.Out)
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "json" {
+		return engine.WriteJSON(w, results)
+	}
+	return engine.WriteCSV(w, results)
+}
+
+// generateInstance builds one instance of the named class; it is the single
+// switch behind both `generate` and `batch`, so the kinds and their
+// conventions cannot drift apart. d is the length bound of the bounded
+// class; the others ignore it.
+func generateInstance(kind string, seed int64, n, g int, horizon, maxLen, d float64) (*core.Instance, error) {
+	switch kind {
+	case "general":
+		return generator.General(seed, n, g, horizon, maxLen), nil
+	case "proper":
+		return generator.Proper(seed, n, g, horizon, maxLen), nil
+	case "clique":
+		return generator.Clique(seed, n, g, horizon/2, maxLen), nil
+	case "bounded":
+		segs := int(horizon / d)
+		if segs < 1 {
+			segs = 1
+		}
+		return generator.BoundedLength(seed, n, g, segs, d), nil
+	case "poisson":
+		// Rate chosen so the expected job count matches n.
+		return trace.Poisson(seed, g, float64(n)/horizon, horizon, maxLen/2), nil
+	case "diurnal":
+		days := int(horizon / 24)
+		if days < 1 {
+			days = 1
+		}
+		peak := float64(n) / (float64(days) * 12) // rough midday rate
+		return trace.Diurnal(seed, g, days, peak/8, peak, maxLen/2), nil
+	case "burst":
+		return generator.CloudBurst(seed, n, g, horizon, maxLen, 8, 0.5), nil
+	case "waves":
+		waves := 10
+		perWave := n / waves
+		if perWave < 1 {
+			perWave = 1
+		}
+		return generator.LightpathWave(seed, waves, perWave, g, horizon/float64(waves), horizon/float64(4*waves), maxLen), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
 }
 
 // newFlagSet builds a flag set that reports parse errors on the CLI's

@@ -17,16 +17,53 @@ const Unassigned = -1
 //
 // Schedule maintains one interval tree per machine so feasibility checks run
 // in O(log n + k). A demand-d job occupies d capacity slots, implemented by
-// storing d copies in the capacity tree.
+// storing d copies in the capacity tree. On top of the tree each machine
+// keeps cheap residual-capacity hints — its busy hull, its peak load, and a
+// few saturation witness points — that resolve most capacity probes in O(1)
+// without touching the tree (see CanAssign).
 type Schedule struct {
 	inst     *Instance
 	assign   []int
 	machines []*machineState
+	scratch  *Scratch
 }
+
+// hotspot is a saturation hint: the machine's load at time at is known to be
+// at least depth. Machines only ever gain jobs, so the bound stays valid for
+// the machine's lifetime; Assign tightens it as covering jobs arrive.
+type hotspot struct {
+	at    float64
+	depth int
+}
+
+// maxHotspots bounds the per-machine hint list; rejects beyond the cap evict
+// the weakest entry.
+const maxHotspots = 8
 
 type machineState struct {
 	tree *itree.Tree
 	jobs []int
+	// hull is the smallest interval containing every job on the machine
+	// (meaningless while jobs is empty). A candidate job outside the hull
+	// trivially fits.
+	hull interval.Interval
+	// peak is an upper bound on the machine's maximum demand-weighted load
+	// over all time — exact while placements go through TryAssign, which
+	// learns the true in-window load from its capacity query; plain Assign
+	// widens it conservatively instead of paying a query. A candidate with
+	// Demand ≤ g − peak trivially fits.
+	peak int
+	// hot are saturation witnesses recorded by rejected probes.
+	hot []hotspot
+}
+
+// reset clears the state for reuse, retaining allocations.
+func (st *machineState) reset() {
+	st.tree.Reset()
+	st.jobs = st.jobs[:0]
+	st.hull = interval.Interval{}
+	st.peak = 0
+	st.hot = st.hot[:0]
 }
 
 // NewSchedule returns an empty schedule (all jobs unassigned) for inst.
@@ -53,31 +90,150 @@ func (s *Schedule) MachineJobs(m int) []int { return s.machines[m].jobs }
 
 // OpenMachine creates a new empty machine and returns its index.
 func (s *Schedule) OpenMachine() int {
-	s.machines = append(s.machines, &machineState{tree: itree.New(uint64(len(s.machines) + 1))})
+	var st *machineState
+	if s.scratch != nil {
+		st = s.scratch.takeMachine(uint64(len(s.machines) + 1))
+	} else {
+		st = &machineState{tree: itree.New(uint64(len(s.machines) + 1))}
+	}
+	s.machines = append(s.machines, st)
 	return len(s.machines) - 1
 }
 
 // CanAssign reports whether job index j fits on machine m without violating
 // the capacity g at any instant (closed semantics, demand-weighted).
+//
+// The check consults the machine's residual-capacity hints before paying for
+// an interval-tree query: a job outside the busy hull always fits, a job
+// whose demand is within g − peak always fits, and a job covering a known
+// saturation point that it cannot share never fits. Probes that fall through
+// to the tree and get rejected record the rejection's witness point, so
+// repeated probing of a saturated machine converges to O(1).
 func (s *Schedule) CanAssign(j, m int) bool {
 	job := s.inst.Jobs[j]
-	used := s.machines[m].tree.MaxDepthWithin(job.Iv)
-	return used+job.Demand <= s.inst.G
+	st := s.machines[m]
+	g := s.inst.G
+	if len(st.jobs) == 0 || !job.Iv.Overlaps(st.hull) {
+		return job.Demand <= g
+	}
+	if st.peak+job.Demand <= g {
+		return true
+	}
+	for _, h := range st.hot {
+		if h.depth+job.Demand > g && job.Iv.Contains(h.at) {
+			return false
+		}
+	}
+	used, at := st.tree.MaxDepthWithinAt(job.Iv)
+	if used+job.Demand > g {
+		st.noteHot(at, used)
+		return false
+	}
+	return true
+}
+
+// noteHot records a saturation witness, evicting the shallowest entry when
+// the hint list is full.
+func (st *machineState) noteHot(at float64, depth int) {
+	for i := range st.hot {
+		if st.hot[i].at == at {
+			if depth > st.hot[i].depth {
+				st.hot[i].depth = depth
+			}
+			return
+		}
+	}
+	if len(st.hot) < maxHotspots {
+		st.hot = append(st.hot, hotspot{at, depth})
+		return
+	}
+	weakest := 0
+	for i := 1; i < len(st.hot); i++ {
+		if st.hot[i].depth < st.hot[weakest].depth {
+			weakest = i
+		}
+	}
+	if depth > st.hot[weakest].depth {
+		st.hot[weakest] = hotspot{at, depth}
+	}
 }
 
 // Assign places job index j on machine m. It panics if the job is already
 // assigned or the machine does not exist; it does not re-check capacity
 // (algorithms call CanAssign, and Verify re-checks everything).
+//
+// Assign keeps the peak hint a sound upper bound without querying the tree:
+// a job overlapping the busy hull can raise the true peak by at most its
+// demand. TryAssign is the path that keeps peak exact for free.
 func (s *Schedule) Assign(j, m int) {
+	st := s.machines[m]
+	job := s.inst.Jobs[j]
+	used := 0
+	if len(st.jobs) > 0 && job.Iv.Overlaps(st.hull) {
+		used = st.peak
+	}
+	s.insert(st, j, m, used)
+}
+
+// TryAssign atomically checks capacity and, when job index j fits machine m,
+// assigns it there, reporting success. It is the hot path of greedy
+// schedulers: a successful placement costs at most one tree query (shared
+// between the check and the hint update), and most probes resolve on the
+// hints alone.
+func (s *Schedule) TryAssign(j, m int) bool {
+	st := s.machines[m]
+	job := s.inst.Jobs[j]
+	g := s.inst.G
+	if len(st.jobs) == 0 || !job.Iv.Overlaps(st.hull) {
+		if job.Demand > g {
+			return false
+		}
+		s.insert(st, j, m, 0)
+		return true
+	}
+	if st.peak+job.Demand > g {
+		for _, h := range st.hot {
+			if h.depth+job.Demand > g && job.Iv.Contains(h.at) {
+				return false
+			}
+		}
+	}
+	used, at := st.tree.MaxDepthWithinAt(job.Iv)
+	if used+job.Demand > g {
+		st.noteHot(at, used)
+		return false
+	}
+	s.insert(st, j, m, used)
+	return true
+}
+
+// insert performs the bookkeeping of placing job index j on machine state st
+// (machine index m): capacity-tree copies, assignment map, and the hint
+// update. used must be at least the machine's maximum load within the job's
+// window before insertion (exact keeps peak exact; an upper bound keeps it
+// sound).
+func (s *Schedule) insert(st *machineState, j, m, used int) {
 	if s.assign[j] != Unassigned {
 		panic(fmt.Sprintf("core: job index %d already assigned to machine %d", j, s.assign[j]))
 	}
 	job := s.inst.Jobs[j]
-	st := s.machines[m]
 	for d := 0; d < job.Demand; d++ {
 		st.tree.Insert(itree.Item{Iv: job.Iv, ID: j})
 	}
+	if len(st.jobs) == 0 {
+		st.hull = job.Iv
+	} else {
+		st.hull = st.hull.Hull(job.Iv)
+	}
 	st.jobs = append(st.jobs, j)
+	if used+job.Demand > st.peak {
+		st.peak = used + job.Demand
+	}
+	for i := range st.hot {
+		if job.Iv.Contains(st.hot[i].at) {
+			st.hot[i].depth += job.Demand
+		}
+	}
 	s.assign[j] = m
 }
 

@@ -1,0 +1,56 @@
+package core
+
+import "busytime/internal/itree"
+
+// Scratch recycles the allocations behind a Schedule — the assignment slice,
+// the per-machine states, and their interval trees (node pools included) —
+// across the many instances of a batch. A worker that schedules a stream of
+// instances through one Scratch stops allocating once warm.
+//
+// Contract: NewSchedule reclaims everything handed out by the previous
+// NewSchedule call on the same Scratch, so at most one schedule per Scratch
+// is live at a time. Callers must extract whatever they need from a schedule
+// (cost, machine count, assignment, …) before requesting the next one.
+// A Scratch must not be shared between goroutines.
+type Scratch struct {
+	assign   []int
+	machines []*machineState
+	pool     []*machineState
+	last     *Schedule
+}
+
+// NewSchedule returns an empty schedule for inst backed by this scratch,
+// invalidating the schedule returned by the previous call.
+func (sc *Scratch) NewSchedule(inst *Instance) *Schedule {
+	if sc.last != nil {
+		for _, st := range sc.last.machines {
+			st.reset()
+			sc.pool = append(sc.pool, st)
+		}
+		sc.machines = sc.last.machines[:0]
+		sc.last.machines = nil
+		sc.last.scratch = nil
+	}
+	n := inst.N()
+	if cap(sc.assign) < n {
+		sc.assign = make([]int, n)
+	}
+	assign := sc.assign[:n]
+	for i := range assign {
+		assign[i] = Unassigned
+	}
+	s := &Schedule{inst: inst, assign: assign, machines: sc.machines[:0], scratch: sc}
+	sc.last = s
+	return s
+}
+
+// takeMachine pops a recycled machine state or builds a fresh one seeded for
+// the given machine index.
+func (sc *Scratch) takeMachine(seed uint64) *machineState {
+	if k := len(sc.pool); k > 0 {
+		st := sc.pool[k-1]
+		sc.pool = sc.pool[:k-1]
+		return st
+	}
+	return &machineState{tree: itree.New(seed)}
+}

@@ -1,0 +1,164 @@
+// Package engine runs registered scheduling algorithms over batches and
+// streams of instances at high throughput: instances are fanned out across
+// workers with the internal/parallel primitives, each worker recycles one
+// core.Scratch so warm workers stop allocating schedule state, and results
+// land in input order so a parallel run is byte-identical to a sequential
+// one.
+//
+// The engine reports per-instance summaries (machines, cost, lower bound,
+// ratio) rather than retaining schedules: retaining every schedule of a
+// 100k-job batch would defeat the scratch reuse that makes the engine fast.
+// Callers that need a specific schedule re-run that instance directly.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"busytime/internal/algo"
+	"busytime/internal/core"
+	"busytime/internal/parallel"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Algorithm is the algo.Register-ed name to run (required).
+	Algorithm string
+	// Workers is the fan-out width; ≤ 0 means GOMAXPROCS. Results do not
+	// depend on it.
+	Workers int
+	// ShardSize is the number of instances drained from a stream per
+	// parallel shard (default 64). Irrelevant to Run.
+	ShardSize int
+	// Verify re-checks every schedule's feasibility (capacity at every
+	// instant, totality) and reports violations as per-instance errors.
+	Verify bool
+}
+
+func (o Options) shardSize() int {
+	if o.ShardSize <= 0 {
+		return 64
+	}
+	return o.ShardSize
+}
+
+// Result is the summary of scheduling one instance.
+type Result struct {
+	// Index is the instance's position in the batch or stream.
+	Index int `json:"index"`
+	// Name echoes Instance.Name.
+	Name string `json:"name"`
+	// N and G are the instance's size and parallelism.
+	N int `json:"n"`
+	G int `json:"g"`
+	// Machines and Cost describe the produced schedule.
+	Machines int     `json:"machines"`
+	Cost     float64 `json:"cost"`
+	// LowerBound is the fractional lower bound ∫⌈N_t/g⌉dt and Ratio is
+	// Cost/LowerBound (0 when the bound is 0).
+	LowerBound float64 `json:"lower_bound"`
+	Ratio      float64 `json:"ratio"`
+	// Err is non-empty when the algorithm panicked or, under
+	// Options.Verify, produced an infeasible schedule; the other schedule
+	// fields are then zero.
+	Err string `json:"err,omitempty"`
+}
+
+// Run schedules every instance with the named algorithm and returns one
+// result per instance, in input order. Per-instance failures (panics,
+// verification errors) are recorded in Result.Err and do not abort the
+// batch; Run itself errors only on an unknown algorithm name.
+func Run(instances []*core.Instance, opt Options) ([]Result, error) {
+	a, ok := algo.Lookup(opt.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q", opt.Algorithm)
+	}
+	return runShard(a, instances, 0, opt), nil
+}
+
+// RunStream drains the instance stream next (which reports ok=false when
+// exhausted), scheduling it shard by shard: each shard of Options.ShardSize
+// instances is fanned out across the workers while the results of previous
+// shards accumulate in arrival order. The output is identical to collecting
+// the stream into a slice and calling Run.
+func RunStream(next func() (*core.Instance, bool), opt Options) ([]Result, error) {
+	a, ok := algo.Lookup(opt.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q", opt.Algorithm)
+	}
+	var out []Result
+	shard := make([]*core.Instance, 0, opt.shardSize())
+	for {
+		shard = shard[:0]
+		for len(shard) < cap(shard) {
+			in, ok := next()
+			if !ok {
+				break
+			}
+			shard = append(shard, in)
+		}
+		if len(shard) == 0 {
+			return out, nil
+		}
+		out = append(out, runShard(a, shard, len(out), opt)...)
+	}
+}
+
+// runShard fans the instances out across workers. Each worker leases a
+// core.Scratch from a shared pool for the duration of one instance, so the
+// number of live scratches equals the worker count and every schedule's
+// state is recycled.
+func runShard(a algo.Algorithm, instances []*core.Instance, base int, opt Options) []Result {
+	// Resolve the worker count here and pass the same value to parallel.Map,
+	// so the scratch pool can never be smaller than the set of goroutines
+	// competing for it.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratches := make(chan *core.Scratch, workers)
+	for i := 0; i < workers; i++ {
+		scratches <- new(core.Scratch)
+	}
+	return parallel.Map(len(instances), workers, func(i int) Result {
+		sc := <-scratches
+		defer func() { scratches <- sc }()
+		return runOne(a, instances[i], base+i, sc, opt.Verify)
+	})
+}
+
+// runOne schedules a single instance, converting panics to Result.Err so a
+// malformed instance cannot take down the batch.
+func runOne(a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool) (res Result) {
+	res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Err: fmt.Sprint(r)}
+		}
+	}()
+	var s *core.Schedule
+	if a.RunScratch != nil {
+		s = a.RunScratch(in, sc)
+	} else {
+		s = a.Run(in)
+	}
+	if verify {
+		if err := s.Verify(); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	res.Machines = s.NumMachines()
+	res.Cost = s.Cost()
+	res.LowerBound = core.BestBound(in)
+	if res.LowerBound > 0 {
+		res.Ratio = res.Cost / res.LowerBound
+	}
+	return res
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"busytime/internal/algo"
+	_ "busytime/internal/algo/baselines"
+	_ "busytime/internal/algo/firstfit"
+	_ "busytime/internal/algo/properfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+)
+
+// mixedBatch builds a batch spanning every generator family the engine is
+// meant to serve. All randomness derives from the per-index seed, matching
+// the seeded-PRNG convention of internal/experiments.
+func mixedBatch(n int) []*core.Instance {
+	out := make([]*core.Instance, 0, 4*n)
+	for i := 0; i < n; i++ {
+		seed := int64(1000 + i)
+		out = append(out,
+			generator.General(seed, 300, 3, 200, 25),
+			generator.Proper(seed, 200, 4, 150, 20),
+			generator.CloudBurst(seed, 400, 8, 500, 12, 5, 0.6),
+			generator.LightpathWave(seed, 8, 40, 6, 50, 20, 15),
+		)
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the engine's determinism contract: a
+// parallel batch run must produce byte-identical CSV and JSON output to a
+// sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	batch := mixedBatch(8)
+	seq, err := Run(batch, Options{Algorithm: "firstfit", Workers: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(batch, Options{Algorithm: "firstfit", Workers: 8, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqCSV, parCSV, seqJSON, parJSON bytes.Buffer
+	if err := WriteCSV(&seqCSV, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&parCSV, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqCSV.Bytes(), parCSV.Bytes()) {
+		t.Errorf("parallel CSV differs from sequential:\nseq:\n%s\npar:\n%s", seqCSV.String(), parCSV.String())
+	}
+	if err := WriteJSON(&seqJSON, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&parJSON, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Error("parallel JSON differs from sequential")
+	}
+	for _, r := range seq {
+		if r.Err != "" {
+			t.Errorf("instance %d (%s): %s", r.Index, r.Name, r.Err)
+		}
+		if r.Machines == 0 || r.Cost <= 0 {
+			t.Errorf("instance %d (%s): empty result %+v", r.Index, r.Name, r)
+		}
+		if r.LowerBound <= 0 || r.Ratio < 1-1e-9 {
+			t.Errorf("instance %d (%s): cost %.4f below lower bound %.4f", r.Index, r.Name, r.Cost, r.LowerBound)
+		}
+	}
+}
+
+// TestStreamMatchesBatch checks that sharded stream processing returns the
+// same results as the slice API.
+func TestStreamMatchesBatch(t *testing.T) {
+	batch := mixedBatch(5)
+	want, err := Run(batch, Options{Algorithm: "firstfit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	next := func() (*core.Instance, bool) {
+		if i >= len(batch) {
+			return nil, false
+		}
+		in := batch[i]
+		i++
+		return in, true
+	}
+	// ShardSize 7 does not divide the batch, exercising the partial shard.
+	got, err := RunStream(next, Options{Algorithm: "firstfit", ShardSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream returned %d results, want %d", len(got), len(want))
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Errorf("result %d: stream %+v != batch %+v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestScratchReuseMatchesFresh pins down that RunScratch recycling does not
+// change any result: a worker pool of one scratch (Workers=1) processing
+// many instances must agree with fresh per-instance scheduling.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	a, ok := algo.Lookup("firstfit")
+	if !ok {
+		t.Fatal("firstfit not registered")
+	}
+	if a.RunScratch == nil {
+		t.Fatal("firstfit has no RunScratch fast path")
+	}
+	batch := mixedBatch(4)
+	got, err := Run(batch, Options{Algorithm: "firstfit", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range batch {
+		s := a.Run(in)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if got[i].Machines != s.NumMachines() || got[i].Cost != s.Cost() {
+			t.Errorf("instance %d (%s): scratch run (%d machines, cost %.6f) != fresh run (%d machines, cost %.6f)",
+				i, in.Name, got[i].Machines, got[i].Cost, s.NumMachines(), s.Cost())
+		}
+	}
+}
+
+// TestRunWithoutScratchPath covers algorithms that only provide Run.
+func TestRunWithoutScratchPath(t *testing.T) {
+	batch := mixedBatch(2)
+	res, err := Run(batch, Options{Algorithm: "nextfit", Workers: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != "" {
+			t.Errorf("instance %d: %s", r.Index, r.Err)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(nil, Options{Algorithm: "no-such-algo"}); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+	if _, err := RunStream(func() (*core.Instance, bool) { return nil, false }, Options{Algorithm: "no-such-algo"}); err == nil {
+		t.Error("expected error for unknown algorithm (stream)")
+	}
+}
+
+// TestPanicIsolated checks that one panicking instance is reported in its
+// result without poisoning the rest of the batch.
+func TestPanicIsolated(t *testing.T) {
+	bad := &core.Instance{Name: "bad", G: 0} // g < 1 makes every placement impossible
+	batch := []*core.Instance{generator.General(1, 50, 3, 100, 10), bad, generator.General(2, 50, 3, 100, 10)}
+	res, err := Run(batch, Options{Algorithm: "firstfit", Workers: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != "" || res[2].Err != "" {
+		t.Errorf("healthy instances affected: %q, %q", res[0].Err, res[2].Err)
+	}
+	if res[1].Err == "" {
+		t.Error("bad instance reported no error")
+	}
+	if !strings.Contains(res[1].Name, "bad") {
+		t.Errorf("bad result misattributed: %+v", res[1])
+	}
+}

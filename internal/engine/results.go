@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the results as CSV with a header row. Floats use the
+// shortest round-trip representation, so output is byte-stable across runs
+// and worker counts.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "name", "n", "g", "machines", "cost", "lower_bound", "ratio", "err"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.Itoa(r.Index),
+			r.Name,
+			strconv.Itoa(r.N),
+			strconv.Itoa(r.G),
+			strconv.Itoa(r.Machines),
+			strconv.FormatFloat(r.Cost, 'g', -1, 64),
+			strconv.FormatFloat(r.LowerBound, 'g', -1, 64),
+			strconv.FormatFloat(r.Ratio, 'g', -1, 64),
+			r.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the results as an indented JSON array.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -16,8 +16,8 @@ import (
 )
 
 // Ablations returns the design-choice ablation experiments (DESIGN.md §4,
-// "Ablations" in EXPERIMENTS.md). They are extensions, not paper artifacts,
-// so they are listed separately from All().
+// "Ablations"). They are extensions, not paper artifacts, so they are
+// listed separately from All().
 func Ablations() []Experiment {
 	return []Experiment{
 		{"A1", "ablation: job ordering in FirstFit", A1Ordering},

@@ -1,9 +1,9 @@
 // Package experiments implements the paper-reproduction harness: one
-// experiment per quantitative artifact of the paper (see DESIGN.md §4 and
-// EXPERIMENTS.md). Each experiment generates its workload, runs the paper's
-// algorithm and the relevant baselines, and reports a table whose rows match
-// what EXPERIMENTS.md records, plus key metrics that the test suite asserts
-// on (approximation guarantees must hold on every measured instance).
+// experiment per quantitative artifact of the paper (see DESIGN.md §4).
+// Each experiment generates its workload, runs the paper's algorithm and
+// the relevant baselines, and reports a table of the measured ratios, plus
+// key metrics that the test suite asserts on (approximation guarantees must
+// hold on every measured instance).
 //
 // The paper is an approximation-algorithms paper: its "figures" are proof
 // illustrations and its evaluation artifacts are theorems. Every theorem is

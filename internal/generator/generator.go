@@ -150,6 +150,73 @@ func Laminar(seed int64, g, roots, maxChildren, maxDepth int, rootLen float64) *
 	return in
 }
 
+// CloudBurst returns a cloud-trace-like instance of n jobs over [0, horizon):
+// a uniform background load punctuated by `bursts` short arrival storms, the
+// pattern of batch jobs piling onto a cluster. A burstFrac fraction of the
+// jobs starts inside a randomly placed burst window of width horizon/(4·
+// bursts), and job lengths are exponential with mean meanLen (capped at
+// 10·meanLen so instances stay bounded). Deterministic in its inputs.
+func CloudBurst(seed int64, n, g int, horizon, meanLen float64, bursts int, burstFrac float64) *core.Instance {
+	if bursts < 1 {
+		bursts = 1
+	}
+	if burstFrac < 0 {
+		burstFrac = 0
+	}
+	if burstFrac > 1 {
+		burstFrac = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	centers := make([]float64, bursts)
+	for i := range centers {
+		centers[i] = r.Float64() * horizon
+	}
+	width := horizon / float64(4*bursts)
+	ivs := make([]interval.Interval, n)
+	for i := range ivs {
+		var s float64
+		if r.Float64() < burstFrac {
+			c := centers[r.Intn(bursts)]
+			s = c + (r.Float64()-0.5)*width
+			if s < 0 {
+				s = 0
+			}
+		} else {
+			s = r.Float64() * horizon
+		}
+		l := r.ExpFloat64() * meanLen
+		if l > 10*meanLen {
+			l = 10 * meanLen
+		}
+		ivs[i] = interval.New(s, s+l)
+	}
+	in := core.NewInstance(g, ivs...)
+	in.Name = fmt.Sprintf("cloudburst(seed=%d,n=%d,g=%d,bursts=%d)", seed, n, g, bursts)
+	return in
+}
+
+// LightpathWave returns an optical-network-like instance: lightpath requests
+// arrive in `waves` (think scheduled backup or data-migration windows), wave
+// w centered at w·period with its perWave requests' starts spread uniformly
+// over [center, center+spread] and holding times uniform in (0, 2·meanLen].
+// With g interpreted as the number of wavelengths groomable onto one fiber,
+// minimizing busy time minimizes total fiber activation, the §4 application.
+// Deterministic in its inputs.
+func LightpathWave(seed int64, waves, perWave, g int, period, spread, meanLen float64) *core.Instance {
+	r := rand.New(rand.NewSource(seed))
+	ivs := make([]interval.Interval, 0, waves*perWave)
+	for w := 0; w < waves; w++ {
+		center := float64(w) * period
+		for k := 0; k < perWave; k++ {
+			s := center + r.Float64()*spread
+			ivs = append(ivs, interval.New(s, s+r.Float64()*2*meanLen))
+		}
+	}
+	in := core.NewInstance(g, ivs...)
+	in.Name = fmt.Sprintf("lightwave(seed=%d,waves=%d,per=%d,g=%d)", seed, waves, perWave, g)
+	return in
+}
+
 // Fig4 builds the lower-bound family of Theorem 2.4 (Fig. 4) for parallelism
 // g ≥ 2 and 0 < epsPrime < 1/2, together with the adversarial processing
 // order under which FirstFit uses g machines over [0, 3−2ε′].

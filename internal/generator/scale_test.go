@@ -1,0 +1,71 @@
+package generator
+
+import (
+	"testing"
+)
+
+func TestCloudBurstDeterministicAndValid(t *testing.T) {
+	a := CloudBurst(5, 500, 8, 1000, 12, 6, 0.5)
+	b := CloudBurst(5, 500, 8, 1000, 12, 6, 0.5)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 500 || a.G != 8 {
+		t.Fatalf("n=%d g=%d, want 500/8", a.N(), a.G)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs across identical seeds: %v vs %v", i, a.Jobs[i], b.Jobs[i])
+		}
+		if l := a.Jobs[i].Len(); l < 0 || l > 120 {
+			t.Fatalf("job %d length %v outside [0, 10·meanLen]", i, l)
+		}
+		if a.Jobs[i].Iv.Start < 0 {
+			t.Fatalf("job %d starts before 0: %v", i, a.Jobs[i].Iv)
+		}
+	}
+	if c := CloudBurst(6, 500, 8, 1000, 12, 6, 0.5); c.Jobs[0] == a.Jobs[0] && c.Jobs[1] == a.Jobs[1] {
+		t.Error("different seeds produced identical leading jobs")
+	}
+	// A burst-heavy instance should be measurably deeper than a uniform one
+	// of the same size: bursts are the point of the family.
+	uniform := CloudBurst(5, 500, 8, 1000, 12, 6, 0)
+	if a.Set().MaxDepth() <= uniform.Set().MaxDepth() {
+		t.Errorf("burst instance depth %d not above uniform depth %d",
+			a.Set().MaxDepth(), uniform.Set().MaxDepth())
+	}
+}
+
+func TestCloudBurstClampsParams(t *testing.T) {
+	in := CloudBurst(1, 50, 4, 100, 5, 0, 1.5) // bursts < 1 and frac > 1 clamp
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 50 {
+		t.Fatalf("n = %d, want 50", in.N())
+	}
+}
+
+func TestLightpathWaveDeterministicAndValid(t *testing.T) {
+	a := LightpathWave(9, 6, 50, 4, 100, 30, 20)
+	b := LightpathWave(9, 6, 50, 4, 100, 30, 20)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 300 {
+		t.Fatalf("n = %d, want waves·perWave = 300", a.N())
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+	// Wave w's starts lie in [w·period, w·period+spread].
+	for i, j := range a.Jobs {
+		w := i / 50
+		lo, hi := float64(w)*100, float64(w)*100+30
+		if j.Iv.Start < lo || j.Iv.Start > hi {
+			t.Fatalf("job %d of wave %d starts at %v, outside [%v, %v]", i, w, j.Iv.Start, lo, hi)
+		}
+	}
+}

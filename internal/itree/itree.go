@@ -3,11 +3,17 @@
 // deletion, stabbing queries and window-overlap queries in expected
 // O(log n + k) time, where k is the number of reported items.
 //
-// Schedulers use one tree per machine to find the jobs that conflict with a
-// candidate job without scanning the machine's whole job list.
+// Nodes live in a per-tree arena (a contiguous slice addressed by index)
+// rather than behind individual pointers: traversals stay cache-local, the
+// garbage collector sees one allocation per tree, and Reset is an O(1)
+// truncation that retains the arena for reuse. Schedulers use one tree per
+// machine to find the jobs that conflict with a candidate job without
+// scanning the machine's whole job list.
 package itree
 
 import (
+	"slices"
+
 	"busytime/internal/interval"
 )
 
@@ -17,19 +23,29 @@ type Item struct {
 	ID int
 }
 
+// node is an arena slot. left and right are arena indices; index 0 is the
+// shared sentinel playing the role of nil, with size 0 and maxEnd -inf so
+// child lookups need no branching.
 type node struct {
 	item        Item
 	priority    uint64
 	maxEnd      float64
-	size        int
-	left, right *node
+	size        int32
+	left, right int32
 }
 
 // Tree is a dynamic interval tree. The zero value is an empty tree ready to
 // use. Tree is not safe for concurrent mutation.
 type Tree struct {
-	root *node
-	rng  uint64
+	nodes []node  // arena; nodes[0] is the sentinel, root 0 means empty
+	free  []int32 // slots released by Delete, reused before the arena grows
+	root  int32
+	rng   uint64
+	// Scratch buffers reused by MaxDepthWithinAt so the hot capacity check
+	// of schedulers does not allocate once the tree is warm.
+	qbuf []Item
+	sbuf []float64
+	ebuf []float64
 }
 
 // New returns an empty tree. Equivalent to new(Tree) but allows seeding the
@@ -54,33 +70,53 @@ func (t *Tree) nextPriority() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Len returns the number of items in the tree.
-func (t *Tree) Len() int { return size(t.root) }
-
-func size(n *node) int {
-	if n == nil {
-		return 0
-	}
-	return n.size
-}
-
-func maxEnd(n *node) float64 {
-	if n == nil {
-		return negInf
-	}
-	return n.maxEnd
-}
-
 const negInf = -1.7976931348623157e308
 
-func (n *node) update() {
-	n.size = 1 + size(n.left) + size(n.right)
-	n.maxEnd = n.item.Iv.End
-	if m := maxEnd(n.left); m > n.maxEnd {
-		n.maxEnd = m
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int {
+	if t.root == 0 {
+		return 0
 	}
-	if m := maxEnd(n.right); m > n.maxEnd {
-		n.maxEnd = m
+	return int(t.nodes[t.root].size)
+}
+
+// Reset removes every item in O(1) while retaining the arena, so a warm tree
+// that is repeatedly filled and Reset stops allocating and refills its nodes
+// contiguously. Schedulers use this to recycle per-machine trees across the
+// instances of a batch.
+func (t *Tree) Reset() {
+	if len(t.nodes) > 0 {
+		t.nodes = t.nodes[:1]
+	}
+	t.free = t.free[:0]
+	t.root = 0
+}
+
+// newNode reserves an arena slot for it and returns the slot's index.
+func (t *Tree) newNode(it Item) int32 {
+	if len(t.nodes) == 0 {
+		// Materialize the sentinel on first use so the zero Tree works.
+		t.nodes = append(t.nodes, node{maxEnd: negInf})
+	}
+	if k := len(t.free); k > 0 {
+		idx := t.free[k-1]
+		t.free = t.free[:k-1]
+		t.nodes[idx] = node{item: it, priority: t.nextPriority(), maxEnd: it.Iv.End, size: 1}
+		return idx
+	}
+	t.nodes = append(t.nodes, node{item: it, priority: t.nextPriority(), maxEnd: it.Iv.End, size: 1})
+	return int32(len(t.nodes) - 1)
+}
+
+func (t *Tree) update(n int32) {
+	nd := &t.nodes[n]
+	nd.size = 1 + t.nodes[nd.left].size + t.nodes[nd.right].size
+	nd.maxEnd = nd.item.Iv.End
+	if m := t.nodes[nd.left].maxEnd; m > nd.maxEnd {
+		nd.maxEnd = m
+	}
+	if m := t.nodes[nd.right].maxEnd; m > nd.maxEnd {
+		nd.maxEnd = m
 	}
 }
 
@@ -97,33 +133,33 @@ func less(a, b Item) bool {
 }
 
 // split partitions n into (< pivot, ≥ pivot).
-func split(n *node, pivot Item) (l, r *node) {
-	if n == nil {
-		return nil, nil
+func (t *Tree) split(n int32, pivot Item) (l, r int32) {
+	if n == 0 {
+		return 0, 0
 	}
-	if less(n.item, pivot) {
-		n.right, r = split(n.right, pivot)
-		n.update()
+	if less(t.nodes[n].item, pivot) {
+		t.nodes[n].right, r = t.split(t.nodes[n].right, pivot)
+		t.update(n)
 		return n, r
 	}
-	l, n.left = split(n.left, pivot)
-	n.update()
+	l, t.nodes[n].left = t.split(t.nodes[n].left, pivot)
+	t.update(n)
 	return l, n
 }
 
-func merge(l, r *node) *node {
+func (t *Tree) merge(l, r int32) int32 {
 	switch {
-	case l == nil:
+	case l == 0:
 		return r
-	case r == nil:
+	case r == 0:
 		return l
-	case l.priority > r.priority:
-		l.right = merge(l.right, r)
-		l.update()
+	case t.nodes[l].priority > t.nodes[r].priority:
+		t.nodes[l].right = t.merge(t.nodes[l].right, r)
+		t.update(l)
 		return l
 	default:
-		r.left = merge(l, r.left)
-		r.update()
+		t.nodes[r].left = t.merge(l, t.nodes[r].left)
+		t.update(r)
 		return r
 	}
 }
@@ -131,111 +167,110 @@ func merge(l, r *node) *node {
 // Insert adds an item to the tree. Duplicate intervals (even with equal IDs)
 // are stored as separate items.
 func (t *Tree) Insert(it Item) {
-	nn := &node{item: it, priority: t.nextPriority()}
-	nn.update()
-	l, r := split(t.root, it)
-	t.root = merge(merge(l, nn), r)
+	nn := t.newNode(it)
+	l, r := t.split(t.root, it)
+	t.root = t.merge(t.merge(l, nn), r)
 }
 
 // Delete removes one item equal to it (same interval and ID). It reports
 // whether an item was removed.
 func (t *Tree) Delete(it Item) bool {
 	var removed bool
-	t.root = deleteNode(t.root, it, &removed)
+	t.root = t.deleteNode(t.root, it, &removed)
 	return removed
 }
 
-func deleteNode(n *node, it Item, removed *bool) *node {
-	if n == nil {
-		return nil
+func (t *Tree) deleteNode(n int32, it Item, removed *bool) int32 {
+	if n == 0 {
+		return 0
 	}
 	switch {
-	case n.item == it && !*removed:
+	case t.nodes[n].item == it && !*removed:
 		*removed = true
-		return merge(n.left, n.right)
-	case less(it, n.item):
-		n.left = deleteNode(n.left, it, removed)
+		m := t.merge(t.nodes[n].left, t.nodes[n].right)
+		t.free = append(t.free, n)
+		return m
+	case less(it, t.nodes[n].item):
+		t.nodes[n].left = t.deleteNode(t.nodes[n].left, it, removed)
 	default:
-		n.right = deleteNode(n.right, it, removed)
+		t.nodes[n].right = t.deleteNode(t.nodes[n].right, it, removed)
 	}
-	n.update()
+	t.update(n)
 	return n
 }
 
 // Stab appends to dst every item whose closed interval contains t and
 // returns the extended slice.
 func (t *Tree) Stab(dst []Item, pt float64) []Item {
-	return stab(t.root, dst, pt)
+	return t.stab(t.root, dst, pt)
 }
 
-func stab(n *node, dst []Item, pt float64) []Item {
-	if n == nil || n.maxEnd < pt {
-		return dst
-	}
-	dst = stab(n.left, dst, pt)
-	if n.item.Iv.Contains(pt) {
-		dst = append(dst, n.item)
-	}
-	if n.item.Iv.Start <= pt {
-		dst = stab(n.right, dst, pt)
+func (t *Tree) stab(n int32, dst []Item, pt float64) []Item {
+	for n != 0 {
+		nd := &t.nodes[n]
+		if nd.maxEnd < pt {
+			return dst
+		}
+		dst = t.stab(nd.left, dst, pt)
+		if nd.item.Iv.Contains(pt) {
+			dst = append(dst, nd.item)
+		}
+		if nd.item.Iv.Start > pt {
+			return dst
+		}
+		n = nd.right
 	}
 	return dst
 }
 
 // Overlapping appends to dst every item whose closed interval intersects w
-// (touching counts) and returns the extended slice.
+// (touching counts) and returns the extended slice. Items are reported in
+// (start, end, id) order.
 func (t *Tree) Overlapping(dst []Item, w interval.Interval) []Item {
-	return overlapping(t.root, dst, w)
+	return t.overlapping(t.root, dst, w)
 }
 
-func overlapping(n *node, dst []Item, w interval.Interval) []Item {
-	if n == nil || n.maxEnd < w.Start {
-		return dst
-	}
-	dst = overlapping(n.left, dst, w)
-	if n.item.Iv.Overlaps(w) {
-		dst = append(dst, n.item)
-	}
-	if n.item.Iv.Start <= w.End {
-		dst = overlapping(n.right, dst, w)
+func (t *Tree) overlapping(n int32, dst []Item, w interval.Interval) []Item {
+	// The right spine is walked iteratively so recursion depth only covers
+	// left descents.
+	for n != 0 {
+		nd := &t.nodes[n]
+		if nd.maxEnd < w.Start {
+			return dst
+		}
+		dst = t.overlapping(nd.left, dst, w)
+		if nd.item.Iv.Overlaps(w) {
+			dst = append(dst, nd.item)
+		}
+		if nd.item.Iv.Start > w.End {
+			return dst
+		}
+		n = nd.right
 	}
 	return dst
 }
 
 // AnyOverlap reports whether any stored interval intersects w.
 func (t *Tree) AnyOverlap(w interval.Interval) bool {
-	n := t.root
-	for n != nil {
-		if n.maxEnd < w.Start {
-			return false
-		}
-		if n.item.Iv.Overlaps(w) {
-			return true
-		}
-		if anyOverlap(n.left, w) {
-			return true
-		}
-		if n.item.Iv.Start > w.End {
-			n = n.left
-			continue
-		}
-		n = n.right
-	}
-	return false
+	return t.anyOverlap(t.root, w)
 }
 
-func anyOverlap(n *node, w interval.Interval) bool {
-	if n == nil || n.maxEnd < w.Start {
-		return false
-	}
-	if n.item.Iv.Overlaps(w) {
-		return true
-	}
-	if anyOverlap(n.left, w) {
-		return true
-	}
-	if n.item.Iv.Start <= w.End {
-		return anyOverlap(n.right, w)
+func (t *Tree) anyOverlap(n int32, w interval.Interval) bool {
+	for n != 0 {
+		nd := &t.nodes[n]
+		if nd.maxEnd < w.Start {
+			return false
+		}
+		if nd.item.Iv.Overlaps(w) {
+			return true
+		}
+		if t.anyOverlap(nd.left, w) {
+			return true
+		}
+		if nd.item.Iv.Start > w.End {
+			return false
+		}
+		n = nd.right
 	}
 	return false
 }
@@ -243,33 +278,72 @@ func anyOverlap(n *node, w interval.Interval) bool {
 // Items appends all stored items in (start, end, id) order to dst and
 // returns the extended slice.
 func (t *Tree) Items(dst []Item) []Item {
-	var walk func(*node)
-	walk = func(n *node) {
-		if n == nil {
+	var walk func(int32)
+	walk = func(n int32) {
+		if n == 0 {
 			return
 		}
-		walk(n.left)
-		dst = append(dst, n.item)
-		walk(n.right)
+		walk(t.nodes[n].left)
+		dst = append(dst, t.nodes[n].item)
+		walk(t.nodes[n].right)
 	}
 	walk(t.root)
 	return dst
 }
 
 // MaxDepthWithin returns the maximum number of stored intervals
-// simultaneously active at any point of the closed window w. It collects the
-// overlapping items and runs a sweep clipped to w; touching intervals count
-// together (closed semantics), matching machine-capacity checks.
+// simultaneously active at any point of the closed window w. Touching
+// intervals count together (closed semantics), matching machine-capacity
+// checks.
 func (t *Tree) MaxDepthWithin(w interval.Interval) int {
-	items := t.Overlapping(nil, w)
-	if len(items) == 0 {
-		return 0
+	d, _ := t.MaxDepthWithinAt(w)
+	return d
+}
+
+// MaxDepthWithinAt is MaxDepthWithin returning additionally a witness point
+// at ∈ w where the maximum depth is attained (at is 0 when the depth is 0).
+// Because schedulers only ever add intervals, the depth at the witness point
+// can never decrease later, which makes (at, depth) a durable saturation hint
+// for capacity pruning. The query reuses internal scratch buffers and does
+// not allocate once the tree is warm; it must not be called concurrently.
+func (t *Tree) MaxDepthWithinAt(w interval.Interval) (depth int, at float64) {
+	t.qbuf = t.Overlapping(t.qbuf[:0], w)
+	if len(t.qbuf) == 0 {
+		return 0, 0
 	}
-	set := make(interval.Set, 0, len(items))
-	for _, it := range items {
-		if x, ok := it.Iv.Intersect(w); ok {
-			set = append(set, x)
+	starts, ends := t.sbuf[:0], t.ebuf[:0]
+	for _, it := range t.qbuf {
+		// Every reported item overlaps w; clip it to the window.
+		s, e := it.Iv.Start, it.Iv.End
+		if s < w.Start {
+			s = w.Start
+		}
+		if e > w.End {
+			e = w.End
+		}
+		starts = append(starts, s)
+		ends = append(ends, e)
+	}
+	t.sbuf, t.ebuf = starts, ends
+	// Overlapping reports items in (start, end, id) order and clipping to
+	// max(start, w.Start) preserves that order, so only the ends need
+	// sorting; the sweep is then a two-pointer merge. Processing starts
+	// first at equal coordinates gives closed semantics: a job ending at t
+	// and one starting at t are both active at t.
+	slices.Sort(ends)
+	cur, best := 0, 0
+	for i, j := 0, 0; i < len(starts); {
+		if starts[i] <= ends[j] {
+			cur++
+			if cur > best {
+				best = cur
+				at = starts[i]
+			}
+			i++
+		} else {
+			cur--
+			j++
 		}
 	}
-	return set.MaxDepth()
+	return best, at
 }

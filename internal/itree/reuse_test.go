@@ -1,0 +1,113 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+
+	"busytime/internal/interval"
+)
+
+func randItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		s := r.Float64() * 40
+		items[i] = Item{Iv: interval.New(s, s+r.Float64()*10), ID: i}
+	}
+	return items
+}
+
+// refDepthWithin recomputes MaxDepthWithin naively from a plain item slice.
+func refDepthWithin(items []Item, w interval.Interval) int {
+	set := make(interval.Set, 0, len(items))
+	for _, it := range items {
+		if x, ok := it.Iv.Intersect(w); ok {
+			set = append(set, x)
+		}
+	}
+	return set.MaxDepth()
+}
+
+// TestMaxDepthWithinAtMatchesNaive checks depth and witness validity on
+// random trees and windows.
+func TestMaxDepthWithinAtMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		items := randItems(r, 1+r.Intn(60))
+		tr := New(uint64(seed) + 1)
+		for _, it := range items {
+			tr.Insert(it)
+		}
+		for q := 0; q < 40; q++ {
+			s := r.Float64() * 45
+			w := interval.New(s, s+r.Float64()*12)
+			depth, at := tr.MaxDepthWithinAt(w)
+			if want := refDepthWithin(items, w); depth != want {
+				t.Fatalf("seed %d query %v: depth = %d, want %d", seed, w, depth, want)
+			}
+			if depth > 0 {
+				if !w.Contains(at) {
+					t.Fatalf("seed %d query %v: witness %v outside window", seed, w, at)
+				}
+				// The reported depth must be attained at the witness point.
+				n := 0
+				for _, it := range items {
+					if it.Iv.Contains(at) {
+						n++
+					}
+				}
+				if n != depth {
+					t.Fatalf("seed %d query %v: depth at witness %v is %d, reported %d", seed, w, at, n, depth)
+				}
+			}
+		}
+	}
+}
+
+// TestResetReuse fills, resets and refills a tree, checking queries stay
+// correct and the node pool is actually reused (no growth in live nodes).
+func TestResetReuse(t *testing.T) {
+	tr := New(7)
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 10; round++ {
+		items := randItems(r, 50)
+		for _, it := range items {
+			tr.Insert(it)
+		}
+		if got := tr.Len(); got != 50 {
+			t.Fatalf("round %d: Len = %d, want 50", round, got)
+		}
+		w := interval.New(10, 30)
+		if got, want := tr.MaxDepthWithin(w), refDepthWithin(items, w); got != want {
+			t.Fatalf("round %d: depth %d, want %d", round, got, want)
+		}
+		tr.Reset()
+		if got := tr.Len(); got != 0 {
+			t.Fatalf("round %d: Len after Reset = %d, want 0", round, got)
+		}
+		if d, _ := tr.MaxDepthWithinAt(interval.New(0, 50)); d != 0 {
+			t.Fatalf("round %d: depth after Reset = %d, want 0", round, d)
+		}
+	}
+}
+
+// TestInsertAfterResetStopsAllocating pins the node-pool behavior the batch
+// engine relies on: a warm tree refilled to the same size allocates no new
+// nodes.
+func TestInsertAfterResetStopsAllocating(t *testing.T) {
+	tr := New(3)
+	r := rand.New(rand.NewSource(3))
+	items := randItems(r, 200)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	tr.Reset()
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, it := range items {
+			tr.Insert(it)
+		}
+		tr.Reset()
+	})
+	if allocs > 1 {
+		t.Errorf("refilling a warm tree allocates %.1f times per run, want ≤ 1", allocs)
+	}
+}
