@@ -47,27 +47,32 @@ func BenchmarkE10Demand(b *testing.B)           { runExperiment(b, experiments.E
 
 // Design-choice ablations (DESIGN.md §4, "Ablations").
 
-func BenchmarkA1Ordering(b *testing.B)    { runExperiment(b, experiments.A1Ordering) }
-func BenchmarkA2TreeIndex(b *testing.B)   { runExperiment(b, experiments.A2TreeIndex) }
-func BenchmarkA3LocalSearch(b *testing.B) { runExperiment(b, experiments.A3LocalSearch) }
-func BenchmarkA4Online(b *testing.B)      { runExperiment(b, experiments.A4Online) }
-func BenchmarkA5Laminar(b *testing.B)     { runExperiment(b, experiments.A5Laminar) }
+func BenchmarkA1Ordering(b *testing.B)     { runExperiment(b, experiments.A1Ordering) }
+func BenchmarkA2TreeIndex(b *testing.B)    { runExperiment(b, experiments.A2TreeIndex) }
+func BenchmarkA3LocalSearch(b *testing.B)  { runExperiment(b, experiments.A3LocalSearch) }
+func BenchmarkA4Online(b *testing.B)       { runExperiment(b, experiments.A4Online) }
+func BenchmarkA5Laminar(b *testing.B)      { runExperiment(b, experiments.A5Laminar) }
+func BenchmarkA6MachineIndex(b *testing.B) { runExperiment(b, experiments.A6MachineIndex) }
 
-// Scaling micro-benchmarks of the core algorithm at increasing sizes.
+// Scaling micro-benchmarks of the core algorithm at increasing sizes, with
+// the machine-selection index (default) and without (the PR 1 scan path).
 
-func benchFirstFitN(b *testing.B, n int) {
+func benchFirstFitN(b *testing.B, n int, run func(*core.Instance) *core.Schedule) {
 	in := generator.General(7, n, 4, float64(n), 30)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = firstfit.Schedule(in)
+		_ = run(in)
 	}
 }
 
-func BenchmarkFirstFitN1e2(b *testing.B) { benchFirstFitN(b, 100) }
-func BenchmarkFirstFitN1e3(b *testing.B) { benchFirstFitN(b, 1000) }
-func BenchmarkFirstFitN1e4(b *testing.B) { benchFirstFitN(b, 10000) }
-func BenchmarkFirstFitN1e5(b *testing.B) { benchFirstFitN(b, 100000) }
+func BenchmarkFirstFitN1e2(b *testing.B) { benchFirstFitN(b, 100, firstfit.Schedule) }
+func BenchmarkFirstFitN1e3(b *testing.B) { benchFirstFitN(b, 1000, firstfit.Schedule) }
+func BenchmarkFirstFitN1e4(b *testing.B) { benchFirstFitN(b, 10000, firstfit.Schedule) }
+func BenchmarkFirstFitN1e5(b *testing.B) { benchFirstFitN(b, 100000, firstfit.Schedule) }
+
+func BenchmarkFirstFitScanN1e4(b *testing.B) { benchFirstFitN(b, 10000, firstfit.ScheduleScan) }
+func BenchmarkFirstFitScanN1e5(b *testing.B) { benchFirstFitN(b, 100000, firstfit.ScheduleScan) }
 
 // Batch-engine benchmarks (DESIGN.md §5): the same batch of seeded 100k-job
 // instances scheduled through internal/engine versus a naive sequential

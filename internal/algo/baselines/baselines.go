@@ -12,8 +12,9 @@
 package baselines
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/algo/firstfit"
@@ -73,7 +74,9 @@ func NextFit(in *core.Instance) *core.Schedule {
 
 // BestFit scans jobs longest-first and assigns each to the machine whose
 // busy time grows the least (ties to the lowest index), opening a new
-// machine only when no machine fits.
+// machine only when no machine fits. The growth of each candidate machine is
+// read from its incrementally maintained span union (core.Schedule.SpanDelta)
+// instead of rebuilding and re-sorting the machine's interval set per probe.
 func BestFit(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
 	for _, j := range lenOrder(in) {
@@ -82,10 +85,7 @@ func BestFit(in *core.Instance) *core.Schedule {
 			if !s.CanAssign(j, m) {
 				continue
 			}
-			set := s.MachineSet(m)
-			before := set.Span()
-			after := append(set, in.Jobs[j].Iv).Span()
-			if delta := after - before; bestM < 0 || delta < bestDelta {
+			if delta := s.SpanDelta(m, in.Jobs[j].Iv); bestM < 0 || delta < bestDelta {
 				bestM, bestDelta = m, delta
 			}
 		}
@@ -148,15 +148,21 @@ func startOrder(in *core.Instance) []int {
 		order[i] = i
 	}
 	jobs := in.Jobs
-	sort.Slice(order, func(a, b int) bool {
-		a, b = order[a], order[b]
-		if jobs[a].Iv.Start != jobs[b].Iv.Start {
-			return jobs[a].Iv.Start < jobs[b].Iv.Start
+	slices.SortFunc(order, func(a, b int) int {
+		ja, jb := jobs[a], jobs[b]
+		if ja.Iv.Start != jb.Iv.Start {
+			if ja.Iv.Start < jb.Iv.Start {
+				return -1
+			}
+			return 1
 		}
-		if jobs[a].Iv.End != jobs[b].Iv.End {
-			return jobs[a].Iv.End < jobs[b].Iv.End
+		if ja.Iv.End != jb.Iv.End {
+			if ja.Iv.End < jb.Iv.End {
+				return -1
+			}
+			return 1
 		}
-		return jobs[a].ID < jobs[b].ID
+		return cmp.Compare(ja.ID, jb.ID)
 	})
 	return order
 }
@@ -167,15 +173,21 @@ func lenOrder(in *core.Instance) []int {
 		order[i] = i
 	}
 	jobs := in.Jobs
-	sort.Slice(order, func(a, b int) bool {
-		a, b = order[a], order[b]
-		if la, lb := jobs[a].Len(), jobs[b].Len(); la != lb {
-			return la > lb
+	slices.SortFunc(order, func(a, b int) int {
+		ja, jb := jobs[a], jobs[b]
+		if la, lb := ja.Len(), jb.Len(); la != lb {
+			if la > lb {
+				return -1
+			}
+			return 1
 		}
-		if jobs[a].Iv.Start != jobs[b].Iv.Start {
-			return jobs[a].Iv.Start < jobs[b].Iv.Start
+		if ja.Iv.Start != jb.Iv.Start {
+			if ja.Iv.Start < jb.Iv.Start {
+				return -1
+			}
+			return 1
 		}
-		return jobs[a].ID < jobs[b].ID
+		return cmp.Compare(ja.ID, jb.ID)
 	})
 	return order
 }

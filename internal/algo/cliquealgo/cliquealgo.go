@@ -9,8 +9,10 @@
 package cliquealgo
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"busytime/internal/algo"
@@ -74,13 +76,15 @@ func distanceOrder(in *core.Instance, t float64) []int {
 		order[i] = i
 	}
 	jobs := in.Jobs
-	sort.Slice(order, func(a, b int) bool {
-		a, b = order[a], order[b]
+	slices.SortFunc(order, func(a, b int) int {
 		da, db := Delta(jobs[a], t), Delta(jobs[b], t)
 		if da != db {
-			return da > db
+			if da > db {
+				return -1
+			}
+			return 1
 		}
-		return jobs[a].ID < jobs[b].ID
+		return cmp.Compare(jobs[a].ID, jobs[b].ID)
 	})
 	return order
 }

@@ -16,8 +16,9 @@
 package demand
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"busytime/internal/core"
 	"busytime/internal/interval"
@@ -117,15 +118,21 @@ func Schedule(in *FlexInstance) (*Result, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ja, jb := in.Jobs[order[a]], in.Jobs[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		ja, jb := in.Jobs[a], in.Jobs[b]
 		if ja.Proc != jb.Proc {
-			return ja.Proc > jb.Proc
+			if ja.Proc > jb.Proc {
+				return -1
+			}
+			return 1
 		}
 		if ja.Release != jb.Release {
-			return ja.Release < jb.Release
+			if ja.Release < jb.Release {
+				return -1
+			}
+			return 1
 		}
-		return ja.ID < jb.ID
+		return cmp.Compare(ja.ID, jb.ID)
 	})
 
 	type placed struct {
@@ -133,11 +140,14 @@ func Schedule(in *FlexInstance) (*Result, error) {
 		machine int
 	}
 	decided := make([]placed, len(in.Jobs))
-	// machines[m] holds the placed intervals (replicated by demand for
-	// capacity accounting) of machine m.
+	// machines[m] holds the placed intervals of machine m: capSet replicated
+	// by demand for capacity accounting, busySet driving the candidate-start
+	// proposals exactly as before, and busy as the incrementally merged span
+	// union so busy-time deltas are binary searches, not set rebuilds.
 	type machineState struct {
 		capSet  interval.Set // one copy per demand unit
 		busySet interval.Set // one copy per job
+		busy    interval.Spans
 	}
 	var machines []*machineState
 
@@ -150,7 +160,7 @@ func Schedule(in *FlexInstance) (*Result, error) {
 				if maxCapDepth(st.capSet, ivl)+job.Demand > in.G {
 					continue
 				}
-				delta := spanDelta(st.busySet, ivl)
+				delta := st.busy.Delta(ivl)
 				if bestM < 0 || delta < bestDelta-1e-12 {
 					bestM, bestStart, bestDelta = m, cand, delta
 				}
@@ -166,6 +176,7 @@ func Schedule(in *FlexInstance) (*Result, error) {
 			st.capSet = append(st.capSet, ivl)
 		}
 		st.busySet = append(st.busySet, ivl)
+		st.busy.Add(ivl)
 		decided[idx] = placed{start: bestStart, machine: bestM}
 	}
 
@@ -217,11 +228,4 @@ func candidateStarts(job FlexJob, busy interval.Set) []float64 {
 // maxCapDepth returns the maximum closed depth of capSet within w.
 func maxCapDepth(capSet interval.Set, w interval.Interval) int {
 	return capSet.MaxDepthWithin(w)
-}
-
-// spanDelta returns the busy-time increase of adding iv to busy.
-func spanDelta(busy interval.Set, iv interval.Interval) float64 {
-	before := busy.Span()
-	after := append(busy.Clone(), iv).Span()
-	return after - before
 }

@@ -1,0 +1,121 @@
+package firstfit
+
+import (
+	"testing"
+
+	"busytime/internal/core"
+	"busytime/internal/generator"
+)
+
+// diffFamilies enumerates the generator families the differential suite
+// sweeps; sizes stay modest so the fuzz-style seed loop stays fast.
+func diffFamilies(seed int64) []*core.Instance {
+	gen := generator.General(seed, 120, 3, 80, 20)
+	return []*core.Instance{
+		gen,
+		generator.Proper(seed, 100, 3, 60, 15),
+		generator.Clique(seed, 60, 4, 10, 8),
+		generator.BoundedLength(seed, 80, 2, 6, 4),
+		generator.Laminar(seed, 3, 3, 3, 4, 20),
+		generator.CloudBurst(seed, 150, 6, 200, 10, 4, 0.6),
+		generator.LightpathWave(seed, 5, 30, 4, 40, 15, 10),
+		generator.WithDemands(gen, seed+1, 3),
+	}
+}
+
+// assertIdentical fails unless the two schedules are byte-identical: same
+// machine count, same job→machine assignment, same per-machine job lists,
+// and bitwise-equal costs.
+func assertIdentical(t *testing.T, label string, a, b *core.Schedule) {
+	t.Helper()
+	if a.NumMachines() != b.NumMachines() {
+		t.Fatalf("%s: %d machines vs %d", label, a.NumMachines(), b.NumMachines())
+	}
+	for j := 0; j < a.Instance().N(); j++ {
+		if a.MachineOf(j) != b.MachineOf(j) {
+			t.Fatalf("%s: job %d on machine %d vs %d", label, j, a.MachineOf(j), b.MachineOf(j))
+		}
+	}
+	for m := 0; m < a.NumMachines(); m++ {
+		ja, jb := a.MachineJobs(m), b.MachineJobs(m)
+		if len(ja) != len(jb) {
+			t.Fatalf("%s: machine %d holds %d vs %d jobs", label, m, len(ja), len(jb))
+		}
+		for i := range ja {
+			if ja[i] != jb[i] {
+				t.Fatalf("%s: machine %d slot %d: job %d vs %d", label, m, i, ja[i], jb[i])
+			}
+		}
+	}
+	if a.Cost() != b.Cost() {
+		t.Fatalf("%s: cost %v vs %v", label, a.Cost(), b.Cost())
+	}
+}
+
+// TestIndexedMatchesScan is the differential contract of the
+// machine-selection index: across every generator family and a fuzz-style
+// seed sweep, indexed FirstFit must produce byte-identical schedules to the
+// plain machine scan and to the fully linear ablation variant.
+func TestIndexedMatchesScan(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for fi, in := range diffFamilies(seed) {
+			indexed := Schedule(in)
+			if err := indexed.Verify(); err != nil {
+				t.Fatalf("seed %d family %d: indexed schedule infeasible: %v", seed, fi, err)
+			}
+			scan := ScheduleScan(in)
+			assertIdentical(t, labelFor(seed, fi, "scan"), indexed, scan)
+			linear := ScheduleLinear(in)
+			assertIdentical(t, labelFor(seed, fi, "linear"), indexed, linear)
+		}
+	}
+}
+
+func labelFor(seed int64, family int, variant string) string {
+	return "seed=" + itoa(int(seed)) + " family=" + itoa(family) + " vs " + variant
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestIndexedScratchMatchesFresh pins down that the recycled index inside a
+// Scratch (bitmap, segment tree, load shards, profiles) is fully reset
+// between instances: streaming many different instances through one Scratch
+// must reproduce fresh runs byte for byte.
+func TestIndexedScratchMatchesFresh(t *testing.T) {
+	sc := new(core.Scratch)
+	for seed := int64(0); seed < 10; seed++ {
+		for fi, in := range diffFamilies(seed) {
+			recycled := ScheduleScratch(in, sc)
+			fresh := Schedule(in)
+			assertIdentical(t, labelFor(seed, fi, "scratch"), recycled, fresh)
+		}
+	}
+}
+
+// FuzzIndexedMatchesScan drives the differential check from fuzzed seeds and
+// shape parameters.
+func FuzzIndexedMatchesScan(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(3), uint8(20))
+	f.Add(int64(99), uint8(200), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, n, g, maxLen uint8) {
+		in := generator.General(seed, int(n)+1, int(g)%8+1, float64(n)/2+1, float64(maxLen)+1)
+		indexed := Schedule(in)
+		scan := ScheduleScan(in)
+		assertIdentical(t, "fuzz", indexed, scan)
+		if err := indexed.Verify(); err != nil {
+			t.Fatalf("infeasible: %v", err)
+		}
+	})
+}

@@ -6,10 +6,17 @@
 // Theorem 2.1 shows FirstFit(J) ≤ 4·OPT(J) for every instance, and
 // Theorem 2.4 exhibits instances forcing a ratio arbitrarily close to 3, so
 // the algorithm's approximation ratio lies in [3, 4].
+//
+// Machine selection uses the core machine-selection index by default
+// (core.Schedule.FirstFitAssign): a segment tree bounds each scan at the
+// first machine guaranteed to accept and a time-bucketed saturation bitmap
+// skips machines provably unable to take the job's window. ScheduleScan is
+// the plain per-machine probe loop, kept for ablation A6 and registered as
+// "firstfit-scan"; both paths produce byte-identical schedules.
 package firstfit
 
 import (
-	"sort"
+	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/core"
@@ -18,9 +25,14 @@ import (
 func init() {
 	algo.Register(algo.Algorithm{
 		Name:        "firstfit",
-		Description: "FirstFit by non-increasing length (§2.1, 4-approximation)",
+		Description: "FirstFit by non-increasing length (§2.1, 4-approximation), indexed machine selection",
 		Run:         Schedule,
 		RunScratch:  ScheduleScratch,
+	})
+	algo.Register(algo.Algorithm{
+		Name:        "firstfit-scan",
+		Description: "FirstFit with the linear machine scan (no selection index; ablation A6)",
+		Run:         ScheduleScan,
 	})
 }
 
@@ -28,19 +40,22 @@ func init() {
 // feasible schedule of the original instance (job order preserved).
 func Schedule(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
+	s.EnableMachineIndex()
 	for _, j := range lengthOrder(in) {
-		assignFirstFit(s, j)
+		s.FirstFitAssign(j)
 	}
 	return s
 }
 
 // ScheduleScratch is Schedule with all schedule state drawn from sc, so a
-// worker looping over a batch of instances reuses one set of allocations.
-// The returned schedule is only valid until sc's next use.
+// worker looping over a batch of instances reuses one set of allocations
+// (the machine-selection index included). The returned schedule is only
+// valid until sc's next use.
 func ScheduleScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
 	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
 	for _, j := range lengthOrder(in) {
-		assignFirstFit(s, j)
+		s.FirstFitAssign(j)
 	}
 	return s
 }
@@ -50,48 +65,64 @@ func ScheduleScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
 // with other orders.
 func ScheduleOrder(in *core.Instance, order []int) *core.Schedule {
 	s := core.NewSchedule(in)
+	s.EnableMachineIndex()
 	for _, j := range order {
-		assignFirstFit(s, j)
+		s.FirstFitAssign(j)
 	}
 	return s
 }
 
-// assignFirstFit places job index j on the first machine that can process
-// it, opening a new machine if none can (step 2 of the algorithm). Each
-// probe consults the machine's residual-capacity hints (busy hull, peak
-// load, saturation witnesses) before falling back to the interval-tree
-// query, so the scan prunes saturated and disjoint machines in O(1); see
-// core.Schedule.TryAssign.
-func assignFirstFit(s *core.Schedule, j int) {
-	for m := 0; m < s.NumMachines(); m++ {
-		if s.TryAssign(j, m) {
-			return
-		}
+// ScheduleScan is FirstFit without the machine-selection index: every job
+// probes machines 0..M−1 in order through the residual-capacity hints and
+// interval trees (the PR 1 fast path). It exists as the ablation baseline
+// for the index and produces schedules byte-identical to Schedule.
+func ScheduleScan(in *core.Instance) *core.Schedule {
+	s := core.NewSchedule(in)
+	for _, j := range lengthOrder(in) {
+		s.FirstFitAssign(j)
 	}
-	s.AssignNew(j)
+	return s
 }
 
 // lengthOrder returns job indices sorted by non-increasing length, ties
 // broken by (start, end, ID) for determinism (step 1 of the algorithm).
+// Sorting runs over a contiguous key slice so the comparator never chases
+// the jobs slice — on 100k-job instances the sort prefix is measurable.
 func lengthOrder(in *core.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
+	type key struct {
+		len, start float64
+		id, idx    int
 	}
-	jobs := in.Jobs
-	sort.Slice(order, func(a, b int) bool {
-		a, b = order[a], order[b]
-		ja, jb := jobs[a], jobs[b]
-		if la, lb := ja.Len(), jb.Len(); la != lb {
-			return la > lb
+	keys := make([]key, in.N())
+	for i, j := range in.Jobs {
+		keys[i] = key{len: j.Len(), start: j.Iv.Start, id: j.ID, idx: i}
+	}
+	// Equal length and start imply equal end, so (len, start, ID) is the
+	// full (len, start, end, ID) order of the paper's step 1.
+	slices.SortFunc(keys, func(a, b key) int {
+		if a.len != b.len {
+			if a.len > b.len {
+				return -1
+			}
+			return 1
 		}
-		if ja.Iv.Start != jb.Iv.Start {
-			return ja.Iv.Start < jb.Iv.Start
+		if a.start != b.start {
+			if a.start < b.start {
+				return -1
+			}
+			return 1
 		}
-		if ja.Iv.End != jb.Iv.End {
-			return ja.Iv.End < jb.Iv.End
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
+			return 1
 		}
-		return ja.ID < jb.ID
+		return 0
 	})
+	order := make([]int, len(keys))
+	for i, k := range keys {
+		order[i] = int(k.idx)
+	}
 	return order
 }

@@ -76,8 +76,10 @@ func ScheduleLinear(in *core.Instance) *core.Schedule {
 	for range machines {
 		s.OpenMachine()
 	}
-	for j, m := range assign {
-		s.Assign(j, m)
+	// Replay in the scan order so the incremental busy-time accounting sees
+	// the same insertion sequence as Schedule and the costs compare exactly.
+	for _, j := range order {
+		s.Assign(j, assign[j])
 	}
 	return s
 }

@@ -19,7 +19,7 @@ package laminar
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/core"
@@ -68,15 +68,21 @@ func Levels(set interval.Set) []int {
 		order[i] = i
 	}
 	// Parents first: by start ascending, then end descending, then index.
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := set[order[a]], set[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		ia, ib := set[a], set[b]
 		if ia.Start != ib.Start {
-			return ia.Start < ib.Start
+			if ia.Start < ib.Start {
+				return -1
+			}
+			return 1
 		}
 		if ia.End != ib.End {
-			return ia.End > ib.End
+			if ia.End > ib.End {
+				return -1
+			}
+			return 1
 		}
-		return order[a] < order[b]
+		return a - b
 	})
 	levels := make([]int, n)
 	type open struct {

@@ -8,7 +8,8 @@
 package properfit
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/core"
@@ -45,15 +46,21 @@ func startOrder(in *core.Instance) []int {
 		order[i] = i
 	}
 	jobs := in.Jobs
-	sort.Slice(order, func(a, b int) bool {
-		ja, jb := jobs[order[a]], jobs[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		ja, jb := jobs[a], jobs[b]
 		if ja.Iv.Start != jb.Iv.Start {
-			return ja.Iv.Start < jb.Iv.Start
+			if ja.Iv.Start < jb.Iv.Start {
+				return -1
+			}
+			return 1
 		}
 		if ja.Iv.End != jb.Iv.End {
-			return ja.Iv.End < jb.Iv.End
+			if ja.Iv.End < jb.Iv.End {
+				return -1
+			}
+			return 1
 		}
-		return ja.ID < jb.ID
+		return cmp.Compare(ja.ID, jb.ID)
 	})
 	return order
 }

@@ -11,8 +11,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"busytime/internal/interval"
@@ -121,34 +123,39 @@ func (in *Instance) IsClique() bool { return in.Set().IsClique() }
 // SortJobsByLenDesc sorts jobs in place by non-increasing length, breaking
 // ties by (start, end, ID) for determinism. This is FirstFit's order.
 func (in *Instance) SortJobsByLenDesc() {
-	sort.Slice(in.Jobs, func(a, b int) bool {
-		ja, jb := in.Jobs[a], in.Jobs[b]
+	slices.SortFunc(in.Jobs, func(ja, jb Job) int {
 		if la, lb := ja.Len(), jb.Len(); la != lb {
-			return la > lb
+			if la > lb {
+				return -1
+			}
+			return 1
 		}
-		if ja.Iv.Start != jb.Iv.Start {
-			return ja.Iv.Start < jb.Iv.Start
-		}
-		if ja.Iv.End != jb.Iv.End {
-			return ja.Iv.End < jb.Iv.End
-		}
-		return ja.ID < jb.ID
+		return compareJobPosition(ja, jb)
 	})
 }
 
 // SortJobsByStart sorts jobs in place by (start, end, ID). This is the
 // proper-instance greedy order.
 func (in *Instance) SortJobsByStart() {
-	sort.Slice(in.Jobs, func(a, b int) bool {
-		ja, jb := in.Jobs[a], in.Jobs[b]
-		if ja.Iv.Start != jb.Iv.Start {
-			return ja.Iv.Start < jb.Iv.Start
+	slices.SortFunc(in.Jobs, compareJobPosition)
+}
+
+// compareJobPosition orders jobs by (start, end, ID), a total order used as
+// the deterministic tie-break of every job ordering.
+func compareJobPosition(ja, jb Job) int {
+	if ja.Iv.Start != jb.Iv.Start {
+		if ja.Iv.Start < jb.Iv.Start {
+			return -1
 		}
-		if ja.Iv.End != jb.Iv.End {
-			return ja.Iv.End < jb.Iv.End
+		return 1
+	}
+	if ja.Iv.End != jb.Iv.End {
+		if ja.Iv.End < jb.Iv.End {
+			return -1
 		}
-		return ja.ID < jb.ID
-	})
+		return 1
+	}
+	return cmp.Compare(ja.ID, jb.ID)
 }
 
 // Components splits the instance into one sub-instance per connected

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"slices"
+
+	"busytime/internal/interval"
+)
+
+// loadShards is the exact capacity oracle of an indexed machine: the
+// machine's jobs, sharded by time over the instance hull. Appending a job is
+// O(1) amortized (it lands in every shard its interval overlaps, and shard
+// count doubles as the machine fills), and the capacity query — maximum
+// demand-weighted closed depth within a window — scans only the shards the
+// window overlaps, each a small contiguous slice. On the dense workloads the
+// machine-selection index targets, probe windows span one or two shards, so
+// the query never touches the rest of the machine's history; this is what
+// replaces the interval tree's O(log n) pointer-chasing insertions and
+// traversals on the hot path.
+//
+// Shard k notionally covers [t0+k·width, t0+(k+1)·width], with the first and
+// last shard unbounded below and above; add widens its shard range by one on
+// each side so float rounding at tile boundaries can only duplicate a job
+// into an extra shard, never omit it from a shard it overlaps. Queries
+// therefore see every job covering any point they ask about, and taking the
+// per-shard maximum over clipped sub-windows needs no deduplication.
+type loadShards struct {
+	t0, width float64
+	hullLen   float64
+	shards    [][]shardItem
+	items     int // total stored copies, duplication included
+	// query scratch, reused across probes
+	sbuf, ebuf []shardEvent
+}
+
+type shardItem struct {
+	iv     interval.Interval
+	demand int32
+}
+
+type shardEvent struct {
+	t float64
+	d int32
+}
+
+// shardTarget is the average shard occupancy that triggers a doubling; the
+// cap bounds resharding work and memory on pathological machines.
+const (
+	shardTarget    = 160
+	maxShardsPower = 12 // ≤ 4096 shards
+)
+
+// init configures the shards for an instance hull, retaining allocations;
+// a degenerate hull (hullLen ≤ 0) leaves a single unbounded shard, which
+// stays exact and simply never doubles.
+func (ls *loadShards) init(t0, hullLen float64) {
+	ls.t0, ls.hullLen = t0, hullLen
+	ls.width = hullLen
+	ls.items = 0
+	if cap(ls.shards) < 1 {
+		ls.shards = make([][]shardItem, 1)
+		return
+	}
+	ls.shards = ls.shards[:1]
+	ls.shards[0] = ls.shards[0][:0]
+}
+
+// reset disables the shards until the next init, keeping allocations.
+func (ls *loadShards) reset() {
+	for i := range ls.shards {
+		ls.shards[i] = ls.shards[i][:0]
+	}
+	ls.shards = ls.shards[:0]
+	ls.items = 0
+}
+
+// enabled reports whether init configured the structure for this schedule.
+func (ls *loadShards) enabled() bool { return len(ls.shards) > 0 }
+
+// shardFor clamps t onto a shard index.
+func (ls *loadShards) shardFor(t float64) int {
+	if ls.width <= 0 {
+		return 0
+	}
+	k := int((t - ls.t0) / ls.width)
+	if k < 0 {
+		return 0
+	}
+	if k >= len(ls.shards) {
+		return len(ls.shards) - 1
+	}
+	return k
+}
+
+// span returns the shard range of iv widened by one shard on each side, so
+// every shard iv overlaps is included despite float rounding.
+func (ls *loadShards) span(iv interval.Interval) (lo, hi int) {
+	lo = ls.shardFor(iv.Start) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi = ls.shardFor(iv.End) + 1
+	if hi > len(ls.shards)-1 {
+		hi = len(ls.shards) - 1
+	}
+	return lo, hi
+}
+
+// add stores a job copy in every shard its interval overlaps.
+func (ls *loadShards) add(iv interval.Interval, demand int) {
+	it := shardItem{iv: iv, demand: int32(demand)}
+	lo, hi := ls.span(iv)
+	for k := lo; k <= hi; k++ {
+		ls.shards[k] = append(ls.shards[k], it)
+	}
+	ls.items += hi - lo + 1
+	if ls.items > shardTarget*len(ls.shards) && len(ls.shards) < 1<<maxShardsPower && ls.hullLen > 0 {
+		ls.grow()
+	}
+}
+
+// grow doubles the shard count and redistributes every job. Duplicated
+// copies are filtered by keeping only each job's canonical copy (the one in
+// the first shard of its span) while collecting.
+func (ls *loadShards) grow() {
+	old := ls.shards
+	oldWidth := ls.width
+	n := 2 * len(old)
+	ls.width = ls.hullLen / float64(n)
+	if cap(ls.shards) >= n {
+		ls.shards = ls.shards[:n]
+	} else {
+		grown := make([][]shardItem, n)
+		copy(grown, old)
+		ls.shards = grown
+	}
+	// Collect canonical copies before truncating the reused prefix. The
+	// canonical shard of a job is the first shard of its old span, computed
+	// with the old geometry exactly as span did.
+	var all []shardItem
+	for k, shard := range old {
+		for _, it := range shard {
+			c := 0
+			if oldWidth > 0 {
+				c = int((it.iv.Start - ls.t0) / oldWidth)
+				if c < 0 {
+					c = 0
+				}
+				if c > len(old)-1 {
+					c = len(old) - 1
+				}
+			}
+			if c = c - 1; c < 0 {
+				c = 0
+			}
+			if c == k {
+				all = append(all, it)
+			}
+		}
+	}
+	for i := range ls.shards {
+		ls.shards[i] = ls.shards[i][:0]
+	}
+	ls.items = 0
+	for _, it := range all {
+		lo, hi := ls.span(it.iv)
+		for k := lo; k <= hi; k++ {
+			ls.shards[k] = append(ls.shards[k], it)
+		}
+		ls.items += hi - lo + 1
+	}
+}
+
+// maxDepthRun returns the maximum demand-weighted closed depth within w, a
+// witness point attaining it, and (when the depth reaches thresh) a maximal
+// saturated run around the witness, mirroring itree.MaxDepthRunWithinAt.
+// The window is processed shard by shard on clipped sub-windows; each shard
+// holds every job overlapping its tile, so per-shard depths are exact and
+// the overall maximum is their maximum.
+func (ls *loadShards) maxDepthRun(w interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
+	if thresh < 1 {
+		thresh = 1
+	}
+	lo, hi := ls.span(w)
+	for k := lo; k <= hi; k++ {
+		ws, we := w.Start, w.End
+		if k > lo {
+			if t := ls.t0 + float64(k)*ls.width; t > ws {
+				ws = t
+			}
+		}
+		if k < hi {
+			if t := ls.t0 + float64(k+1)*ls.width; t < we {
+				we = t
+			}
+		}
+		if ws > we {
+			continue
+		}
+		d, a, r, o := ls.sweepShard(k, interval.Interval{Start: ws, End: we}, thresh)
+		if d > depth {
+			depth, at = d, a
+			run, ok = r, o
+		}
+	}
+	return depth, at, run, ok
+}
+
+// sweepShard computes the exact depth profile of one shard's items over the
+// sub-window sub.
+func (ls *loadShards) sweepShard(k int, sub interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
+	starts, ends := ls.sbuf[:0], ls.ebuf[:0]
+	for _, it := range ls.shards[k] {
+		if !it.iv.Overlaps(sub) {
+			continue
+		}
+		s, e := it.iv.Start, it.iv.End
+		if s < sub.Start {
+			s = sub.Start
+		}
+		if e > sub.End {
+			e = sub.End
+		}
+		starts = append(starts, shardEvent{t: s, d: it.demand})
+		ends = append(ends, shardEvent{t: e, d: it.demand})
+	}
+	ls.sbuf, ls.ebuf = starts, ends
+	if len(starts) == 0 {
+		return 0, 0, interval.Interval{}, false
+	}
+	slices.SortFunc(starts, func(a, b shardEvent) int {
+		if a.t < b.t {
+			return -1
+		}
+		if a.t > b.t {
+			return 1
+		}
+		return 0
+	})
+	slices.SortFunc(ends, func(a, b shardEvent) int {
+		if a.t < b.t {
+			return -1
+		}
+		if a.t > b.t {
+			return 1
+		}
+		return 0
+	})
+	// Two-pointer sweep, starts first at equal coordinates for closed
+	// semantics; run tracking mirrors itree.MaxDepthRunWithinAt.
+	cur, best := 0, 0
+	inRun, runStart, bestRunStart := false, 0.0, 0.0
+	i, j := 0, 0
+	for i < len(starts) {
+		if starts[i].t <= ends[j].t {
+			cur += int(starts[i].d)
+			if cur >= thresh && !inRun {
+				inRun, runStart = true, starts[i].t
+			}
+			if cur > best {
+				best = cur
+				at = starts[i].t
+				bestRunStart = runStart
+			}
+			i++
+		} else {
+			if inRun && cur-int(ends[j].d) < thresh {
+				inRun = false
+				if best >= thresh && bestRunStart == runStart {
+					run, ok = interval.Interval{Start: runStart, End: ends[j].t}, true
+				}
+			}
+			cur -= int(ends[j].d)
+			j++
+		}
+	}
+	for inRun && j < len(ends) {
+		if cur-int(ends[j].d) < thresh {
+			inRun = false
+			if best >= thresh && bestRunStart == runStart {
+				run, ok = interval.Interval{Start: runStart, End: ends[j].t}, true
+			}
+		}
+		cur -= int(ends[j].d)
+		j++
+	}
+	return best, at, run, ok
+}

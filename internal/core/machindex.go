@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+
+	"busytime/internal/interval"
+)
+
+// machindex is the machine-selection index behind Schedule.FirstFitAssign:
+// it makes the greedy "lowest-indexed machine that fits" scan sublinear by
+// combining two structures, both maintained incrementally by Schedule.insert
+// and by rejected capacity probes.
+//
+//  1. A segment tree over machine slots keyed by each machine's busy hull
+//     [min,max] and peak load. It answers "lowest-indexed machine whose hull
+//     is disjoint from window W or whose peak ≤ g − d" in O(log M). Such a
+//     machine is guaranteed to accept the job, so the scan never has to look
+//     past it; the answer is exactly where the paper's FirstFit would stop
+//     if every earlier machine rejects.
+//
+//  2. A per-time-bucket saturation bitmap. Time is split into nb equal
+//     buckets over the instance hull; bit m of bucket b means "machine m is
+//     loaded to ≥ g at every point of bucket b". Bits are derived from
+//     saturated runs extracted by rejected tree probes
+//     (itree.MaxDepthRunWithinAt), which are durable because machines only
+//     gain jobs. A probe window overlapping a set bucket therefore contains
+//     a saturated point, so the machine provably rejects and whole runs of
+//     saturated machines are skipped with word-wide bit operations.
+//
+// Soundness is one-directional by construction: the bitmap may only skip
+// machines that would certainly reject, and the segment tree may only stop
+// the scan at a machine that certainly accepts, so the indexed scan produces
+// byte-identical schedules to the linear probe loop.
+type machindex struct {
+	// Saturation bitmap. Bucket k covers [t0+k·bw, t0+(k+1)·bw]; nb == 0
+	// disables the bitmap (degenerate instance hull). hullLen is retained
+	// for configuring per-machine load shards.
+	t0, bw  float64
+	hullLen float64
+	nb      int
+	words   int      // uint64 words per bucket (machines / 64, rounded up)
+	mask    []uint64 // nb × words, bucket-major
+	blocked []uint64 // scratch for the per-probe blocked-machine mask
+
+	// Segment tree over machine slots; standard 1-based array layout with
+	// leaves at [size, 2·size). Unopened slots never qualify.
+	size     int
+	nm       int
+	minEnd   []float64 // min busy-hull end per subtree (+inf when empty)
+	maxStart []float64 // max busy-hull start per subtree (−inf when empty)
+	minPeak  []int32   // min peak load per subtree
+}
+
+// maxQueryBuckets caps the per-probe bitmap scan; longer windows are sampled
+// with a stride, which only under-reports blocked machines and is therefore
+// always sound.
+const maxQueryBuckets = 1024
+
+// Bitmap and profile memory is O(buckets × machines), so both structures
+// cover only a prefix of the machine range: machines beyond the caps are
+// still indexed by the segment tree (O(1) per machine) and probed through
+// hints and shards — they just can't be skipped by the bitmap or settled by
+// a profile, which only costs time, never correctness. FirstFit concentrates
+// its probes on low machine indices, so the prefix is where the structures
+// pay off. With the maximum 2¹⁶ buckets this bounds the bitmap at 4 MiB and
+// the profiles at 16 MiB per schedule.
+const (
+	maxBitmapMachines  = 512
+	maxProfileMachines = 128
+)
+
+const unopenedPeak = math.MaxInt32
+
+// newMachindex returns an index configured for inst with no machines.
+func newMachindex(inst *Instance) *machindex {
+	ix := &machindex{}
+	ix.reset(inst)
+	return ix
+}
+
+// reset reconfigures the index for inst, retaining allocations where shapes
+// allow, and drops all machines.
+func (ix *machindex) reset(inst *Instance) {
+	ix.nm = 0
+	ix.words = 1
+	ix.nb = 0
+	ix.t0, ix.hullLen = 0, 0
+	if hull, err := inst.Hull(); err == nil && hull.Len() > 0 {
+		ix.nb = bucketCount(inst.N())
+		ix.t0 = hull.Start
+		ix.hullLen = hull.Len()
+		ix.bw = hull.Len() / float64(ix.nb)
+	}
+	if need := ix.nb * ix.words; cap(ix.mask) < need {
+		ix.mask = make([]uint64, need)
+	} else {
+		ix.mask = ix.mask[:need]
+		clear(ix.mask)
+	}
+	if cap(ix.blocked) < ix.words {
+		ix.blocked = make([]uint64, ix.words)
+	} else {
+		ix.blocked = ix.blocked[:ix.words]
+	}
+	ix.size = 0
+	ix.growTree(1)
+}
+
+// bucketCount picks the bitmap resolution: enough buckets that typical jobs
+// span several (so saturated runs mark whole buckets), capped to keep the
+// mask and its reset cheap.
+func bucketCount(n int) int {
+	nb := 64
+	for nb < 4*n && nb < 1<<16 {
+		nb <<= 1
+	}
+	return nb
+}
+
+// growTree (re)allocates the segment tree for at least want leaves and
+// rebuilds it from scratch as all-unopened; callers re-add machines.
+func (ix *machindex) growTree(want int) {
+	size := 1
+	for size < want {
+		size <<= 1
+	}
+	if size <= ix.size {
+		// Same arrays, just clear to the unopened state.
+		size = ix.size
+	}
+	if 2*size > cap(ix.minEnd) {
+		ix.minEnd = make([]float64, 2*size)
+		ix.maxStart = make([]float64, 2*size)
+		ix.minPeak = make([]int32, 2*size)
+	} else {
+		ix.minEnd = ix.minEnd[:2*size]
+		ix.maxStart = ix.maxStart[:2*size]
+		ix.minPeak = ix.minPeak[:2*size]
+	}
+	for i := range ix.minEnd {
+		ix.minEnd[i] = math.Inf(1)
+		ix.maxStart[i] = math.Inf(-1)
+		ix.minPeak[i] = unopenedPeak
+	}
+	ix.size = size
+}
+
+// addMachine registers the next machine slot (empty: no hull, peak 0).
+func (ix *machindex) addMachine() {
+	m := ix.nm
+	if m >= ix.size {
+		// Double the tree and replay the existing leaves.
+		oldEnd := append([]float64(nil), ix.minEnd[ix.size:ix.size+m]...)
+		oldStart := append([]float64(nil), ix.maxStart[ix.size:ix.size+m]...)
+		oldPeak := append([]int32(nil), ix.minPeak[ix.size:ix.size+m]...)
+		ix.size = 0
+		ix.growTree(2 * (m + 1))
+		for i := 0; i < m; i++ {
+			ix.setLeaf(i, oldStart[i], oldEnd[i], oldPeak[i])
+		}
+	}
+	ix.nm++
+	ix.setLeaf(m, math.Inf(-1), math.Inf(1), 0)
+	if ix.nm > 64*ix.words && ix.nm <= maxBitmapMachines {
+		ix.growWords()
+	}
+}
+
+// setLeaf writes a leaf and re-aggregates its ancestors.
+func (ix *machindex) setLeaf(m int, hullStart, hullEnd float64, peak int32) {
+	n := ix.size + m
+	ix.minEnd[n], ix.maxStart[n], ix.minPeak[n] = hullEnd, hullStart, peak
+	for n >>= 1; n >= 1; n >>= 1 {
+		l, r := 2*n, 2*n+1
+		ix.minEnd[n] = math.Min(ix.minEnd[l], ix.minEnd[r])
+		ix.maxStart[n] = math.Max(ix.maxStart[l], ix.maxStart[r])
+		if ix.minPeak[l] < ix.minPeak[r] {
+			ix.minPeak[n] = ix.minPeak[l]
+		} else {
+			ix.minPeak[n] = ix.minPeak[r]
+		}
+	}
+}
+
+// update refreshes machine m's hull and peak after an insertion.
+func (ix *machindex) update(m int, hull interval.Interval, peak int) {
+	p := int32(unopenedPeak - 1)
+	if peak < int(p) {
+		p = int32(peak)
+	}
+	ix.setLeaf(m, hull.Start, hull.End, p)
+}
+
+// qualifies reports whether subtree n can contain a machine that trivially
+// accepts a job with window w and slack g−d: hull entirely before the
+// window, hull entirely after it, or peak within the slack.
+func (ix *machindex) qualifies(n int, w interval.Interval, slack int32) bool {
+	return ix.minEnd[n] < w.Start || ix.maxStart[n] > w.End || ix.minPeak[n] <= slack
+}
+
+// firstTrivial returns the lowest-indexed machine guaranteed to accept a job
+// with window w and demand g−slack, or −1 when no machine trivially fits.
+// All three leaf conditions imply acceptance: a disjoint hull admits any job
+// with demand ≤ g (an empty machine reports peak 0 and is covered by the
+// slack condition), and peak ≤ g−d bounds the load anywhere inside w.
+func (ix *machindex) firstTrivial(w interval.Interval, slack int32) int {
+	if ix.nm == 0 || !ix.qualifies(1, w, slack) {
+		return -1
+	}
+	n := 1
+	for n < ix.size {
+		if ix.qualifies(2*n, w, slack) {
+			n = 2 * n
+		} else {
+			n = 2*n + 1
+		}
+	}
+	m := n - ix.size
+	if m >= ix.nm {
+		return -1
+	}
+	return m
+}
+
+// growWords widens the bitmap rows by one word, preserving existing bits.
+func (ix *machindex) growWords() {
+	old := ix.words
+	ix.words = old + 1
+	mask := make([]uint64, ix.nb*ix.words)
+	for b := 0; b < ix.nb; b++ {
+		copy(mask[b*ix.words:], ix.mask[b*old:(b+1)*old])
+	}
+	ix.mask = mask
+	ix.blocked = make([]uint64, ix.words)
+}
+
+// bucketsOverlapping returns the inclusive bucket range intersecting w
+// (closed semantics); lo > hi means none. Every returned bucket is verified
+// to truly overlap w, so blocked-mask queries never over-report.
+func (ix *machindex) bucketsOverlapping(w interval.Interval) (lo, hi int) {
+	if ix.nb == 0 {
+		return 1, 0
+	}
+	lo = int((w.Start-ix.t0)/ix.bw) - 1
+	hi = int((w.End-ix.t0)/ix.bw) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ix.nb-1 {
+		hi = ix.nb - 1
+	}
+	for lo <= hi && ix.t0+float64(lo+1)*ix.bw < w.Start {
+		lo++
+	}
+	for hi >= lo && ix.t0+float64(hi)*ix.bw > w.End {
+		hi--
+	}
+	return lo, hi
+}
+
+// bucketsWithin returns the inclusive range of buckets entirely contained in
+// iv; lo > hi means none. Every returned bucket is verified to lie inside
+// iv, so saturation marking never over-claims.
+func (ix *machindex) bucketsWithin(iv interval.Interval) (lo, hi int) {
+	if ix.nb == 0 {
+		return 1, 0
+	}
+	lo = int((iv.Start - ix.t0) / ix.bw)
+	hi = int((iv.End-ix.t0)/ix.bw) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ix.nb-1 {
+		hi = ix.nb - 1
+	}
+	for lo <= hi && ix.t0+float64(lo)*ix.bw < iv.Start {
+		lo++
+	}
+	for hi >= lo && ix.t0+float64(hi+1)*ix.bw > iv.End {
+		hi--
+	}
+	return lo, hi
+}
+
+// profileBuckets returns the bucketed-profile size for machine m: the full
+// bucket grid inside the profile prefix, zero (no profile) beyond it.
+func (ix *machindex) profileBuckets(m int) int {
+	if m >= maxProfileMachines {
+		return 0
+	}
+	return ix.nb
+}
+
+// markBucket records that machine m is loaded to ≥ g at every point of
+// bucket b; machines beyond the bitmap prefix are not tracked.
+func (ix *machindex) markBucket(m, b int) {
+	if m >= 64*ix.words {
+		return
+	}
+	ix.mask[b*ix.words+m/64] |= 1 << (m % 64)
+}
+
+// blockedMask ORs the saturation rows of every bucket overlapping w into the
+// scratch mask and returns it: a set bit means the machine has a fully
+// saturated bucket intersecting w and therefore provably rejects any job on
+// that window. The mask is valid until the next call.
+func (ix *machindex) blockedMask(w interval.Interval) []uint64 {
+	bl := ix.blocked[:ix.words]
+	for i := range bl {
+		bl[i] = 0
+	}
+	lo, hi := ix.bucketsOverlapping(w)
+	if lo > hi {
+		return bl
+	}
+	step := 1
+	if n := hi - lo + 1; n > maxQueryBuckets {
+		step = n/maxQueryBuckets + 1
+	}
+	for b := lo; b <= hi; b += step {
+		row := ix.mask[b*ix.words : b*ix.words+ix.words]
+		for i := range bl {
+			bl[i] |= row[i]
+		}
+	}
+	return bl
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"busytime/internal/interval"
@@ -26,6 +27,12 @@ type Schedule struct {
 	assign   []int
 	machines []*machineState
 	scratch  *Scratch
+	// totalBusy is Σ_m span(J_m), maintained incrementally by insert so
+	// Cost is an O(1) read.
+	totalBusy float64
+	// index is the optional machine-selection index behind FirstFitAssign
+	// (see machindex and EnableMachineIndex).
+	index *machindex
 }
 
 // hotspot is a saturation hint: the machine's load at time at is known to be
@@ -48,22 +55,62 @@ type machineState struct {
 	// trivially fits.
 	hull interval.Interval
 	// peak is an upper bound on the machine's maximum demand-weighted load
-	// over all time — exact while placements go through TryAssign, which
-	// learns the true in-window load from its capacity query; plain Assign
-	// widens it conservatively instead of paying a query. A candidate with
-	// Demand ≤ g − peak trivially fits.
+	// over all time — exact while placements go through TryAssign's tree
+	// query, which learns the true in-window load; the bucketed-profile and
+	// plain-Assign paths widen it conservatively instead of paying a query.
+	// A candidate with Demand ≤ g − peak trivially fits.
 	peak int
 	// hot are saturation witnesses recorded by rejected probes.
 	hot []hotspot
+	// spans is the running union of the machine's job intervals, so the
+	// machine's busy time is an O(1) read and never re-derived.
+	spans interval.Spans
+	// shards holds the machine's jobs sharded by time under the
+	// machine-selection index, replacing the interval tree as the exact
+	// capacity oracle: appends are O(1) and a probe only scans the shards
+	// its window overlaps (see loadShards).
+	shards loadShards
+	// floor and ceil are the machine's bucketed load profile, allocated only
+	// under the machine-selection index (one byte per time bucket each).
+	// floor[b] is a lower bound on the load at EVERY point of bucket b, so
+	// floor[b]+d > g rejects any job window touching the bucket; ceil[b] is
+	// an upper bound on the maximum load anywhere in bucket b (255 means
+	// unknown), so max ceil over a window's buckets within g−d accepts
+	// without a tree query. Both are maintained by insert and stay sound in
+	// their respective directions, which keeps indexed scans byte-identical
+	// to linear ones.
+	floor []uint8
+	ceil  []uint8
 }
 
-// reset clears the state for reuse, retaining allocations.
+// ceilUnknown marks a ceiling byte whose upper bound has overflowed; it can
+// never justify an acceptance.
+const ceilUnknown = 255
+
+// reset clears the state for reuse, retaining allocations. The load profile
+// is truncated, not cleared: OpenMachine re-sizes it only when the next
+// schedule enables the machine-selection index.
 func (st *machineState) reset() {
 	st.tree.Reset()
 	st.jobs = st.jobs[:0]
 	st.hull = interval.Interval{}
 	st.peak = 0
 	st.hot = st.hot[:0]
+	st.spans.Reset()
+	st.floor = st.floor[:0]
+	st.ceil = st.ceil[:0]
+	st.shards.reset()
+}
+
+// maxDepthRun answers the exact capacity query — maximum demand-weighted
+// closed depth within w, with witness and saturated run — from whichever
+// structure is authoritative: the time-sharded job lists under the
+// machine-selection index, the interval tree otherwise.
+func (st *machineState) maxDepthRun(w interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
+	if st.shards.enabled() {
+		return st.shards.maxDepthRun(w, thresh)
+	}
+	return st.tree.MaxDepthRunWithinAt(w, thresh)
 }
 
 // NewSchedule returns an empty schedule (all jobs unassigned) for inst.
@@ -97,7 +144,98 @@ func (s *Schedule) OpenMachine() int {
 		st = &machineState{tree: itree.New(uint64(len(s.machines) + 1))}
 	}
 	s.machines = append(s.machines, st)
+	if s.index != nil {
+		s.index.addMachine()
+		st.sizeProfile(s.index.profileBuckets(len(s.machines) - 1))
+		st.shards.init(s.index.t0, s.index.hullLen)
+	}
 	return len(s.machines) - 1
+}
+
+// sizeProfile (re)initializes the bucketed load profile for nb buckets,
+// retaining allocations; nb == 0 disables the profile.
+func (st *machineState) sizeProfile(nb int) {
+	if nb == 0 {
+		st.floor, st.ceil = nil, nil
+		return
+	}
+	if cap(st.floor) < nb {
+		st.floor = make([]uint8, nb)
+		st.ceil = make([]uint8, nb)
+		return
+	}
+	st.floor = st.floor[:nb]
+	st.ceil = st.ceil[:nb]
+	clear(st.floor)
+	clear(st.ceil)
+}
+
+// EnableMachineIndex attaches the machine-selection index that powers
+// FirstFitAssign. Call it once, right after creating the schedule; machines
+// opened before the call are indexed retroactively. Schedules drawn from a
+// Scratch recycle the index across instances.
+func (s *Schedule) EnableMachineIndex() {
+	if s.index != nil {
+		return
+	}
+	if s.scratch != nil {
+		if s.scratch.index == nil {
+			s.scratch.index = newMachindex(s.inst)
+		} else {
+			s.scratch.index.reset(s.inst)
+		}
+		s.index = s.scratch.index
+	} else {
+		s.index = newMachindex(s.inst)
+	}
+	for m, st := range s.machines {
+		s.index.addMachine()
+		st.sizeProfile(s.index.profileBuckets(m))
+		st.shards.init(s.index.t0, s.index.hullLen)
+		if len(st.jobs) > 0 {
+			s.index.update(m, st.hull, st.peak)
+			// The profile was not maintained while these jobs arrived:
+			// floors of 0 stay sound, ceilings must be marked unknown, and
+			// the shards must absorb the machine's existing jobs.
+			for b := range st.ceil {
+				st.ceil[b] = ceilUnknown
+			}
+			for _, j := range st.jobs {
+				job := s.inst.Jobs[j]
+				st.shards.add(job.Iv, job.Demand)
+			}
+		}
+	}
+}
+
+// probeProfile consults machine state st's bucketed load profile for a job
+// with window w and demand d against capacity g. It returns verdict +1 with
+// a sound upper bound on the in-window load when the profile proves the job
+// fits, −1 when it proves the job cannot fit, and 0 when the profile cannot
+// decide and the caller must query the interval tree.
+func (s *Schedule) probeProfile(st *machineState, w interval.Interval, d, g int) (verdict, usedUB int) {
+	ix := s.index
+	lo, hi := ix.bucketsOverlapping(w)
+	if lo > hi {
+		return 0, 0
+	}
+	maxCeil := 0
+	for b := lo; b <= hi; b++ {
+		if int(st.floor[b])+d > g {
+			return -1, 0
+		}
+		if c := int(st.ceil[b]); c > maxCeil {
+			maxCeil = c
+		}
+	}
+	// Accepting on the ceilings requires the buckets to cover the whole
+	// window (rejects only need an overlap); verify against the grid so
+	// float rounding at the hull edges can never sneak an unsound accept.
+	if maxCeil < ceilUnknown && maxCeil+d <= g &&
+		ix.t0+float64(lo)*ix.bw <= w.Start && ix.t0+float64(hi+1)*ix.bw >= w.End {
+		return 1, maxCeil
+	}
+	return 0, 0
 }
 
 // CanAssign reports whether job index j fits on machine m without violating
@@ -124,12 +262,41 @@ func (s *Schedule) CanAssign(j, m int) bool {
 			return false
 		}
 	}
-	used, at := st.tree.MaxDepthWithinAt(job.Iv)
+	if len(st.floor) > 0 {
+		if verdict, _ := s.probeProfile(st, job.Iv, job.Demand, g); verdict != 0 {
+			return verdict > 0
+		}
+	}
+	used, at, run, sat := st.maxDepthRun(job.Iv, g)
 	if used+job.Demand > g {
 		st.noteHot(at, used)
+		if sat && s.index != nil {
+			s.markSaturatedRun(st, m, run)
+		}
 		return false
 	}
 	return true
+}
+
+// markSaturatedRun records a saturated run (load ≥ g at every point of run)
+// in the machine-selection index: bitmap bits for the scan and floor bumps
+// for subsequent per-machine probes.
+func (s *Schedule) markSaturatedRun(st *machineState, m int, run interval.Interval) {
+	ix := s.index
+	lo, hi := ix.bucketsWithin(run)
+	if lo > hi {
+		return
+	}
+	f := s.inst.G
+	if f > 254 {
+		f = 254
+	}
+	for b := lo; b <= hi; b++ {
+		if len(st.floor) > 0 && int(st.floor[b]) < f {
+			st.floor[b] = uint8(f)
+		}
+		ix.markBucket(m, b)
+	}
 }
 
 // noteHot records a saturation witness, evicting the shallowest entry when
@@ -198,13 +365,82 @@ func (s *Schedule) TryAssign(j, m int) bool {
 			}
 		}
 	}
-	used, at := st.tree.MaxDepthWithinAt(job.Iv)
+	if len(st.floor) > 0 {
+		if verdict, usedUB := s.probeProfile(st, job.Iv, job.Demand, g); verdict < 0 {
+			return false
+		} else if verdict > 0 {
+			s.insert(st, j, m, usedUB)
+			return true
+		}
+	}
+	used, at, run, sat := st.maxDepthRun(job.Iv, g)
 	if used+job.Demand > g {
 		st.noteHot(at, used)
+		if sat && s.index != nil {
+			s.markSaturatedRun(st, m, run)
+		}
 		return false
 	}
 	s.insert(st, j, m, used)
 	return true
+}
+
+// FirstFitAssign places job index j by the FirstFit rule — the lowest-indexed
+// machine that can process it, a fresh machine when none can — and returns
+// the machine. With the machine-selection index enabled (EnableMachineIndex)
+// the scan is sublinear: the segment tree bounds it at the first machine
+// guaranteed to accept, and the saturation bitmap skips whole runs of
+// machines provably unable to take the job's window. Both prunings are
+// sound, so the produced schedule is byte-identical to probing every machine
+// in order.
+func (s *Schedule) FirstFitAssign(j int) int {
+	ix := s.index
+	if ix == nil {
+		for m := range s.machines {
+			if s.TryAssign(j, m) {
+				return m
+			}
+		}
+		return s.AssignNew(j)
+	}
+	job := s.inst.Jobs[j]
+	g := s.inst.G
+	stop := len(s.machines)
+	trivial := -1
+	if job.Demand <= g {
+		if t := ix.firstTrivial(job.Iv, int32(g-job.Demand)); t >= 0 {
+			trivial, stop = t, t
+		}
+	}
+	if stop > 0 {
+		bl := ix.blockedMask(job.Iv)
+		for wi := 0; wi*64 < stop && wi < len(bl); wi++ {
+			free := ^bl[wi]
+			for free != 0 {
+				m := wi*64 + bits.TrailingZeros64(free)
+				if m >= stop {
+					break
+				}
+				if s.TryAssign(j, m) {
+					return m
+				}
+				free &= free - 1
+			}
+		}
+		// Machines past the bitmap prefix are probed unskipped.
+		for m := 64 * len(bl); m < stop; m++ {
+			if s.TryAssign(j, m) {
+				return m
+			}
+		}
+	}
+	if trivial >= 0 {
+		if !s.TryAssign(j, trivial) {
+			panic("core: machine index reported a trivially fitting machine that rejected its job")
+		}
+		return trivial
+	}
+	return s.AssignNew(j)
 }
 
 // insert performs the bookkeeping of placing job index j on machine state st
@@ -217,8 +453,12 @@ func (s *Schedule) insert(st *machineState, j, m, used int) {
 		panic(fmt.Sprintf("core: job index %d already assigned to machine %d", j, s.assign[j]))
 	}
 	job := s.inst.Jobs[j]
-	for d := 0; d < job.Demand; d++ {
-		st.tree.Insert(itree.Item{Iv: job.Iv, ID: j})
+	if st.shards.enabled() {
+		st.shards.add(job.Iv, job.Demand)
+	} else {
+		for d := 0; d < job.Demand; d++ {
+			st.tree.Insert(itree.Item{Iv: job.Iv, ID: j})
+		}
 	}
 	if len(st.jobs) == 0 {
 		st.hull = job.Iv
@@ -234,7 +474,46 @@ func (s *Schedule) insert(st *machineState, j, m, used int) {
 			st.hot[i].depth += job.Demand
 		}
 	}
+	s.totalBusy += st.spans.Add(job.Iv)
+	if s.index != nil {
+		s.index.update(m, st.hull, st.peak)
+		if len(st.floor) > 0 {
+			s.insertProfile(st, m, job)
+		}
+	}
 	s.assign[j] = m
+}
+
+// insertProfile folds a newly placed job into the machine's bucketed load
+// profile: every bucket the job touches may see its maximum rise by the
+// demand (ceilings), and every bucket the job fully covers has its minimum
+// load rise by the demand (floors). A floor reaching g makes the bucket
+// fully saturated and lights its bitmap bit for the scan skip.
+func (s *Schedule) insertProfile(st *machineState, m int, job Job) {
+	ix := s.index
+	lo, hi := ix.bucketsOverlapping(job.Iv)
+	for b := lo; b <= hi; b++ {
+		if c := int(st.ceil[b]) + job.Demand; c >= ceilUnknown {
+			st.ceil[b] = ceilUnknown
+		} else {
+			st.ceil[b] = uint8(c)
+		}
+	}
+	flo, fhi := ix.bucketsWithin(job.Iv)
+	if flo > fhi {
+		return
+	}
+	g := s.inst.G
+	for b := flo; b <= fhi; b++ {
+		f := int(st.floor[b]) + job.Demand
+		if f > 254 {
+			f = 254
+		}
+		st.floor[b] = uint8(f)
+		if f >= g {
+			ix.markBucket(m, b)
+		}
+	}
 }
 
 // AssignNew opens a fresh machine for job index j and returns the machine.
@@ -265,18 +544,21 @@ func (s *Schedule) MachineSet(m int) interval.Set {
 }
 
 // MachineBusy returns span(J_m): the measure of time machine m has at least
-// one active job. This is the machine's contribution to the objective.
-func (s *Schedule) MachineBusy(m int) float64 { return s.MachineSet(m).Span() }
+// one active job. This is the machine's contribution to the objective, read
+// in O(1) from the machine's incrementally maintained span union.
+func (s *Schedule) MachineBusy(m int) float64 { return s.machines[m].spans.Total() }
 
-// Cost returns the total busy time Σ_m span(J_m). Unassigned jobs contribute
-// nothing; call Complete or Verify to ensure totality.
-func (s *Schedule) Cost() float64 {
-	var total float64
-	for m := range s.machines {
-		total += s.MachineBusy(m)
-	}
-	return total
+// SpanDelta returns the busy-time increase machine m would incur if an
+// interval iv were added to it, without modifying the schedule. Best-fit
+// style schedulers use it to rank machines without rebuilding interval sets.
+func (s *Schedule) SpanDelta(m int, iv interval.Interval) float64 {
+	return s.machines[m].spans.Delta(iv)
 }
+
+// Cost returns the total busy time Σ_m span(J_m), an O(1) read of the total
+// maintained by insert. Unassigned jobs contribute nothing; call Complete or
+// Verify to ensure totality.
+func (s *Schedule) Cost() float64 { return s.totalBusy }
 
 // Verify checks that the schedule is feasible: instance valid, every job
 // assigned to an existing machine, and no machine exceeds capacity g at any
@@ -347,7 +629,9 @@ type MachineSummary struct {
 	Cost    float64
 }
 
-// Summary returns a per-machine breakdown sorted by machine index.
+// Summary returns a per-machine breakdown sorted by machine index. The busy
+// intervals are copied from each machine's incrementally maintained span
+// union rather than re-derived, so the pass is linear in the output size.
 func (s *Schedule) Summary() []MachineSummary {
 	out := make([]MachineSummary, len(s.machines))
 	for m, st := range s.machines {
@@ -356,8 +640,12 @@ func (s *Schedule) Summary() []MachineSummary {
 			ids[i] = s.inst.Jobs[j].ID
 		}
 		sort.Ints(ids)
-		busy := s.MachineSet(m).Union()
-		out[m] = MachineSummary{Machine: m, JobIDs: ids, Busy: busy, Cost: busy.TotalLen()}
+		out[m] = MachineSummary{
+			Machine: m,
+			JobIDs:  ids,
+			Busy:    st.spans.AppendTo(make(interval.Set, 0, st.spans.Count())),
+			Cost:    st.spans.Total(),
+		}
 	}
 	return out
 }

@@ -17,6 +17,9 @@ type Scratch struct {
 	machines []*machineState
 	pool     []*machineState
 	last     *Schedule
+	// index is the recycled machine-selection index handed to schedules
+	// that call EnableMachineIndex; reconfigured per instance.
+	index *machindex
 }
 
 // NewSchedule returns an empty schedule for inst backed by this scratch,
@@ -30,6 +33,7 @@ func (sc *Scratch) NewSchedule(inst *Instance) *Schedule {
 		sc.machines = sc.last.machines[:0]
 		sc.last.machines = nil
 		sc.last.scratch = nil
+		sc.last.index = nil
 	}
 	n := inst.N()
 	if cap(sc.assign) < n {

@@ -1,0 +1,75 @@
+package generator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministicPerSeed(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newRNG(43)
+	same := 0
+	a = newRNG(42)
+	for i := 0; i < 64; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestRNGRangesAndMoments(t *testing.T) {
+	r := newRNG(7)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v far from 0.5", mean)
+	}
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		k := r.Intn(10)
+		if k < 0 || k >= 10 {
+			t.Fatalf("Intn out of range: %d", k)
+		}
+		counts[k]++
+	}
+	for k, c := range counts {
+		if c < n/10-2000 || c > n/10+2000 {
+			t.Errorf("Intn bucket %d count %d far from uniform", k, c)
+		}
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		e := r.ExpFloat64()
+		if e < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", e)
+		}
+		sum += e
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("ExpFloat64 mean %v far from 1", mean)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	newRNG(1).Intn(0)
+}

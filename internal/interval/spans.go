@@ -1,0 +1,93 @@
+package interval
+
+import "sort"
+
+// Spans maintains the union of a growing multiset of intervals as a sorted
+// slice of pairwise-disjoint pieces (touching pieces are merged, matching
+// Set.Union) together with the running total measure. Adding an interval
+// costs O(log k) plus the size of the merged run; the total and the piece
+// count are O(1) reads. Schedules use one Spans per machine so busy time is
+// accounted incrementally instead of re-deriving interval sets per query.
+//
+// Spans only grows: intervals cannot be removed, mirroring the fact that
+// schedulers never unassign jobs.
+type Spans struct {
+	pieces []Interval
+	total  float64
+}
+
+// Reset empties the spans, retaining the piece slice for reuse.
+func (sp *Spans) Reset() {
+	sp.pieces = sp.pieces[:0]
+	sp.total = 0
+}
+
+// Count returns the number of disjoint pieces.
+func (sp *Spans) Count() int { return len(sp.pieces) }
+
+// Total returns the measure of the union of everything added so far.
+func (sp *Spans) Total() float64 { return sp.total }
+
+// AppendTo appends the disjoint pieces in ascending order to dst and returns
+// the extended slice.
+func (sp *Spans) AppendTo(dst Set) Set { return append(dst, sp.pieces...) }
+
+// run locates the run [i, j) of pieces that iv overlaps or touches; i == j
+// means iv is disjoint from every piece and belongs at position i.
+func (sp *Spans) run(iv Interval) (i, j int) {
+	// First piece that could merge with iv: End ≥ iv.Start (touch counts).
+	i = sort.Search(len(sp.pieces), func(k int) bool { return sp.pieces[k].End >= iv.Start })
+	for j = i; j < len(sp.pieces) && sp.pieces[j].Start <= iv.End; j++ {
+	}
+	return i, j
+}
+
+// Delta returns the measure Add(iv) would contribute, without modifying the
+// spans.
+func (sp *Spans) Delta(iv Interval) float64 {
+	i, j := sp.run(iv)
+	if i == j {
+		return iv.Len()
+	}
+	lo, hi := iv.Start, iv.End
+	if s := sp.pieces[i].Start; s < lo {
+		lo = s
+	}
+	if e := sp.pieces[j-1].End; e > hi {
+		hi = e
+	}
+	removed := 0.0
+	for k := i; k < j; k++ {
+		removed += sp.pieces[k].Len()
+	}
+	return (hi - lo) - removed
+}
+
+// Add merges iv into the spans and returns the measure it contributed (the
+// increase of Total).
+func (sp *Spans) Add(iv Interval) float64 {
+	i, j := sp.run(iv)
+	if i == j {
+		sp.pieces = append(sp.pieces, Interval{})
+		copy(sp.pieces[i+1:], sp.pieces[i:])
+		sp.pieces[i] = iv
+		sp.total += iv.Len()
+		return iv.Len()
+	}
+	lo, hi := iv.Start, iv.End
+	if s := sp.pieces[i].Start; s < lo {
+		lo = s
+	}
+	if e := sp.pieces[j-1].End; e > hi {
+		hi = e
+	}
+	removed := 0.0
+	for k := i; k < j; k++ {
+		removed += sp.pieces[k].Len()
+	}
+	sp.pieces[i] = Interval{Start: lo, End: hi}
+	sp.pieces = append(sp.pieces[:i+1], sp.pieces[j:]...)
+	delta := (hi - lo) - removed
+	sp.total += delta
+	return delta
+}

@@ -1,0 +1,77 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpansMatchesSetUnion(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var sp Spans
+		var set Set
+		for k := 0; k < 60; k++ {
+			s := math.Round(r.Float64()*40) / 2 // coarse grid forces touches and duplicates
+			iv := Interval{Start: s, End: s + math.Round(r.Float64()*10)/2}
+			before := sp.Total()
+			delta := sp.Add(iv)
+			set = append(set, iv)
+			if got, want := sp.Total(), set.Span(); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d step %d: Total %v != Span %v", seed, k, got, want)
+			}
+			if math.Abs(before+delta-sp.Total()) > 1e-12 {
+				t.Fatalf("seed %d step %d: delta %v inconsistent with totals", seed, k, delta)
+			}
+			union := set.Union()
+			pieces := sp.AppendTo(nil)
+			if len(pieces) != len(union) {
+				t.Fatalf("seed %d step %d: %d pieces, union has %d", seed, k, len(pieces), len(union))
+			}
+			for i := range union {
+				if pieces[i] != union[i] {
+					t.Fatalf("seed %d step %d: piece %d = %v, union %v", seed, k, i, pieces[i], union[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSpansDeltaIsReadOnlyAndExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var sp Spans
+	for k := 0; k < 200; k++ {
+		s := r.Float64() * 30
+		iv := Interval{Start: s, End: s + r.Float64()*8}
+		want := sp.Delta(iv)
+		before := sp.AppendTo(nil)
+		got := sp.Add(iv)
+		if got != want {
+			t.Fatalf("step %d: Delta %v != Add %v", k, want, got)
+		}
+		_ = before
+	}
+}
+
+func TestSpansTouchingMerges(t *testing.T) {
+	var sp Spans
+	sp.Add(Interval{0, 1})
+	sp.Add(Interval{2, 3})
+	if sp.Count() != 2 {
+		t.Fatalf("want 2 disjoint pieces, got %d", sp.Count())
+	}
+	if d := sp.Add(Interval{1, 2}); d != 1 {
+		t.Fatalf("bridging add contributed %v, want 1", d)
+	}
+	if sp.Count() != 1 || sp.Total() != 3 {
+		t.Fatalf("after bridge: count=%d total=%v, want 1/3", sp.Count(), sp.Total())
+	}
+	// Point interval touching an end merges without growing the total.
+	if d := sp.Add(Interval{3, 3}); d != 0 || sp.Count() != 1 {
+		t.Fatalf("touching point: delta=%v count=%d", d, sp.Count())
+	}
+	sp.Reset()
+	if sp.Count() != 0 || sp.Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

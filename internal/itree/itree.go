@@ -307,9 +307,21 @@ func (t *Tree) MaxDepthWithin(w interval.Interval) int {
 // for capacity pruning. The query reuses internal scratch buffers and does
 // not allocate once the tree is warm; it must not be called concurrently.
 func (t *Tree) MaxDepthWithinAt(w interval.Interval) (depth int, at float64) {
+	depth, at, _, _ = t.MaxDepthRunWithinAt(w, int(^uint(0)>>1))
+	return depth, at
+}
+
+// MaxDepthRunWithinAt is MaxDepthWithinAt extended with saturated-run
+// extraction: when the maximum depth reaches thresh (ok reports this), run is
+// a maximal sub-interval of w containing the deepest witness on which the
+// depth is at least thresh at every point, closed semantics included. Because
+// items are only ever added, every point of the run keeps depth ≥ thresh for
+// the tree's lifetime; schedulers use the run to mark whole stretches of a
+// machine's timeline as saturated from a single rejected probe.
+func (t *Tree) MaxDepthRunWithinAt(w interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
 	t.qbuf = t.Overlapping(t.qbuf[:0], w)
 	if len(t.qbuf) == 0 {
-		return 0, 0
+		return 0, 0, interval.Interval{}, false
 	}
 	starts, ends := t.sbuf[:0], t.ebuf[:0]
 	for _, it := range t.qbuf {
@@ -331,19 +343,48 @@ func (t *Tree) MaxDepthWithinAt(w interval.Interval) (depth int, at float64) {
 	// first at equal coordinates gives closed semantics: a job ending at t
 	// and one starting at t are both active at t.
 	slices.Sort(ends)
+	if thresh < 1 {
+		thresh = 1
+	}
 	cur, best := 0, 0
-	for i, j := 0, 0; i < len(starts); {
+	inRun, runStart, bestRunStart := false, 0.0, 0.0
+	i, j := 0, 0
+	for i < len(starts) {
 		if starts[i] <= ends[j] {
 			cur++
+			if cur >= thresh && !inRun {
+				inRun, runStart = true, starts[i]
+			}
 			if cur > best {
 				best = cur
 				at = starts[i]
+				bestRunStart = runStart
 			}
 			i++
 		} else {
+			if inRun && cur-1 < thresh {
+				// The run closes at this end; the ending item is still
+				// active at its endpoint (closed), so the point ends[j]
+				// itself is saturated.
+				inRun = false
+				if best >= thresh && bestRunStart == runStart {
+					run, ok = interval.Interval{Start: runStart, End: ends[j]}, true
+				}
+			}
 			cur--
 			j++
 		}
 	}
-	return best, at
+	// Starts are exhausted; drain ends until the open run (if any) closes.
+	for inRun && j < len(ends) {
+		if cur-1 < thresh {
+			inRun = false
+			if best >= thresh && bestRunStart == runStart {
+				run, ok = interval.Interval{Start: runStart, End: ends[j]}, true
+			}
+		}
+		cur--
+		j++
+	}
+	return best, at, run, ok
 }

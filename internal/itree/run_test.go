@@ -1,0 +1,90 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+
+	"busytime/internal/interval"
+)
+
+// bruteDepthAt counts stored items containing t (closed semantics) for the
+// given item list.
+func bruteDepthAt(items []Item, t float64) int {
+	d := 0
+	for _, it := range items {
+		if it.Iv.Contains(t) {
+			d++
+		}
+	}
+	return d
+}
+
+// TestMaxDepthRunSound checks the run contract against brute force: every
+// sampled point of the reported run has depth ≥ thresh, the run lies inside
+// the window, and ok agrees with depth ≥ thresh.
+func TestMaxDepthRunSound(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tree := New(uint64(seed + 1))
+		var items []Item
+		for k := 0; k < 40; k++ {
+			s := float64(r.Intn(30))
+			iv := interval.Interval{Start: s, End: s + float64(r.Intn(8))}
+			it := Item{Iv: iv, ID: k}
+			tree.Insert(it)
+			items = append(items, it)
+		}
+		for q := 0; q < 30; q++ {
+			ws := float64(r.Intn(30))
+			w := interval.Interval{Start: ws, End: ws + float64(r.Intn(10))}
+			for thresh := 1; thresh <= 6; thresh++ {
+				depth, at, run, ok := tree.MaxDepthRunWithinAt(w, thresh)
+				wantDepth, _ := tree.MaxDepthWithinAt(w)
+				if depth != wantDepth {
+					t.Fatalf("seed %d: depth %d != MaxDepthWithinAt %d", seed, depth, wantDepth)
+				}
+				if ok != (depth >= thresh) {
+					t.Fatalf("seed %d: ok=%v but depth=%d thresh=%d", seed, ok, depth, thresh)
+				}
+				if !ok {
+					continue
+				}
+				if !w.ContainsInterval(run) {
+					t.Fatalf("seed %d: run %v outside window %v", seed, run, w)
+				}
+				if !run.Contains(at) {
+					t.Fatalf("seed %d: run %v misses witness %v", seed, run, at)
+				}
+				// Sample the run densely, endpoints included.
+				for i := 0; i <= 20; i++ {
+					p := run.Start + (run.End-run.Start)*float64(i)/20
+					if d := bruteDepthAt(items, p); d < thresh {
+						t.Fatalf("seed %d: depth %d < thresh %d at %v inside run %v (w=%v)",
+							seed, d, thresh, p, run, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxDepthRunMaximal pins down that the run extends across event points
+// while the depth stays at or above the threshold.
+func TestMaxDepthRunMaximal(t *testing.T) {
+	tree := New(1)
+	// Depth profile over [0,10]: [0,4]:1+, [2,8]:+1, [3,6]:+1 → depth ≥ 2 on [2,6].
+	tree.Insert(Item{Iv: interval.Interval{Start: 0, End: 4}, ID: 0})
+	tree.Insert(Item{Iv: interval.Interval{Start: 2, End: 8}, ID: 1})
+	tree.Insert(Item{Iv: interval.Interval{Start: 3, End: 6}, ID: 2})
+	w := interval.Interval{Start: 0, End: 10}
+	depth, at, run, ok := tree.MaxDepthRunWithinAt(w, 2)
+	if depth != 3 || !ok {
+		t.Fatalf("depth=%d ok=%v, want 3/true", depth, ok)
+	}
+	if run != (interval.Interval{Start: 2, End: 6}) {
+		t.Fatalf("run=%v, want [2,6]", run)
+	}
+	if at != 3 {
+		t.Fatalf("witness=%v, want 3", at)
+	}
+}
