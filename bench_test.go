@@ -74,6 +74,26 @@ func BenchmarkFirstFitN1e5(b *testing.B) { benchFirstFitN(b, 100000, firstfit.Sc
 func BenchmarkFirstFitScanN1e4(b *testing.B) { benchFirstFitN(b, 10000, firstfit.ScheduleScan) }
 func BenchmarkFirstFitScanN1e5(b *testing.B) { benchFirstFitN(b, 100000, firstfit.ScheduleScan) }
 
+// Pooled-arena variants: the same workload scheduled through one recycled
+// core.Scratch, the engine worker's steady state. After the first iteration
+// warms the arena, runs perform zero schedule-state allocations (see
+// core.TestFirstFitAssignZeroAllocSteadyState for the hard gate).
+func benchFirstFitPooledN(b *testing.B, n int) {
+	in := generator.General(7, n, 4, float64(n), 30)
+	sc := new(core.Scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := firstfit.ScheduleScratch(in, sc)
+		if s.NumMachines() == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkFirstFitPooledN1e4(b *testing.B) { benchFirstFitPooledN(b, 10000) }
+func BenchmarkFirstFitPooledN1e5(b *testing.B) { benchFirstFitPooledN(b, 100000) }
+
 // Batch-engine benchmarks (DESIGN.md §5): the same batch of seeded 100k-job
 // instances scheduled through internal/engine versus a naive sequential
 // loop. The engine run should beat the loop by roughly the core count; the

@@ -104,6 +104,42 @@ func TestIndexedScratchMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestScratchReuseAcrossSizes stresses the pooled arena with a ladder of
+// instance sizes through one Scratch — small, large, small again — so every
+// backing array is exercised both growing and shrunken-in-place; each
+// recycled schedule must be byte-identical to a fresh indexed run and to the
+// plain scan.
+func TestScratchReuseAcrossSizes(t *testing.T) {
+	sc := new(core.Scratch)
+	sizes := []int{30, 2500, 100, 1200, 7, 2500, 600}
+	for round, n := range sizes {
+		in := generator.General(int64(300+round), n, 3+round%4, float64(n)/2+1, 18)
+		recycled := ScheduleScratch(in, sc)
+		if err := recycled.Verify(); err != nil {
+			t.Fatalf("round %d (n=%d): recycled schedule infeasible: %v", round, n, err)
+		}
+		fresh := Schedule(in)
+		assertIdentical(t, "size-ladder round "+itoa(round)+" vs fresh", recycled, fresh)
+		scan := ScheduleScan(in)
+		assertIdentical(t, "size-ladder round "+itoa(round)+" vs scan", recycled, scan)
+	}
+}
+
+// TestScratchReuseAcrossFamilies runs every generator family back to back
+// through one Scratch and pins each recycled schedule against the plain
+// scan, so no family-specific axis shape (degenerate hulls, few distinct
+// times, demand weights) can leak state through the recycled arena.
+func TestScratchReuseAcrossFamilies(t *testing.T) {
+	sc := new(core.Scratch)
+	for seed := int64(50); seed < 54; seed++ {
+		for fi, in := range diffFamilies(seed) {
+			recycled := ScheduleScratch(in, sc)
+			scan := ScheduleScan(in)
+			assertIdentical(t, labelFor(seed, fi, "scratch-vs-scan"), recycled, scan)
+		}
+	}
+}
+
 // FuzzIndexedMatchesScan drives the differential check from fuzzed seeds and
 // shape parameters.
 func FuzzIndexedMatchesScan(f *testing.F) {
@@ -117,5 +153,11 @@ func FuzzIndexedMatchesScan(f *testing.F) {
 		if err := indexed.Verify(); err != nil {
 			t.Fatalf("infeasible: %v", err)
 		}
+		// The pooled-arena path must agree too, including when the scratch
+		// arrives warm from a differently-shaped instance.
+		sc := new(core.Scratch)
+		warm := generator.General(seed+1, int(maxLen)+2, int(g)%5+1, float64(g)+2, float64(n)/4+1)
+		_ = ScheduleScratch(warm, sc)
+		assertIdentical(t, "fuzz-scratch", ScheduleScratch(in, sc), scan)
 	})
 }

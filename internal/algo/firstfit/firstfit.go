@@ -16,8 +16,6 @@
 package firstfit
 
 import (
-	"slices"
-
 	"busytime/internal/algo"
 	"busytime/internal/core"
 )
@@ -41,9 +39,7 @@ func init() {
 func Schedule(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
 	s.EnableMachineIndex()
-	for _, j := range lengthOrder(in) {
-		s.FirstFitAssign(j)
-	}
+	assignAllByLength(in, s)
 	return s
 }
 
@@ -54,10 +50,18 @@ func Schedule(in *core.Instance) *core.Schedule {
 func ScheduleScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
 	s := sc.NewSchedule(in)
 	s.EnableMachineIndex()
-	for _, j := range lengthOrder(in) {
-		s.FirstFitAssign(j)
-	}
+	assignAllByLength(in, s)
 	return s
+}
+
+// assignAllByLength feeds every job to s in the paper's non-increasing
+// length order, read from the instance's cached ordering (computed once per
+// instance, like its time axis) so steady-state batch traffic neither sorts
+// nor allocates per run.
+func assignAllByLength(in *core.Instance, s *core.Schedule) {
+	for _, j := range in.LengthOrder() {
+		s.FirstFitAssign(int(j))
+	}
 }
 
 // ScheduleOrder runs FirstFit scanning jobs by the given index order. The
@@ -78,51 +82,8 @@ func ScheduleOrder(in *core.Instance, order []int) *core.Schedule {
 // for the index and produces schedules byte-identical to Schedule.
 func ScheduleScan(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
-	for _, j := range lengthOrder(in) {
-		s.FirstFitAssign(j)
+	for _, j := range in.LengthOrder() {
+		s.FirstFitAssign(int(j))
 	}
 	return s
-}
-
-// lengthOrder returns job indices sorted by non-increasing length, ties
-// broken by (start, end, ID) for determinism (step 1 of the algorithm).
-// Sorting runs over a contiguous key slice so the comparator never chases
-// the jobs slice — on 100k-job instances the sort prefix is measurable.
-func lengthOrder(in *core.Instance) []int {
-	type key struct {
-		len, start float64
-		id, idx    int
-	}
-	keys := make([]key, in.N())
-	for i, j := range in.Jobs {
-		keys[i] = key{len: j.Len(), start: j.Iv.Start, id: j.ID, idx: i}
-	}
-	// Equal length and start imply equal end, so (len, start, ID) is the
-	// full (len, start, end, ID) order of the paper's step 1.
-	slices.SortFunc(keys, func(a, b key) int {
-		if a.len != b.len {
-			if a.len > b.len {
-				return -1
-			}
-			return 1
-		}
-		if a.start != b.start {
-			if a.start < b.start {
-				return -1
-			}
-			return 1
-		}
-		if a.id != b.id {
-			if a.id < b.id {
-				return -1
-			}
-			return 1
-		}
-		return 0
-	})
-	order := make([]int, len(keys))
-	for i, k := range keys {
-		order[i] = int(k.idx)
-	}
-	return order
 }

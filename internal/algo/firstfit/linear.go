@@ -13,7 +13,7 @@ import (
 // function exists for ablation A2, which measures what the tree index buys
 // at scale.
 func ScheduleLinear(in *core.Instance) *core.Schedule {
-	order := lengthOrder(in)
+	order := in.LengthOrder()
 	type machine struct {
 		jobs []int
 	}
@@ -56,7 +56,8 @@ func ScheduleLinear(in *core.Instance) *core.Schedule {
 	}
 
 	assign := make([]int, in.N())
-	for _, j := range order {
+	for _, jj := range order {
+		j := int(jj)
 		placed := -1
 		for m, mc := range machines {
 			if fits(mc, j) {
@@ -79,7 +80,7 @@ func ScheduleLinear(in *core.Instance) *core.Schedule {
 	// Replay in the scan order so the incremental busy-time accounting sees
 	// the same insertion sequence as Schedule and the costs compare exactly.
 	for _, j := range order {
-		s.Assign(j, assign[j])
+		s.Assign(int(j), assign[j])
 	}
 	return s
 }

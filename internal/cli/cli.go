@@ -431,6 +431,15 @@ func (c *CLI) cmdBatch(args []string) error {
 		return err
 	}
 
+	// Arena telemetry goes to stderr so the CSV/JSON stream stays
+	// deterministic across worker counts. Algorithms without a scratch path
+	// never advance the counters; stay quiet rather than report a
+	// meaningless 0% hit rate.
+	if pool := engine.Summarize(results); pool.WarmRuns > 0 || pool.SetupAllocs > 0 {
+		fmt.Fprintf(c.Err, "arena pool: %d/%d warm runs (%.0f%% hit rate), %d setup allocations\n",
+			pool.WarmRuns, pool.Runs, 100*pool.HitRate(), pool.SetupAllocs)
+	}
+
 	w := io.Writer(c.Out)
 	if *out != "" {
 		f, ferr := os.Create(*out)

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 
 	"busytime/internal/interval"
 )
@@ -46,6 +48,14 @@ type Instance struct {
 	Name string
 	G    int
 	Jobs []Job
+
+	// axis lazily caches the compressed time axis (*instanceAxis) shared by
+	// every indexed schedule of this instance; accessed atomically via
+	// timeAxis. lenOrder lazily caches LengthOrder (*[]int32). Both are
+	// derived data: the job-reordering methods drop them, and mutating jobs
+	// directly after scheduling has begun is not supported.
+	axis     unsafe.Pointer
+	lenOrder unsafe.Pointer
 }
 
 // NewInstance builds an instance with parallelism g from raw intervals,
@@ -122,6 +132,9 @@ func (in *Instance) IsClique() bool { return in.Set().IsClique() }
 
 // SortJobsByLenDesc sorts jobs in place by non-increasing length, breaking
 // ties by (start, end, ID) for determinism. This is FirstFit's order.
+// Reordering invalidates the cached per-job axis ranges, so the axis cache
+// is dropped (its boundaries would survive, but the job-position caches
+// would not).
 func (in *Instance) SortJobsByLenDesc() {
 	slices.SortFunc(in.Jobs, func(ja, jb Job) int {
 		if la, lb := ja.Len(), jb.Len(); la != lb {
@@ -132,12 +145,66 @@ func (in *Instance) SortJobsByLenDesc() {
 		}
 		return compareJobPosition(ja, jb)
 	})
+	in.dropDerived()
 }
 
 // SortJobsByStart sorts jobs in place by (start, end, ID). This is the
-// proper-instance greedy order.
+// proper-instance greedy order. Like SortJobsByLenDesc it drops the cached
+// time axis.
 func (in *Instance) SortJobsByStart() {
 	slices.SortFunc(in.Jobs, compareJobPosition)
+	in.dropDerived()
+}
+
+// dropDerived invalidates the cached per-job-position derivations (time
+// axis, length order) after a reordering.
+func (in *Instance) dropDerived() {
+	atomic.StorePointer(&in.axis, nil)
+	atomic.StorePointer(&in.lenOrder, nil)
+}
+
+// LengthOrder returns the job indices in the paper's FirstFit order — by
+// non-increasing length, ties broken by (start, end, ID) for determinism —
+// computed once per instance and cached like the time axis. The returned
+// slice is shared: callers must not modify it.
+func (in *Instance) LengthOrder() []int32 {
+	if p := (*[]int32)(atomic.LoadPointer(&in.lenOrder)); p != nil {
+		return *p
+	}
+	type key struct {
+		len, start float64
+		id         int
+		idx        int32
+	}
+	// Sorting runs over a contiguous key slice so the comparator never
+	// chases the jobs slice — on 100k-job instances the sort prefix is
+	// measurable. Equal length and start imply equal end, so (len, start,
+	// ID) is the full (len, start, end, ID) order of the paper's step 1.
+	keys := make([]key, in.N())
+	for i, j := range in.Jobs {
+		keys[i] = key{len: j.Len(), start: j.Iv.Start, id: j.ID, idx: int32(i)}
+	}
+	slices.SortFunc(keys, func(a, b key) int {
+		if a.len != b.len {
+			if a.len > b.len {
+				return -1
+			}
+			return 1
+		}
+		if a.start != b.start {
+			if a.start < b.start {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.id, b.id)
+	})
+	order := make([]int32, len(keys))
+	for i, k := range keys {
+		order[i] = k.idx
+	}
+	atomic.StorePointer(&in.lenOrder, unsafe.Pointer(&order))
+	return order
 }
 
 // compareJobPosition orders jobs by (start, end, ID), a total order used as

@@ -6,31 +6,35 @@ import (
 	"busytime/internal/interval"
 )
 
-// loadShards is the exact capacity oracle of an indexed machine: the
-// machine's jobs, sharded by time over the instance hull. Appending a job is
-// O(1) amortized (it lands in every shard its interval overlaps, and shard
-// count doubles as the machine fills), and the capacity query — maximum
-// demand-weighted closed depth within a window — scans only the shards the
-// window overlaps, each a small contiguous slice. On the dense workloads the
-// machine-selection index targets, probe windows span one or two shards, so
-// the query never touches the rest of the machine's history; this is what
-// replaces the interval tree's O(log n) pointer-chasing insertions and
-// traversals on the hot path.
+// The sharded capacity oracle of an indexed machine stores the machine's
+// jobs bucketed by time over the instance's compressed axis: shard k spans
+// the buckets [k<<shardShift, (k+1)<<shardShift) of the instance axis, so a
+// capacity probe — maximum demand-weighted closed depth within a window —
+// only sweeps the shards its window overlaps, each a short list.
 //
-// Shard k notionally covers [t0+k·width, t0+(k+1)·width], with the first and
-// last shard unbounded below and above; add widens its shard range by one on
-// each side so float rounding at tile boundaries can only duplicate a job
-// into an extra shard, never omit it from a shard it overlaps. Queries
-// therefore see every job covering any point they ask about, and taking the
-// per-shard maximum over clipped sub-windows needs no deduplication.
-type loadShards struct {
-	t0, width float64
-	hullLen   float64
-	shards    [][]shardItem
-	items     int // total stored copies, duplication included
-	// query scratch, reused across probes
-	sbuf, ebuf []shardEvent
-}
+// Storage is a flat chunked arena shared by every machine of the schedule
+// (shardPool): a shard is a chain of fixed-size chunks addressed by index,
+// so appending a job never moves other jobs and recycling the whole pool is
+// an O(1) truncation. Shard count and width are fixed up front from the
+// instance axis, which removes the PR 2 doubling growth (grow() re-copied
+// every stored job each time a machine's shards doubled — the dominant
+// allocation source at 100k jobs) from the insert path entirely.
+//
+// Shard membership is computed in bucket space (integer shifts on the
+// precomputed axis ranges), and axis buckets touching an interval at a
+// single point are included (interval.Axis.OverlapRange): a job ending
+// exactly on a shard boundary is stored on both sides, so every shard holds
+// every job overlapping any point of its closed time range and per-shard
+// sweeps are exact under closed semantics, with no float widening.
+
+// shardChunkLen is the number of items per chunk; chunks are ~400 B, small
+// enough that sparsely filled shards waste little and large enough that a
+// sweep mostly walks contiguous memory.
+const shardChunkLen = 16
+
+// smallSweep is the event count up to which sweepShard evaluates depths
+// quadratically instead of sorting; beyond it the sort-based sweep wins.
+const smallSweep = 32
 
 type shardItem struct {
 	iv     interval.Interval
@@ -42,161 +46,125 @@ type shardEvent struct {
 	d int32
 }
 
-// shardTarget is the average shard occupancy that triggers a doubling; the
-// cap bounds resharding work and memory on pathological machines.
-const (
-	shardTarget    = 160
-	maxShardsPower = 12 // ≤ 4096 shards
-)
-
-// init configures the shards for an instance hull, retaining allocations;
-// a degenerate hull (hullLen ≤ 0) leaves a single unbounded shard, which
-// stays exact and simply never doubles.
-func (ls *loadShards) init(t0, hullLen float64) {
-	ls.t0, ls.hullLen = t0, hullLen
-	ls.width = hullLen
-	ls.items = 0
-	if cap(ls.shards) < 1 {
-		ls.shards = make([][]shardItem, 1)
-		return
-	}
-	ls.shards = ls.shards[:1]
-	ls.shards[0] = ls.shards[0][:0]
+type shardChunk struct {
+	items [shardChunkLen]shardItem
+	n     int32
+	prev  int32 // earlier chunk of the same shard's chain; 0 terminates
 }
 
-// reset disables the shards until the next init, keeping allocations.
-func (ls *loadShards) reset() {
-	for i := range ls.shards {
-		ls.shards[i] = ls.shards[i][:0]
-	}
-	ls.shards = ls.shards[:0]
-	ls.items = 0
+// shardPool is the schedule-wide arena behind every machine's loadShards,
+// plus the sweep scratch shared by their probes. It lives in the Scratch (or
+// in the schedule, for fresh schedules) and is recycled across instances:
+// reset is O(1) and a warm pool serves chunks without allocating.
+type shardPool struct {
+	// chunks[0] is a sentinel that is permanently full, so the append path
+	// needs no empty-chain branch; heads of value 0 mean "empty shard".
+	chunks []shardChunk
+	// sweep scratch reused across every probe of the schedule
+	sbuf, ebuf []shardEvent
+	// allocs counts backing-array growth, feeding ScratchStats.
+	allocs int
 }
 
-// enabled reports whether init configured the structure for this schedule.
-func (ls *loadShards) enabled() bool { return len(ls.shards) > 0 }
-
-// shardFor clamps t onto a shard index.
-func (ls *loadShards) shardFor(t float64) int {
-	if ls.width <= 0 {
-		return 0
-	}
-	k := int((t - ls.t0) / ls.width)
-	if k < 0 {
-		return 0
-	}
-	if k >= len(ls.shards) {
-		return len(ls.shards) - 1
-	}
-	return k
-}
-
-// span returns the shard range of iv widened by one shard on each side, so
-// every shard iv overlaps is included despite float rounding.
-func (ls *loadShards) span(iv interval.Interval) (lo, hi int) {
-	lo = ls.shardFor(iv.Start) - 1
-	if lo < 0 {
-		lo = 0
-	}
-	hi = ls.shardFor(iv.End) + 1
-	if hi > len(ls.shards)-1 {
-		hi = len(ls.shards) - 1
-	}
-	return lo, hi
-}
-
-// add stores a job copy in every shard its interval overlaps.
-func (ls *loadShards) add(iv interval.Interval, demand int) {
-	it := shardItem{iv: iv, demand: int32(demand)}
-	lo, hi := ls.span(iv)
-	for k := lo; k <= hi; k++ {
-		ls.shards[k] = append(ls.shards[k], it)
-	}
-	ls.items += hi - lo + 1
-	if ls.items > shardTarget*len(ls.shards) && len(ls.shards) < 1<<maxShardsPower && ls.hullLen > 0 {
-		ls.grow()
+// reset drops every chunk in O(1), retaining the arena.
+func (p *shardPool) reset() {
+	if len(p.chunks) > 0 {
+		p.chunks = p.chunks[:1]
 	}
 }
 
-// grow doubles the shard count and redistributes every job. Duplicated
-// copies are filtered by keeping only each job's canonical copy (the one in
-// the first shard of its span) while collecting.
-func (ls *loadShards) grow() {
-	old := ls.shards
-	oldWidth := ls.width
-	n := 2 * len(old)
-	ls.width = ls.hullLen / float64(n)
-	if cap(ls.shards) >= n {
-		ls.shards = ls.shards[:n]
+// take hands out an empty chunk chained after prev, recycling retained
+// capacity before growing the arena.
+func (p *shardPool) take(prev int32) int32 {
+	if len(p.chunks) == 0 {
+		if cap(p.chunks) == 0 {
+			p.allocs++
+		}
+		p.chunks = append(p.chunks, shardChunk{n: shardChunkLen}) // sentinel
+	}
+	if len(p.chunks) < cap(p.chunks) {
+		p.chunks = p.chunks[:len(p.chunks)+1]
+		c := &p.chunks[len(p.chunks)-1]
+		c.n, c.prev = 0, prev
 	} else {
-		grown := make([][]shardItem, n)
-		copy(grown, old)
-		ls.shards = grown
+		p.allocs++
+		p.chunks = append(p.chunks, shardChunk{prev: prev})
 	}
-	// Collect canonical copies before truncating the reused prefix. The
-	// canonical shard of a job is the first shard of its old span, computed
-	// with the old geometry exactly as span did.
-	var all []shardItem
-	for k, shard := range old {
-		for _, it := range shard {
-			c := 0
-			if oldWidth > 0 {
-				c = int((it.iv.Start - ls.t0) / oldWidth)
-				if c < 0 {
-					c = 0
-				}
-				if c > len(old)-1 {
-					c = len(old) - 1
-				}
-			}
-			if c = c - 1; c < 0 {
-				c = 0
-			}
-			if c == k {
-				all = append(all, it)
-			}
+	return int32(len(p.chunks) - 1)
+}
+
+// loadShards is one machine's shard directory: per shard, the head of its
+// chunk chain in the schedule's shardPool.
+type loadShards struct {
+	heads []int32
+	on    bool
+}
+
+// enabled reports whether init configured the shards for this schedule.
+func (ls *loadShards) enabled() bool { return ls.on }
+
+// init sizes the shard directory from the instance axis — shard count and
+// width are fixed per instance, so the insert path never redistributes. It
+// reports whether the directory's backing array had to grow.
+func (ls *loadShards) init(ia *instanceAxis) (grew bool) {
+	ls.on = true
+	n := ia.nshards
+	if cap(ls.heads) < n {
+		ls.heads = make([]int32, n)
+		return true
+	}
+	ls.heads = ls.heads[:n]
+	clear(ls.heads)
+	return false
+}
+
+// reset disables the shards until the next init; chunk chains die with the
+// pool's own reset.
+func (ls *loadShards) reset() { ls.on = false }
+
+// add stores one copy of the job in every shard of [slo, shi] (the job's
+// axis bucket range shifted to shard space).
+func (ls *loadShards) add(p *shardPool, iv interval.Interval, demand int, slo, shi int) {
+	it := shardItem{iv: iv, demand: int32(demand)}
+	for k := slo; k <= shi; k++ {
+		h := ls.heads[k]
+		if len(p.chunks) == 0 || p.chunks[h].n == shardChunkLen {
+			h = p.take(h)
+			ls.heads[k] = h
 		}
-	}
-	for i := range ls.shards {
-		ls.shards[i] = ls.shards[i][:0]
-	}
-	ls.items = 0
-	for _, it := range all {
-		lo, hi := ls.span(it.iv)
-		for k := lo; k <= hi; k++ {
-			ls.shards[k] = append(ls.shards[k], it)
-		}
-		ls.items += hi - lo + 1
+		c := &p.chunks[h]
+		c.items[c.n] = it
+		c.n++
 	}
 }
 
 // maxDepthRun returns the maximum demand-weighted closed depth within w, a
 // witness point attaining it, and (when the depth reaches thresh) a maximal
 // saturated run around the witness, mirroring itree.MaxDepthRunWithinAt.
-// The window is processed shard by shard on clipped sub-windows; each shard
-// holds every job overlapping its tile, so per-shard depths are exact and
-// the overall maximum is their maximum.
-func (ls *loadShards) maxDepthRun(w interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
+// [slo, shi] is w's shard range; the window is processed shard by shard on
+// clipped sub-windows. Each shard holds every job overlapping its closed
+// tile, so per-shard depths are exact and the overall maximum is their
+// maximum.
+func (ls *loadShards) maxDepthRun(p *shardPool, ia *instanceAxis, w interval.Interval, thresh, slo, shi int) (depth int, at float64, run interval.Interval, ok bool) {
 	if thresh < 1 {
 		thresh = 1
 	}
-	lo, hi := ls.span(w)
-	for k := lo; k <= hi; k++ {
-		ws, we := w.Start, w.End
-		if k > lo {
-			if t := ls.t0 + float64(k)*ls.width; t > ws {
-				ws = t
+	for k := slo; k <= shi; k++ {
+		sub := w
+		if k > slo {
+			if t := ia.shardStart(k); t > sub.Start {
+				sub.Start = t
 			}
 		}
-		if k < hi {
-			if t := ls.t0 + float64(k+1)*ls.width; t < we {
-				we = t
+		if k < shi {
+			if t := ia.shardEnd(k); t < sub.End {
+				sub.End = t
 			}
 		}
-		if ws > we {
+		if sub.Start > sub.End {
 			continue
 		}
-		d, a, r, o := ls.sweepShard(k, interval.Interval{Start: ws, End: we}, thresh)
+		d, a, r, o := ls.sweepShard(p, k, sub, thresh)
 		if d > depth {
 			depth, at = d, a
 			run, ok = r, o
@@ -206,26 +174,54 @@ func (ls *loadShards) maxDepthRun(w interval.Interval, thresh int) (depth int, a
 }
 
 // sweepShard computes the exact depth profile of one shard's items over the
-// sub-window sub.
-func (ls *loadShards) sweepShard(k int, sub interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
-	starts, ends := ls.sbuf[:0], ls.ebuf[:0]
-	for _, it := range ls.shards[k] {
-		if !it.iv.Overlaps(sub) {
-			continue
+// sub-window sub by walking the shard's chunk chain.
+func (ls *loadShards) sweepShard(p *shardPool, k int, sub interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
+	starts, ends := p.sbuf[:0], p.ebuf[:0]
+	for h := ls.heads[k]; h != 0; h = p.chunks[h].prev {
+		c := &p.chunks[h]
+		for i := int32(0); i < c.n; i++ {
+			it := &c.items[i]
+			if !it.iv.Overlaps(sub) {
+				continue
+			}
+			s, e := it.iv.Start, it.iv.End
+			if s < sub.Start {
+				s = sub.Start
+			}
+			if e > sub.End {
+				e = sub.End
+			}
+			starts = append(starts, shardEvent{t: s, d: it.demand})
+			ends = append(ends, shardEvent{t: e, d: it.demand})
 		}
-		s, e := it.iv.Start, it.iv.End
-		if s < sub.Start {
-			s = sub.Start
-		}
-		if e > sub.End {
-			e = sub.End
-		}
-		starts = append(starts, shardEvent{t: s, d: it.demand})
-		ends = append(ends, shardEvent{t: e, d: it.demand})
 	}
-	ls.sbuf, ls.ebuf = starts, ends
+	p.sbuf, p.ebuf = starts, ends
 	if len(starts) == 0 {
 		return 0, 0, interval.Interval{}, false
+	}
+	// Small sweeps — the common case with shards sized to a handful of jobs
+	// — skip the sorts: the maximum closed depth is attained at some clipped
+	// start point, so a direct quadratic evaluation over the parallel
+	// start/end arrays is exact and cheaper than two SortFunc calls. Only a
+	// saturated result (depth >= thresh) falls through to the full sweep,
+	// which additionally extracts the saturated run.
+	if len(starts) <= smallSweep {
+		for i := range starts {
+			pt := starts[i].t
+			d := 0
+			for k := range starts {
+				if starts[k].t <= pt && pt <= ends[k].t {
+					d += int(starts[k].d)
+				}
+			}
+			if d > depth || (d == depth && pt < at) {
+				depth, at = d, pt
+			}
+		}
+		if depth < thresh {
+			return depth, at, interval.Interval{}, false
+		}
+		depth, at = 0, 0
 	}
 	slices.SortFunc(starts, func(a, b shardEvent) int {
 		if a.t < b.t {

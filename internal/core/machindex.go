@@ -18,25 +18,26 @@ import (
 //     past it; the answer is exactly where the paper's FirstFit would stop
 //     if every earlier machine rejects.
 //
-//  2. A per-time-bucket saturation bitmap. Time is split into nb equal
-//     buckets over the instance hull; bit m of bucket b means "machine m is
-//     loaded to ≥ g at every point of bucket b". Bits are derived from
-//     saturated runs extracted by rejected tree probes
-//     (itree.MaxDepthRunWithinAt), which are durable because machines only
-//     gain jobs. A probe window overlapping a set bucket therefore contains
-//     a saturated point, so the machine provably rejects and whole runs of
+//  2. A per-bucket saturation bitmap over the instance's compressed time
+//     axis. Bit m of bucket b means "machine m is loaded to ≥ g at every
+//     point of bucket b". Bits are derived from saturated runs extracted by
+//     rejected capacity probes, which are durable because machines only gain
+//     jobs. A probe window overlapping a set bucket therefore contains a
+//     saturated point, so the machine provably rejects and whole runs of
 //     saturated machines are skipped with word-wide bit operations.
+//
+// Buckets are the elementary segments of the instance axis (distinct job
+// endpoints, decimated past maxTimeBuckets), so bitmap and profile memory
+// scale with distinct event times rather than the raw horizon. All bucket
+// geometry lives in interval.Axis; the index only consumes precomputed
+// bucket ranges.
 //
 // Soundness is one-directional by construction: the bitmap may only skip
 // machines that would certainly reject, and the segment tree may only stop
 // the scan at a machine that certainly accepts, so the indexed scan produces
 // byte-identical schedules to the linear probe loop.
 type machindex struct {
-	// Saturation bitmap. Bucket k covers [t0+k·bw, t0+(k+1)·bw]; nb == 0
-	// disables the bitmap (degenerate instance hull). hullLen is retained
-	// for configuring per-machine load shards.
-	t0, bw  float64
-	hullLen float64
+	// Saturation bitmap; nb == 0 disables it (degenerate axis).
 	nb      int
 	words   int      // uint64 words per bucket (machines / 64, rounded up)
 	mask    []uint64 // nb × words, bucket-major
@@ -49,6 +50,10 @@ type machindex struct {
 	minEnd   []float64 // min busy-hull end per subtree (+inf when empty)
 	maxStart []float64 // max busy-hull start per subtree (−inf when empty)
 	minPeak  []int32   // min peak load per subtree
+
+	// allocs counts backing-array growth, feeding ScratchStats; a warm index
+	// recycled at the same shape performs none.
+	allocs int
 }
 
 // maxQueryBuckets caps the per-probe bitmap scan; longer windows are sampled
@@ -71,64 +76,41 @@ const (
 
 const unopenedPeak = math.MaxInt32
 
-// newMachindex returns an index configured for inst with no machines.
-func newMachindex(inst *Instance) *machindex {
-	ix := &machindex{}
-	ix.reset(inst)
-	return ix
-}
-
-// reset reconfigures the index for inst, retaining allocations where shapes
-// allow, and drops all machines.
-func (ix *machindex) reset(inst *Instance) {
+// reset reconfigures the index for an instance axis, retaining allocations
+// where shapes allow, and drops all machines.
+func (ix *machindex) reset(ia *instanceAxis) {
 	ix.nm = 0
 	ix.words = 1
-	ix.nb = 0
-	ix.t0, ix.hullLen = 0, 0
-	if hull, err := inst.Hull(); err == nil && hull.Len() > 0 {
-		ix.nb = bucketCount(inst.N())
-		ix.t0 = hull.Start
-		ix.hullLen = hull.Len()
-		ix.bw = hull.Len() / float64(ix.nb)
-	}
+	ix.nb = ia.nb
 	if need := ix.nb * ix.words; cap(ix.mask) < need {
+		ix.allocs++
 		ix.mask = make([]uint64, need)
 	} else {
 		ix.mask = ix.mask[:need]
 		clear(ix.mask)
 	}
 	if cap(ix.blocked) < ix.words {
+		ix.allocs++
 		ix.blocked = make([]uint64, ix.words)
 	} else {
 		ix.blocked = ix.blocked[:ix.words]
 	}
-	ix.size = 0
-	ix.growTree(1)
+	ix.clearTree(1)
 }
 
-// bucketCount picks the bitmap resolution: enough buckets that typical jobs
-// span several (so saturated runs mark whole buckets), capped to keep the
-// mask and its reset cheap.
-func bucketCount(n int) int {
-	nb := 64
-	for nb < 4*n && nb < 1<<16 {
-		nb <<= 1
-	}
-	return nb
-}
-
-// growTree (re)allocates the segment tree for at least want leaves and
-// rebuilds it from scratch as all-unopened; callers re-add machines.
-func (ix *machindex) growTree(want int) {
+// clearTree (re)shapes the segment tree for at least want leaves — keeping
+// the larger of want and the current size, so a recycled index does not
+// re-grow machine by machine — and resets every slot to unopened.
+func (ix *machindex) clearTree(want int) {
 	size := 1
 	for size < want {
 		size <<= 1
 	}
-	if size <= ix.size {
-		// Same arrays, just clear to the unopened state.
+	if size < ix.size {
 		size = ix.size
 	}
 	if 2*size > cap(ix.minEnd) {
+		ix.allocs++
 		ix.minEnd = make([]float64, 2*size)
 		ix.maxStart = make([]float64, 2*size)
 		ix.minPeak = make([]int32, 2*size)
@@ -145,19 +127,60 @@ func (ix *machindex) growTree(want int) {
 	ix.size = size
 }
 
+// growTree doubles the tree to hold at least want leaves, preserving the nm
+// open leaves in place (no temporary copies, and no allocation when the
+// retained capacity suffices).
+func (ix *machindex) growTree(want int) {
+	oldSize, m := ix.size, ix.nm
+	size := oldSize
+	if size == 0 {
+		size = 1
+	}
+	for size < want {
+		size <<= 1
+	}
+	if 2*size > cap(ix.minEnd) {
+		ix.allocs++
+		minEnd := make([]float64, 2*size)
+		maxStart := make([]float64, 2*size)
+		minPeak := make([]int32, 2*size)
+		copy(minEnd[size:], ix.minEnd[oldSize:oldSize+m])
+		copy(maxStart[size:], ix.maxStart[oldSize:oldSize+m])
+		copy(minPeak[size:], ix.minPeak[oldSize:oldSize+m])
+		ix.minEnd, ix.maxStart, ix.minPeak = minEnd, maxStart, minPeak
+	} else {
+		ix.minEnd = ix.minEnd[:2*size]
+		ix.maxStart = ix.maxStart[:2*size]
+		ix.minPeak = ix.minPeak[:2*size]
+		// size ≥ 2·oldSize ≥ oldSize+m, so the leaf block moves strictly
+		// rightward and a forward copy never clobbers unread slots.
+		copy(ix.minEnd[size:size+m], ix.minEnd[oldSize:oldSize+m])
+		copy(ix.maxStart[size:size+m], ix.maxStart[oldSize:oldSize+m])
+		copy(ix.minPeak[size:size+m], ix.minPeak[oldSize:oldSize+m])
+	}
+	for i := size + m; i < 2*size; i++ {
+		ix.minEnd[i] = math.Inf(1)
+		ix.maxStart[i] = math.Inf(-1)
+		ix.minPeak[i] = unopenedPeak
+	}
+	for n := size - 1; n >= 1; n-- {
+		l, r := 2*n, 2*n+1
+		ix.minEnd[n] = math.Min(ix.minEnd[l], ix.minEnd[r])
+		ix.maxStart[n] = math.Max(ix.maxStart[l], ix.maxStart[r])
+		if ix.minPeak[l] < ix.minPeak[r] {
+			ix.minPeak[n] = ix.minPeak[l]
+		} else {
+			ix.minPeak[n] = ix.minPeak[r]
+		}
+	}
+	ix.size = size
+}
+
 // addMachine registers the next machine slot (empty: no hull, peak 0).
 func (ix *machindex) addMachine() {
 	m := ix.nm
 	if m >= ix.size {
-		// Double the tree and replay the existing leaves.
-		oldEnd := append([]float64(nil), ix.minEnd[ix.size:ix.size+m]...)
-		oldStart := append([]float64(nil), ix.maxStart[ix.size:ix.size+m]...)
-		oldPeak := append([]int32(nil), ix.minPeak[ix.size:ix.size+m]...)
-		ix.size = 0
-		ix.growTree(2 * (m + 1))
-		for i := 0; i < m; i++ {
-			ix.setLeaf(i, oldStart[i], oldEnd[i], oldPeak[i])
-		}
+		ix.growTree(m + 1)
 	}
 	ix.nm++
 	ix.setLeaf(m, math.Inf(-1), math.Inf(1), 0)
@@ -222,68 +245,40 @@ func (ix *machindex) firstTrivial(w interval.Interval, slack int32) int {
 	return m
 }
 
-// growWords widens the bitmap rows by one word, preserving existing bits.
+// growWords widens the bitmap rows by one word, preserving existing bits. It
+// widens in place when the retained capacity suffices: rows are moved back
+// to front, so a destination row only ever overlaps source rows that have
+// already been moved.
 func (ix *machindex) growWords() {
 	old := ix.words
 	ix.words = old + 1
-	mask := make([]uint64, ix.nb*ix.words)
-	for b := 0; b < ix.nb; b++ {
-		copy(mask[b*ix.words:], ix.mask[b*old:(b+1)*old])
+	need := ix.nb * ix.words
+	if cap(ix.mask) < need {
+		ix.allocs++
+		mask := make([]uint64, need)
+		for b := 0; b < ix.nb; b++ {
+			copy(mask[b*ix.words:b*ix.words+old], ix.mask[b*old:(b+1)*old])
+		}
+		ix.mask = mask
+	} else {
+		ix.mask = ix.mask[:need]
+		for b := ix.nb - 1; b >= 0; b-- {
+			ix.mask[b*ix.words+old] = 0
+			for w := old - 1; w >= 0; w-- {
+				ix.mask[b*ix.words+w] = ix.mask[b*old+w]
+			}
+		}
 	}
-	ix.mask = mask
-	ix.blocked = make([]uint64, ix.words)
-}
-
-// bucketsOverlapping returns the inclusive bucket range intersecting w
-// (closed semantics); lo > hi means none. Every returned bucket is verified
-// to truly overlap w, so blocked-mask queries never over-report.
-func (ix *machindex) bucketsOverlapping(w interval.Interval) (lo, hi int) {
-	if ix.nb == 0 {
-		return 1, 0
+	if cap(ix.blocked) < ix.words {
+		ix.allocs++
+		ix.blocked = make([]uint64, ix.words)
+	} else {
+		ix.blocked = ix.blocked[:ix.words]
 	}
-	lo = int((w.Start-ix.t0)/ix.bw) - 1
-	hi = int((w.End-ix.t0)/ix.bw) + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > ix.nb-1 {
-		hi = ix.nb - 1
-	}
-	for lo <= hi && ix.t0+float64(lo+1)*ix.bw < w.Start {
-		lo++
-	}
-	for hi >= lo && ix.t0+float64(hi)*ix.bw > w.End {
-		hi--
-	}
-	return lo, hi
-}
-
-// bucketsWithin returns the inclusive range of buckets entirely contained in
-// iv; lo > hi means none. Every returned bucket is verified to lie inside
-// iv, so saturation marking never over-claims.
-func (ix *machindex) bucketsWithin(iv interval.Interval) (lo, hi int) {
-	if ix.nb == 0 {
-		return 1, 0
-	}
-	lo = int((iv.Start - ix.t0) / ix.bw)
-	hi = int((iv.End-ix.t0)/ix.bw) + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > ix.nb-1 {
-		hi = ix.nb - 1
-	}
-	for lo <= hi && ix.t0+float64(lo)*ix.bw < iv.Start {
-		lo++
-	}
-	for hi >= lo && ix.t0+float64(hi+1)*ix.bw > iv.End {
-		hi--
-	}
-	return lo, hi
 }
 
 // profileBuckets returns the bucketed-profile size for machine m: the full
-// bucket grid inside the profile prefix, zero (no profile) beyond it.
+// axis grid inside the profile prefix, zero (no profile) beyond it.
 func (ix *machindex) profileBuckets(m int) int {
 	if m >= maxProfileMachines {
 		return 0
@@ -300,16 +295,16 @@ func (ix *machindex) markBucket(m, b int) {
 	ix.mask[b*ix.words+m/64] |= 1 << (m % 64)
 }
 
-// blockedMask ORs the saturation rows of every bucket overlapping w into the
-// scratch mask and returns it: a set bit means the machine has a fully
-// saturated bucket intersecting w and therefore provably rejects any job on
-// that window. The mask is valid until the next call.
-func (ix *machindex) blockedMask(w interval.Interval) []uint64 {
+// blockedMask ORs the saturation rows of the buckets [lo, hi] (a window's
+// axis overlap range) into the scratch mask and returns it: a set bit means
+// the machine has a fully saturated bucket intersecting the window and
+// therefore provably rejects any job on it. The mask is valid until the next
+// call.
+func (ix *machindex) blockedMask(lo, hi int) []uint64 {
 	bl := ix.blocked[:ix.words]
 	for i := range bl {
 		bl[i] = 0
 	}
-	lo, hi := ix.bucketsOverlapping(w)
 	if lo > hi {
 		return bl
 	}

@@ -12,7 +12,8 @@ import (
 // acceptance conditions, and no lower-indexed machine may satisfy any.
 func TestFirstTrivialFindsLowestGuaranteedMachine(t *testing.T) {
 	in := denseTestInstance(200, 3, 100, 10)
-	ix := newMachindex(in)
+	ix := new(machindex)
+	ix.reset(in.timeAxis())
 	type mstate struct {
 		hull interval.Interval
 		peak int
@@ -60,69 +61,106 @@ func TestFirstTrivialFindsLowestGuaranteedMachine(t *testing.T) {
 	}
 }
 
-// TestSaturationBitmapSoundness checks that blockedMask only ever reports
-// machines whose marked buckets really overlap the window, via the
-// bucket-geometry helpers it is built from.
-func TestSaturationBitmapSoundness(t *testing.T) {
-	in := denseTestInstance(512, 2, 256, 8)
-	ix := newMachindex(in)
-	ix.addMachine()
-	state := uint64(7)
-	next := func() float64 {
-		state += 0x9e3779b97f4a7c15
-		z := state
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return float64((z^(z>>31))>>11) / (1 << 53)
-	}
-	for trial := 0; trial < 2000; trial++ {
-		s := next() * 256
-		iv := interval.Interval{Start: s, End: s + next()*10}
-		lo, hi := ix.bucketsWithin(iv)
-		for b := lo; b <= hi; b++ {
-			blo := ix.t0 + float64(b)*ix.bw
-			bhi := ix.t0 + float64(b+1)*ix.bw
-			if blo < iv.Start || bhi > iv.End {
-				t.Fatalf("bucketsWithin(%v) reported bucket [%v,%v] outside the interval", iv, blo, bhi)
+// TestShardGeometryCoversJobs pins the bucket→shard mapping every indexed
+// machine relies on: a job's shard range covers its window, and every shard
+// in the range genuinely touches the window, so sharded sweeps see exactly
+// the jobs that can contribute load.
+func TestShardGeometryCoversJobs(t *testing.T) {
+	for _, n := range []int{5, 60, 600, 6000} {
+		in := denseTestInstance(n, 3, float64(n), 12)
+		ia := in.timeAxis()
+		if ia.nb == 0 {
+			t.Fatalf("n=%d: degenerate axis", n)
+		}
+		if ia.nshards != (ia.nb-1)>>ia.shardShift+1 {
+			t.Fatalf("n=%d: nshards %d inconsistent with nb %d >> %d", n, ia.nshards, ia.nb, ia.shardShift)
+		}
+		extra := 0
+		for _, job := range in.Jobs {
+			lo, hi := ia.ax.OverlapRange(job.Iv)
+			if lo > hi {
+				t.Fatalf("n=%d: job %v got empty bucket range", n, job.Iv)
+			}
+			slo, shi := ia.shardRange(lo, hi)
+			extra += shi - slo
+			if ia.shardStart(slo) > job.Iv.Start || ia.shardEnd(shi) < job.Iv.End {
+				t.Fatalf("n=%d: job %v not covered by shards [%d,%d] = [%v,%v]",
+					n, job.Iv, slo, shi, ia.shardStart(slo), ia.shardEnd(shi))
+			}
+			for k := slo; k <= shi; k++ {
+				tile := interval.Interval{Start: ia.shardStart(k), End: ia.shardEnd(k)}
+				if !tile.Overlaps(job.Iv) {
+					t.Fatalf("n=%d: job %v spans disjoint shard %d %v", n, job.Iv, k, tile)
+				}
 			}
 		}
-		qs := next() * 256
-		q := interval.Interval{Start: qs, End: qs + next()*10}
-		qlo, qhi := ix.bucketsOverlapping(q)
-		for b := qlo; b <= qhi; b++ {
-			blo := ix.t0 + float64(b)*ix.bw
-			bhi := ix.t0 + float64(b+1)*ix.bw
-			if blo > q.End || bhi < q.Start {
-				t.Fatalf("bucketsOverlapping(%v) reported disjoint bucket [%v,%v]", q, blo, bhi)
-			}
+		if extra > in.N() {
+			t.Fatalf("n=%d: %d extra shard copies for %d jobs; duplication bound violated", n, extra, in.N())
 		}
 	}
 }
 
-// TestMachindexWordGrowth exercises the bitmap re-layout past 64 machines.
+// TestMachindexWordGrowth exercises the bitmap re-layout past 64 machines,
+// including the in-place widening of a recycled mask.
 func TestMachindexWordGrowth(t *testing.T) {
 	in := denseTestInstance(64, 2, 64, 4)
-	ix := newMachindex(in)
-	if ix.nb == 0 {
-		t.Skip("degenerate hull")
-	}
-	for m := 0; m < 130; m++ {
-		ix.addMachine()
-		ix.markBucket(m, m%ix.nb)
-	}
-	for m := 0; m < 130; m++ {
-		b := m % ix.nb
-		if ix.mask[b*ix.words+m/64]&(1<<(m%64)) == 0 {
-			t.Fatalf("bit for machine %d bucket %d lost across word growth", m, b)
+	ix := new(machindex)
+	for round := 0; round < 2; round++ {
+		// Round 1 re-runs on the warm index: the widening must then happen
+		// in place, preserving bits without fresh backing arrays.
+		ix.reset(in.timeAxis())
+		if ix.nb == 0 {
+			t.Skip("degenerate axis")
+		}
+		allocsBefore := ix.allocs
+		for m := 0; m < 130; m++ {
+			ix.addMachine()
+			ix.markBucket(m, m%ix.nb)
+		}
+		for m := 0; m < 130; m++ {
+			b := m % ix.nb
+			if ix.mask[b*ix.words+m/64]&(1<<(m%64)) == 0 {
+				t.Fatalf("round %d: bit for machine %d bucket %d lost across word growth", round, m, b)
+			}
+		}
+		if round == 1 && ix.allocs != allocsBefore {
+			t.Fatalf("warm re-run allocated %d backing arrays; want 0", ix.allocs-allocsBefore)
 		}
 	}
+}
+
+// shardHarness wires a loadShards directory to a pool and an axis the way a
+// schedule does, for driving the oracle directly in tests.
+type shardHarness struct {
+	ia   *instanceAxis
+	pool shardPool
+	ls   loadShards
+}
+
+func newShardHarness(in *Instance) *shardHarness {
+	h := &shardHarness{ia: in.timeAxis()}
+	h.ls.init(h.ia)
+	return h
+}
+
+func (h *shardHarness) add(iv interval.Interval, demand int) {
+	lo, hi := h.ia.ax.OverlapRange(iv)
+	slo, shi := h.ia.shardRange(lo, hi)
+	h.ls.add(&h.pool, iv, demand, slo, shi)
+}
+
+func (h *shardHarness) maxDepthRun(w interval.Interval, thresh int) (int, float64, interval.Interval, bool) {
+	lo, hi := h.ia.ax.OverlapRange(w)
+	slo, shi := h.ia.shardRange(lo, hi)
+	return h.ls.maxDepthRun(&h.pool, h.ia, w, thresh, slo, shi)
 }
 
 // TestLoadShardsMatchesBrute compares the sharded capacity oracle against a
-// brute-force depth computation across growth boundaries.
+// brute-force depth computation. The insertion count runs far past the old
+// doubling-growth threshold (shardJobTarget items per shard) to pin the
+// regression the up-front sizing replaced: the fixed directory must stay
+// exact at any occupancy, with no redistribution path left to get wrong.
 func TestLoadShardsMatchesBrute(t *testing.T) {
-	var ls loadShards
-	ls.init(0, 100)
 	state := uint64(3)
 	next := func() float64 {
 		state += 0x9e3779b97f4a7c15
@@ -135,17 +173,34 @@ func TestLoadShardsMatchesBrute(t *testing.T) {
 		iv interval.Interval
 		d  int
 	}
-	var jobs []wjob
+	// Pre-generate the workload so the instance axis exists up front, the
+	// way EnableMachineIndex sees a complete instance.
+	jobs := make([]wjob, 1200)
+	ivs := make([]interval.Interval, len(jobs))
+	for i := range jobs {
+		s := next() * 100
+		iv := interval.Interval{Start: s, End: s + next()*12}
+		jobs[i] = wjob{iv, 1 + int(next()*3)}
+		ivs[i] = iv
+	}
+	h := newShardHarness(NewInstance(4, ivs...))
+	if h.ia.nshards < 2 {
+		t.Fatalf("only %d shard(s); multi-shard sweeps untested", h.ia.nshards)
+	}
+	if old := shardJobTarget; len(jobs) <= old {
+		t.Fatalf("workload %d does not exceed the old growth threshold %d", len(jobs), old)
+	}
+	var added []wjob
 	brute := func(w interval.Interval) int {
 		// Max closed depth within w: evaluate at every clipped endpoint.
 		best := 0
-		for _, cand := range jobs {
+		for _, cand := range added {
 			for _, p := range []float64{cand.iv.Start, cand.iv.End, w.Start, w.End} {
 				if p < w.Start || p > w.End {
 					continue
 				}
 				depth := 0
-				for _, o := range jobs {
+				for _, o := range added {
 					if o.iv.Contains(p) {
 						depth += o.d
 					}
@@ -157,18 +212,15 @@ func TestLoadShardsMatchesBrute(t *testing.T) {
 		}
 		return best
 	}
-	for step := 0; step < 1200; step++ {
-		s := next() * 100
-		iv := interval.Interval{Start: s, End: s + next()*12}
-		d := 1 + int(next()*3)
-		ls.add(iv, d)
-		jobs = append(jobs, wjob{iv, d})
+	for step, j := range jobs {
+		h.add(j.iv, j.d)
+		added = append(added, j)
 		qs := next() * 100
 		w := interval.Interval{Start: qs, End: qs + next()*12}
 		want := brute(w)
-		got, at, run, ok := ls.maxDepthRun(w, 3)
+		got, at, run, ok := h.maxDepthRun(w, 3)
 		if got != want {
-			t.Fatalf("step %d: depth %d, brute %d (w=%v, shards=%d)", step, got, want, w, len(ls.shards))
+			t.Fatalf("step %d: depth %d, brute %d (w=%v, shards=%d)", step, got, want, w, h.ia.nshards)
 		}
 		if ok != (want >= 3) {
 			t.Fatalf("step %d: ok=%v with depth %d", step, ok, want)
@@ -183,7 +235,7 @@ func TestLoadShardsMatchesBrute(t *testing.T) {
 			for i := 0; i <= 8; i++ {
 				p := run.Start + (run.End-run.Start)*float64(i)/8
 				depth := 0
-				for _, o := range jobs {
+				for _, o := range added {
 					if o.iv.Contains(p) {
 						depth += o.d
 					}
@@ -194,9 +246,6 @@ func TestLoadShardsMatchesBrute(t *testing.T) {
 			}
 		}
 	}
-	if len(ls.shards) == 1 {
-		t.Fatal("shards never grew; growth path untested")
-	}
 }
 
 // TestLoadShardsMatchesTreeOracle pins the two exact capacity oracles — the
@@ -205,9 +254,6 @@ func TestLoadShardsMatchesBrute(t *testing.T) {
 // everywhere and reported runs must satisfy the same saturation contract.
 // This is the tripwire for the duplicated run-extraction logic.
 func TestLoadShardsMatchesTreeOracle(t *testing.T) {
-	var ls loadShards
-	ls.init(0, 60)
-	tree := itree.New(5)
 	state := uint64(21)
 	next := func() float64 {
 		state += 0x9e3779b97f4a7c15
@@ -216,15 +262,23 @@ func TestLoadShardsMatchesTreeOracle(t *testing.T) {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		return float64((z^(z>>31))>>11) / (1 << 53)
 	}
-	for step := 0; step < 800; step++ {
+	ivs := make([]interval.Interval, 800)
+	for i := range ivs {
 		s := next() * 60
-		iv := interval.Interval{Start: s, End: s + next()*9}
-		ls.add(iv, 1)
+		ivs[i] = interval.Interval{Start: s, End: s + next()*9}
+	}
+	h := newShardHarness(NewInstance(4, ivs...))
+	if h.ia.nshards < 2 {
+		t.Fatalf("only %d shard(s); multi-shard sweeps untested", h.ia.nshards)
+	}
+	tree := itree.New(5)
+	for step, iv := range ivs {
+		h.add(iv, 1)
 		tree.Insert(itree.Item{Iv: iv, ID: step})
 		qs := next() * 60
 		w := interval.Interval{Start: qs, End: qs + next()*9}
 		for _, thresh := range []int{2, 4} {
-			sd, sa, srun, sok := ls.maxDepthRun(w, thresh)
+			sd, sa, srun, sok := h.maxDepthRun(w, thresh)
 			td, ta, trun, tok := tree.MaxDepthRunWithinAt(w, thresh)
 			if sd != td {
 				t.Fatalf("step %d: shard depth %d != tree depth %d (w=%v)", step, sd, td, w)
@@ -245,9 +299,6 @@ func TestLoadShardsMatchesTreeOracle(t *testing.T) {
 				t.Fatalf("step %d: tree run %v outside %v", step, trun, w)
 			}
 		}
-	}
-	if len(ls.shards) == 1 {
-		t.Fatal("shards never grew")
 	}
 }
 

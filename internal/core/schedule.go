@@ -16,23 +16,30 @@ const Unassigned = -1
 // dense indices 0..NumMachines()-1; jobs are addressed by position in the
 // instance's job slice (not by Job.ID, which is preserved metadata).
 //
-// Schedule maintains one interval tree per machine so feasibility checks run
-// in O(log n + k). A demand-d job occupies d capacity slots, implemented by
-// storing d copies in the capacity tree. On top of the tree each machine
-// keeps cheap residual-capacity hints — its busy hull, its peak load, and a
-// few saturation witness points — that resolve most capacity probes in O(1)
-// without touching the tree (see CanAssign).
+// Machine state is stored as a flat value slice — one contiguous record per
+// machine instead of a pointer per machine — and every capacity structure a
+// machine needs (interval tree or time shards, load profile, span union) is
+// drawn from recyclable backing arrays, so schedules built from a Scratch
+// reach a zero-allocation steady state (see Scratch).
+//
+// Each machine answers feasibility checks through cheap residual-capacity
+// hints — its busy hull, its peak load, and a few saturation witness points
+// — backed by an exact capacity oracle: time-sharded job lists under the
+// machine-selection index, an interval tree otherwise (see CanAssign).
 type Schedule struct {
 	inst     *Instance
 	assign   []int
-	machines []*machineState
+	machines []machineState
 	scratch  *Scratch
 	// totalBusy is Σ_m span(J_m), maintained incrementally by insert so
 	// Cost is an O(1) read.
 	totalBusy float64
 	// index is the optional machine-selection index behind FirstFitAssign
-	// (see machindex and EnableMachineIndex).
+	// (see machindex and EnableMachineIndex); ia is the instance's compressed
+	// time axis and pool the shard arena, both set alongside index.
 	index *machindex
+	ia    *instanceAxis
+	pool  *shardPool
 }
 
 // hotspot is a saturation hint: the machine's load at time at is known to be
@@ -48,6 +55,9 @@ type hotspot struct {
 const maxHotspots = 8
 
 type machineState struct {
+	// tree is the exact capacity oracle of non-indexed machines, created
+	// lazily on the machine's first insertion (indexed machines never need
+	// one) and recycled with the machine state.
 	tree *itree.Tree
 	jobs []int
 	// hull is the smallest interval containing every job on the machine
@@ -55,30 +65,32 @@ type machineState struct {
 	// trivially fits.
 	hull interval.Interval
 	// peak is an upper bound on the machine's maximum demand-weighted load
-	// over all time — exact while placements go through TryAssign's tree
+	// over all time — exact while placements go through TryAssign's oracle
 	// query, which learns the true in-window load; the bucketed-profile and
 	// plain-Assign paths widen it conservatively instead of paying a query.
 	// A candidate with Demand ≤ g − peak trivially fits.
 	peak int
-	// hot are saturation witnesses recorded by rejected probes.
-	hot []hotspot
+	// hot are saturation witnesses recorded by rejected probes, stored
+	// inline so recording one never allocates.
+	hot  [maxHotspots]hotspot
+	nhot int
 	// spans is the running union of the machine's job intervals, so the
 	// machine's busy time is an O(1) read and never re-derived.
 	spans interval.Spans
-	// shards holds the machine's jobs sharded by time under the
+	// shards holds the machine's jobs bucketed by time under the
 	// machine-selection index, replacing the interval tree as the exact
-	// capacity oracle: appends are O(1) and a probe only scans the shards
-	// its window overlaps (see loadShards).
+	// capacity oracle (see loadShards).
 	shards loadShards
-	// floor and ceil are the machine's bucketed load profile, allocated only
-	// under the machine-selection index (one byte per time bucket each).
-	// floor[b] is a lower bound on the load at EVERY point of bucket b, so
-	// floor[b]+d > g rejects any job window touching the bucket; ceil[b] is
-	// an upper bound on the maximum load anywhere in bucket b (255 means
+	// prof backs the bucketed load profile, allocated only under the
+	// machine-selection index; floor and ceil are its two halves.
+	// floor[b] is a lower bound on the load at EVERY point of axis bucket b,
+	// so floor[b]+d > g rejects any job window touching the bucket; ceil[b]
+	// is an upper bound on the maximum load anywhere in bucket b (255 means
 	// unknown), so max ceil over a window's buckets within g−d accepts
-	// without a tree query. Both are maintained by insert and stay sound in
-	// their respective directions, which keeps indexed scans byte-identical
-	// to linear ones.
+	// without an oracle query. Both are maintained by insert and stay sound
+	// in their respective directions, which keeps indexed scans
+	// byte-identical to linear ones.
+	prof  []uint8
 	floor []uint8
 	ceil  []uint8
 }
@@ -87,28 +99,33 @@ type machineState struct {
 // never justify an acceptance.
 const ceilUnknown = 255
 
-// reset clears the state for reuse, retaining allocations. The load profile
-// is truncated, not cleared: OpenMachine re-sizes it only when the next
-// schedule enables the machine-selection index.
-func (st *machineState) reset() {
-	st.tree.Reset()
+// recycle clears the state for a fresh machine with index seed−1, retaining
+// every backing allocation. The load profile is dropped, not cleared:
+// OpenMachine re-sizes it only when the schedule's index needs one.
+func (st *machineState) recycle(seed uint64) {
+	if st.tree != nil {
+		st.tree.ResetSeed(seed)
+	}
 	st.jobs = st.jobs[:0]
 	st.hull = interval.Interval{}
 	st.peak = 0
-	st.hot = st.hot[:0]
+	st.nhot = 0
 	st.spans.Reset()
-	st.floor = st.floor[:0]
-	st.ceil = st.ceil[:0]
+	st.floor, st.ceil = nil, nil
 	st.shards.reset()
 }
 
 // maxDepthRun answers the exact capacity query — maximum demand-weighted
 // closed depth within w, with witness and saturated run — from whichever
 // structure is authoritative: the time-sharded job lists under the
-// machine-selection index, the interval tree otherwise.
-func (st *machineState) maxDepthRun(w interval.Interval, thresh int) (depth int, at float64, run interval.Interval, ok bool) {
+// machine-selection index (slo/shi is w's shard range), the interval tree
+// otherwise.
+func (s *Schedule) maxDepthRun(st *machineState, w interval.Interval, thresh, slo, shi int) (depth int, at float64, run interval.Interval, ok bool) {
 	if st.shards.enabled() {
-		return st.shards.maxDepthRun(w, thresh)
+		return st.shards.maxDepthRun(s.pool, s.ia, w, thresh, slo, shi)
+	}
+	if st.tree == nil {
+		return 0, 0, interval.Interval{}, false
 	}
 	return st.tree.MaxDepthRunWithinAt(w, thresh)
 }
@@ -135,63 +152,83 @@ func (s *Schedule) MachineOf(j int) int { return s.assign[j] }
 // order. The returned slice is owned by the schedule.
 func (s *Schedule) MachineJobs(m int) []int { return s.machines[m].jobs }
 
-// OpenMachine creates a new empty machine and returns its index.
-func (s *Schedule) OpenMachine() int {
-	var st *machineState
+// noteAlloc feeds the arena-allocation counter of the backing Scratch (a
+// no-op for fresh schedules); see ScratchStats.
+func (s *Schedule) noteAlloc() {
 	if s.scratch != nil {
-		st = s.scratch.takeMachine(uint64(len(s.machines) + 1))
-	} else {
-		st = &machineState{tree: itree.New(uint64(len(s.machines) + 1))}
+		s.scratch.allocs++
 	}
-	s.machines = append(s.machines, st)
+}
+
+// OpenMachine creates a new empty machine and returns its index. Machine
+// records beyond the backing array's retained capacity are appended; within
+// it, the previous instance's record is recycled in place.
+func (s *Schedule) OpenMachine() int {
+	m := len(s.machines)
+	if m < cap(s.machines) {
+		s.machines = s.machines[:m+1]
+	} else {
+		s.noteAlloc()
+		s.machines = append(s.machines, machineState{})
+	}
+	st := &s.machines[m]
+	st.recycle(uint64(m + 1))
 	if s.index != nil {
 		s.index.addMachine()
-		st.sizeProfile(s.index.profileBuckets(len(s.machines) - 1))
-		st.shards.init(s.index.t0, s.index.hullLen)
+		if st.sizeProfile(s.index.profileBuckets(m)) {
+			s.noteAlloc()
+		}
+		if st.shards.init(s.ia) {
+			s.noteAlloc()
+		}
 	}
-	return len(s.machines) - 1
+	return m
 }
 
 // sizeProfile (re)initializes the bucketed load profile for nb buckets,
-// retaining allocations; nb == 0 disables the profile.
-func (st *machineState) sizeProfile(nb int) {
+// retaining allocations; nb == 0 disables the profile. It reports whether
+// the backing array had to grow.
+func (st *machineState) sizeProfile(nb int) (grew bool) {
 	if nb == 0 {
 		st.floor, st.ceil = nil, nil
-		return
+		return false
 	}
-	if cap(st.floor) < nb {
-		st.floor = make([]uint8, nb)
-		st.ceil = make([]uint8, nb)
-		return
+	if cap(st.prof) < 2*nb {
+		st.prof = make([]uint8, 2*nb)
+		grew = true
+	} else {
+		st.prof = st.prof[:2*nb]
+		clear(st.prof)
 	}
-	st.floor = st.floor[:nb]
-	st.ceil = st.ceil[:nb]
-	clear(st.floor)
-	clear(st.ceil)
+	st.floor = st.prof[:nb:nb]
+	st.ceil = st.prof[nb:]
+	return grew
 }
 
 // EnableMachineIndex attaches the machine-selection index that powers
 // FirstFitAssign. Call it once, right after creating the schedule; machines
 // opened before the call are indexed retroactively. Schedules drawn from a
-// Scratch recycle the index across instances.
+// Scratch recycle the index arena across instances; the instance's
+// compressed time axis is computed once and cached on the instance.
 func (s *Schedule) EnableMachineIndex() {
 	if s.index != nil {
 		return
 	}
+	s.ia = s.inst.timeAxis()
 	if s.scratch != nil {
-		if s.scratch.index == nil {
-			s.scratch.index = newMachindex(s.inst)
-		} else {
-			s.scratch.index.reset(s.inst)
-		}
-		s.index = s.scratch.index
+		s.pool = &s.scratch.pool
+		s.index = &s.scratch.index
 	} else {
-		s.index = newMachindex(s.inst)
+		s.pool = new(shardPool)
+		s.index = new(machindex)
 	}
-	for m, st := range s.machines {
+	s.pool.reset()
+	s.index.reset(s.ia)
+	for m := range s.machines {
+		st := &s.machines[m]
 		s.index.addMachine()
 		st.sizeProfile(s.index.profileBuckets(m))
-		st.shards.init(s.index.t0, s.index.hullLen)
+		st.shards.init(s.ia)
 		if len(st.jobs) > 0 {
 			s.index.update(m, st.hull, st.peak)
 			// The profile was not maintained while these jobs arrived:
@@ -202,20 +239,30 @@ func (s *Schedule) EnableMachineIndex() {
 			}
 			for _, j := range st.jobs {
 				job := s.inst.Jobs[j]
-				st.shards.add(job.Iv, job.Demand)
+				slo, shi := s.ia.shardRange(s.jobBuckets(j))
+				st.shards.add(s.pool, job.Iv, job.Demand, slo, shi)
 			}
 		}
 	}
 }
 
+// jobBuckets returns the axis bucket overlap range of job j's window, or an
+// empty range when no index (or a degenerate axis) is attached. The range is
+// precomputed per job with the axis, so the hot path never searches.
+func (s *Schedule) jobBuckets(j int) (lo, hi int) {
+	if s.ia == nil || s.ia.nb == 0 {
+		return 0, -1
+	}
+	return int(s.ia.jobLo[j]), int(s.ia.jobHi[j])
+}
+
 // probeProfile consults machine state st's bucketed load profile for a job
-// with window w and demand d against capacity g. It returns verdict +1 with
-// a sound upper bound on the in-window load when the profile proves the job
-// fits, −1 when it proves the job cannot fit, and 0 when the profile cannot
-// decide and the caller must query the interval tree.
-func (s *Schedule) probeProfile(st *machineState, w interval.Interval, d, g int) (verdict, usedUB int) {
-	ix := s.index
-	lo, hi := ix.bucketsOverlapping(w)
+// with window w spanning axis buckets [lo, hi] and demand d against capacity
+// g. It returns verdict +1 with a sound upper bound on the in-window load
+// when the profile proves the job fits, −1 when it proves the job cannot
+// fit, and 0 when the profile cannot decide and the caller must query the
+// exact oracle.
+func (s *Schedule) probeProfile(st *machineState, w interval.Interval, d, g, lo, hi int) (verdict, usedUB int) {
 	if lo > hi {
 		return 0, 0
 	}
@@ -229,10 +276,11 @@ func (s *Schedule) probeProfile(st *machineState, w interval.Interval, d, g int)
 		}
 	}
 	// Accepting on the ceilings requires the buckets to cover the whole
-	// window (rejects only need an overlap); verify against the grid so
-	// float rounding at the hull edges can never sneak an unsound accept.
+	// window (rejects only need an overlap); the axis guarantees coverage
+	// for job windows, but verify against the boundaries so no caller can
+	// ever sneak an unsound accept.
 	if maxCeil < ceilUnknown && maxCeil+d <= g &&
-		ix.t0+float64(lo)*ix.bw <= w.Start && ix.t0+float64(hi+1)*ix.bw >= w.End {
+		s.ia.ax.Boundary(lo) <= w.Start && s.ia.ax.Boundary(hi+1) >= w.End {
 		return 1, maxCeil
 	}
 	return 0, 0
@@ -242,14 +290,15 @@ func (s *Schedule) probeProfile(st *machineState, w interval.Interval, d, g int)
 // the capacity g at any instant (closed semantics, demand-weighted).
 //
 // The check consults the machine's residual-capacity hints before paying for
-// an interval-tree query: a job outside the busy hull always fits, a job
+// an exact oracle query: a job outside the busy hull always fits, a job
 // whose demand is within g − peak always fits, and a job covering a known
 // saturation point that it cannot share never fits. Probes that fall through
-// to the tree and get rejected record the rejection's witness point, so
+// to the oracle and get rejected record the rejection's witness point, so
 // repeated probing of a saturated machine converges to O(1).
 func (s *Schedule) CanAssign(j, m int) bool {
+	lo, hi := s.jobBuckets(j)
 	job := s.inst.Jobs[j]
-	st := s.machines[m]
+	st := &s.machines[m]
 	g := s.inst.G
 	if len(st.jobs) == 0 || !job.Iv.Overlaps(st.hull) {
 		return job.Demand <= g
@@ -257,17 +306,21 @@ func (s *Schedule) CanAssign(j, m int) bool {
 	if st.peak+job.Demand <= g {
 		return true
 	}
-	for _, h := range st.hot {
+	for _, h := range st.hot[:st.nhot] {
 		if h.depth+job.Demand > g && job.Iv.Contains(h.at) {
 			return false
 		}
 	}
 	if len(st.floor) > 0 {
-		if verdict, _ := s.probeProfile(st, job.Iv, job.Demand, g); verdict != 0 {
+		if verdict, _ := s.probeProfile(st, job.Iv, job.Demand, g, lo, hi); verdict != 0 {
 			return verdict > 0
 		}
 	}
-	used, at, run, sat := st.maxDepthRun(job.Iv, g)
+	slo, shi := 0, 0
+	if s.ia != nil {
+		slo, shi = s.ia.shardRange(lo, hi)
+	}
+	used, at, run, sat := s.maxDepthRun(st, job.Iv, g, slo, shi)
 	if used+job.Demand > g {
 		st.noteHot(at, used)
 		if sat && s.index != nil {
@@ -282,8 +335,7 @@ func (s *Schedule) CanAssign(j, m int) bool {
 // in the machine-selection index: bitmap bits for the scan and floor bumps
 // for subsequent per-machine probes.
 func (s *Schedule) markSaturatedRun(st *machineState, m int, run interval.Interval) {
-	ix := s.index
-	lo, hi := ix.bucketsWithin(run)
+	lo, hi := s.ia.ax.WithinRange(run)
 	if lo > hi {
 		return
 	}
@@ -295,14 +347,14 @@ func (s *Schedule) markSaturatedRun(st *machineState, m int, run interval.Interv
 		if len(st.floor) > 0 && int(st.floor[b]) < f {
 			st.floor[b] = uint8(f)
 		}
-		ix.markBucket(m, b)
+		s.index.markBucket(m, b)
 	}
 }
 
 // noteHot records a saturation witness, evicting the shallowest entry when
 // the hint list is full.
 func (st *machineState) noteHot(at float64, depth int) {
-	for i := range st.hot {
+	for i := 0; i < st.nhot; i++ {
 		if st.hot[i].at == at {
 			if depth > st.hot[i].depth {
 				st.hot[i].depth = depth
@@ -310,12 +362,13 @@ func (st *machineState) noteHot(at float64, depth int) {
 			return
 		}
 	}
-	if len(st.hot) < maxHotspots {
-		st.hot = append(st.hot, hotspot{at, depth})
+	if st.nhot < maxHotspots {
+		st.hot[st.nhot] = hotspot{at, depth}
+		st.nhot++
 		return
 	}
 	weakest := 0
-	for i := 1; i < len(st.hot); i++ {
+	for i := 1; i < st.nhot; i++ {
 		if st.hot[i].depth < st.hot[weakest].depth {
 			weakest = i
 		}
@@ -329,51 +382,63 @@ func (st *machineState) noteHot(at float64, depth int) {
 // assigned or the machine does not exist; it does not re-check capacity
 // (algorithms call CanAssign, and Verify re-checks everything).
 //
-// Assign keeps the peak hint a sound upper bound without querying the tree:
-// a job overlapping the busy hull can raise the true peak by at most its
-// demand. TryAssign is the path that keeps peak exact for free.
+// Assign keeps the peak hint a sound upper bound without querying the
+// oracle: a job overlapping the busy hull can raise the true peak by at most
+// its demand. TryAssign is the path that keeps peak exact for free.
 func (s *Schedule) Assign(j, m int) {
-	st := s.machines[m]
+	lo, hi := s.jobBuckets(j)
+	st := &s.machines[m]
 	job := s.inst.Jobs[j]
 	used := 0
 	if len(st.jobs) > 0 && job.Iv.Overlaps(st.hull) {
 		used = st.peak
 	}
-	s.insert(st, j, m, used)
+	s.insert(st, j, m, used, lo, hi)
 }
 
 // TryAssign atomically checks capacity and, when job index j fits machine m,
 // assigns it there, reporting success. It is the hot path of greedy
-// schedulers: a successful placement costs at most one tree query (shared
+// schedulers: a successful placement costs at most one oracle query (shared
 // between the check and the hint update), and most probes resolve on the
 // hints alone.
 func (s *Schedule) TryAssign(j, m int) bool {
-	st := s.machines[m]
+	lo, hi := s.jobBuckets(j)
+	return s.tryAssign(j, m, lo, hi)
+}
+
+// tryAssign is TryAssign with job j's axis bucket range precomputed, so
+// FirstFitAssign resolves the range once per job instead of once per probe.
+func (s *Schedule) tryAssign(j, m, lo, hi int) bool {
+	st := &s.machines[m]
 	job := s.inst.Jobs[j]
 	g := s.inst.G
 	if len(st.jobs) == 0 || !job.Iv.Overlaps(st.hull) {
 		if job.Demand > g {
 			return false
 		}
-		s.insert(st, j, m, 0)
+		s.insert(st, j, m, 0, lo, hi)
 		return true
 	}
 	if st.peak+job.Demand > g {
-		for _, h := range st.hot {
+		for _, h := range st.hot[:st.nhot] {
 			if h.depth+job.Demand > g && job.Iv.Contains(h.at) {
 				return false
 			}
 		}
 	}
 	if len(st.floor) > 0 {
-		if verdict, usedUB := s.probeProfile(st, job.Iv, job.Demand, g); verdict < 0 {
+		if verdict, usedUB := s.probeProfile(st, job.Iv, job.Demand, g, lo, hi); verdict < 0 {
 			return false
 		} else if verdict > 0 {
-			s.insert(st, j, m, usedUB)
+			s.insert(st, j, m, usedUB, lo, hi)
 			return true
 		}
 	}
-	used, at, run, sat := st.maxDepthRun(job.Iv, g)
+	slo, shi := 0, 0
+	if s.ia != nil {
+		slo, shi = s.ia.shardRange(lo, hi)
+	}
+	used, at, run, sat := s.maxDepthRun(st, job.Iv, g, slo, shi)
 	if used+job.Demand > g {
 		st.noteHot(at, used)
 		if sat && s.index != nil {
@@ -381,7 +446,7 @@ func (s *Schedule) TryAssign(j, m int) bool {
 		}
 		return false
 	}
-	s.insert(st, j, m, used)
+	s.insert(st, j, m, used, lo, hi)
 	return true
 }
 
@@ -404,6 +469,7 @@ func (s *Schedule) FirstFitAssign(j int) int {
 		return s.AssignNew(j)
 	}
 	job := s.inst.Jobs[j]
+	lo, hi := s.jobBuckets(j)
 	g := s.inst.G
 	stop := len(s.machines)
 	trivial := -1
@@ -413,7 +479,7 @@ func (s *Schedule) FirstFitAssign(j int) int {
 		}
 	}
 	if stop > 0 {
-		bl := ix.blockedMask(job.Iv)
+		bl := ix.blockedMask(lo, hi)
 		for wi := 0; wi*64 < stop && wi < len(bl); wi++ {
 			free := ^bl[wi]
 			for free != 0 {
@@ -421,7 +487,7 @@ func (s *Schedule) FirstFitAssign(j int) int {
 				if m >= stop {
 					break
 				}
-				if s.TryAssign(j, m) {
+				if s.tryAssign(j, m, lo, hi) {
 					return m
 				}
 				free &= free - 1
@@ -429,13 +495,13 @@ func (s *Schedule) FirstFitAssign(j int) int {
 		}
 		// Machines past the bitmap prefix are probed unskipped.
 		for m := 64 * len(bl); m < stop; m++ {
-			if s.TryAssign(j, m) {
+			if s.tryAssign(j, m, lo, hi) {
 				return m
 			}
 		}
 	}
 	if trivial >= 0 {
-		if !s.TryAssign(j, trivial) {
+		if !s.tryAssign(j, trivial, lo, hi) {
 			panic("core: machine index reported a trivially fitting machine that rejected its job")
 		}
 		return trivial
@@ -444,18 +510,22 @@ func (s *Schedule) FirstFitAssign(j int) int {
 }
 
 // insert performs the bookkeeping of placing job index j on machine state st
-// (machine index m): capacity-tree copies, assignment map, and the hint
+// (machine index m): capacity-oracle copies, assignment map, and the hint
 // update. used must be at least the machine's maximum load within the job's
 // window before insertion (exact keeps peak exact; an upper bound keeps it
-// sound).
-func (s *Schedule) insert(st *machineState, j, m, used int) {
+// sound). lo/hi is the job's axis bucket range (empty without an index).
+func (s *Schedule) insert(st *machineState, j, m, used, lo, hi int) {
 	if s.assign[j] != Unassigned {
 		panic(fmt.Sprintf("core: job index %d already assigned to machine %d", j, s.assign[j]))
 	}
 	job := s.inst.Jobs[j]
 	if st.shards.enabled() {
-		st.shards.add(job.Iv, job.Demand)
+		slo, shi := s.ia.shardRange(lo, hi)
+		st.shards.add(s.pool, job.Iv, job.Demand, slo, shi)
 	} else {
+		if st.tree == nil {
+			st.tree = itree.New(uint64(m + 1))
+		}
 		for d := 0; d < job.Demand; d++ {
 			st.tree.Insert(itree.Item{Iv: job.Iv, ID: j})
 		}
@@ -469,7 +539,7 @@ func (s *Schedule) insert(st *machineState, j, m, used int) {
 	if used+job.Demand > st.peak {
 		st.peak = used + job.Demand
 	}
-	for i := range st.hot {
+	for i := 0; i < st.nhot; i++ {
 		if job.Iv.Contains(st.hot[i].at) {
 			st.hot[i].depth += job.Demand
 		}
@@ -477,21 +547,20 @@ func (s *Schedule) insert(st *machineState, j, m, used int) {
 	s.totalBusy += st.spans.Add(job.Iv)
 	if s.index != nil {
 		s.index.update(m, st.hull, st.peak)
-		if len(st.floor) > 0 {
-			s.insertProfile(st, m, job)
+		if len(st.floor) > 0 && lo <= hi {
+			s.insertProfile(st, m, job, lo, hi)
 		}
 	}
 	s.assign[j] = m
 }
 
-// insertProfile folds a newly placed job into the machine's bucketed load
-// profile: every bucket the job touches may see its maximum rise by the
-// demand (ceilings), and every bucket the job fully covers has its minimum
-// load rise by the demand (floors). A floor reaching g makes the bucket
-// fully saturated and lights its bitmap bit for the scan skip.
-func (s *Schedule) insertProfile(st *machineState, m int, job Job) {
-	ix := s.index
-	lo, hi := ix.bucketsOverlapping(job.Iv)
+// insertProfile folds a newly placed job spanning axis buckets [lo, hi] into
+// the machine's bucketed load profile: every bucket the job touches may see
+// its maximum rise by the demand (ceilings), and every bucket the job fully
+// covers has its minimum load rise by the demand (floors). A floor reaching
+// g makes the bucket fully saturated and lights its bitmap bit for the scan
+// skip.
+func (s *Schedule) insertProfile(st *machineState, m int, job Job, lo, hi int) {
 	for b := lo; b <= hi; b++ {
 		if c := int(st.ceil[b]) + job.Demand; c >= ceilUnknown {
 			st.ceil[b] = ceilUnknown
@@ -499,7 +568,7 @@ func (s *Schedule) insertProfile(st *machineState, m int, job Job) {
 			st.ceil[b] = uint8(c)
 		}
 	}
-	flo, fhi := ix.bucketsWithin(job.Iv)
+	flo, fhi := s.ia.ax.InnerRange(lo, hi, job.Iv)
 	if flo > fhi {
 		return
 	}
@@ -511,7 +580,7 @@ func (s *Schedule) insertProfile(st *machineState, m int, job Job) {
 		}
 		st.floor[b] = uint8(f)
 		if f >= g {
-			ix.markBucket(m, b)
+			s.index.markBucket(m, b)
 		}
 	}
 }
@@ -575,8 +644,8 @@ func (s *Schedule) Verify() error {
 			return fmt.Errorf("core: job index %d assigned to invalid machine %d", j, m)
 		}
 	}
-	for m, st := range s.machines {
-		if peak := maxWeightedDepth(s.inst, st.jobs); peak > s.inst.G {
+	for m := range s.machines {
+		if peak := maxWeightedDepth(s.inst, s.machines[m].jobs); peak > s.inst.G {
 			return fmt.Errorf("core: machine %d reaches load %d > g = %d", m, peak, s.inst.G)
 		}
 	}
@@ -584,8 +653,8 @@ func (s *Schedule) Verify() error {
 }
 
 // maxWeightedDepth computes the maximum demand-weighted closed depth of the
-// given job indices, independently of the capacity trees (so Verify can
-// catch bookkeeping bugs in the trees themselves).
+// given job indices, independently of the capacity oracles (so Verify can
+// catch bookkeeping bugs in the oracles themselves).
 func maxWeightedDepth(inst *Instance, jobs []int) int {
 	type ev struct {
 		t     float64
@@ -634,7 +703,8 @@ type MachineSummary struct {
 // union rather than re-derived, so the pass is linear in the output size.
 func (s *Schedule) Summary() []MachineSummary {
 	out := make([]MachineSummary, len(s.machines))
-	for m, st := range s.machines {
+	for m := range s.machines {
+		st := &s.machines[m]
 		ids := make([]int, len(st.jobs))
 		for i, j := range st.jobs {
 			ids[i] = s.inst.Jobs[j].ID

@@ -1,60 +1,73 @@
 package core
 
-import "busytime/internal/itree"
-
-// Scratch recycles the allocations behind a Schedule — the assignment slice,
-// the per-machine states, and their interval trees (node pools included) —
-// across the many instances of a batch. A worker that schedules a stream of
-// instances through one Scratch stops allocating once warm.
+// Scratch is the schedule-state arena: it owns and recycles everything a
+// schedule allocates — the schedule record itself, the assignment slice, the
+// flat machine-state array (with each machine's interval tree, span union,
+// load profile and shard directory), the machine-selection index (segment
+// tree and saturation bitmap), and the chunked shard pool every machine's
+// time-sharded job lists draw from. A worker that schedules a stream of
+// instances through one Scratch stops allocating once warm: every reset is a
+// truncation or a clear of retained backing arrays, sized on first use from
+// the instance's compressed time axis.
 //
 // Contract: NewSchedule reclaims everything handed out by the previous
 // NewSchedule call on the same Scratch, so at most one schedule per Scratch
-// is live at a time. Callers must extract whatever they need from a schedule
-// (cost, machine count, assignment, …) before requesting the next one.
-// A Scratch must not be shared between goroutines.
+// is live at a time (the returned pointer is the same recycled record).
+// Callers must extract whatever they need from a schedule (cost, machine
+// count, assignment, …) before requesting the next one. A Scratch must not
+// be shared between goroutines.
 type Scratch struct {
-	assign   []int
-	machines []*machineState
-	pool     []*machineState
-	last     *Schedule
-	// index is the recycled machine-selection index handed to schedules
-	// that call EnableMachineIndex; reconfigured per instance.
-	index *machindex
+	sched  Schedule // the single live schedule, recycled in place
+	assign []int
+	// index and pool are the recycled machine-selection arena handed to
+	// schedules that call EnableMachineIndex; reconfigured per instance.
+	index machindex
+	pool  shardPool
+	// allocs counts backing-array growth performed on behalf of schedules
+	// (machine records, assignment slice, profiles, shard directories);
+	// index and pool keep their own counters. See Stats.
+	allocs    int
+	schedules int
+}
+
+// ScratchStats summarizes the arena traffic of a Scratch.
+type ScratchStats struct {
+	// Schedules is the number of schedules the scratch has served.
+	Schedules int
+	// SetupAllocs counts the backing-array allocations the arena performed
+	// while setting up schedule state: machine records, the assignment
+	// slice, segment-tree and bitmap arrays, load-profile slabs, shard
+	// directories and shard-pool chunks. A warm scratch re-serving an
+	// instance shape it has seen performs none.
+	SetupAllocs int
+}
+
+// Stats returns the arena counters accumulated since the scratch was
+// created. Engine workers snapshot it around each run to report per-run
+// reuse.
+func (sc *Scratch) Stats() ScratchStats {
+	return ScratchStats{
+		Schedules:   sc.schedules,
+		SetupAllocs: sc.allocs + sc.index.allocs + sc.pool.allocs,
+	}
 }
 
 // NewSchedule returns an empty schedule for inst backed by this scratch,
-// invalidating the schedule returned by the previous call.
+// invalidating (and recycling in place) the schedule returned by the
+// previous call.
 func (sc *Scratch) NewSchedule(inst *Instance) *Schedule {
-	if sc.last != nil {
-		for _, st := range sc.last.machines {
-			st.reset()
-			sc.pool = append(sc.pool, st)
-		}
-		sc.machines = sc.last.machines[:0]
-		sc.last.machines = nil
-		sc.last.scratch = nil
-		sc.last.index = nil
-	}
+	s := &sc.sched
+	machines := s.machines[:0]
 	n := inst.N()
 	if cap(sc.assign) < n {
+		sc.allocs++
 		sc.assign = make([]int, n)
 	}
 	assign := sc.assign[:n]
 	for i := range assign {
 		assign[i] = Unassigned
 	}
-	s := &Schedule{inst: inst, assign: assign, machines: sc.machines[:0], scratch: sc}
-	sc.last = s
+	*s = Schedule{inst: inst, assign: assign, machines: machines, scratch: sc}
+	sc.schedules++
 	return s
-}
-
-// takeMachine pops a recycled machine state or builds a fresh one seeded for
-// the given machine index.
-func (sc *Scratch) takeMachine(seed uint64) *machineState {
-	if k := len(sc.pool); k > 0 {
-		st := sc.pool[k-1]
-		sc.pool = sc.pool[:k-1]
-		return st
-	}
-	return &machineState{tree: itree.New(seed)}
 }

@@ -152,6 +152,92 @@ func TestScratchReuse(t *testing.T) {
 	}
 }
 
+// TestFirstFitAssignZeroAllocSteadyState is the arena acceptance gate: after
+// one warm-up pass, re-scheduling an instance through a recycled Scratch —
+// NewSchedule, EnableMachineIndex, and every FirstFitAssign — performs zero
+// allocations. This covers the whole indexed pipeline: assignment slice,
+// machine records, segment tree, saturation bitmap, load profiles, shard
+// directories, shard-pool chunks, sweep scratch and span unions.
+func TestFirstFitAssignZeroAllocSteadyState(t *testing.T) {
+	in := denseTestInstance(3000, 4, 1500, 25)
+	sc := new(Scratch)
+	run := func() {
+		s := sc.NewSchedule(in)
+		s.EnableMachineIndex()
+		for j := range in.Jobs {
+			s.FirstFitAssign(j)
+		}
+	}
+	run() // warm-up sizes the arena for the instance
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Fatalf("warm indexed FirstFit allocated %v times per run; want 0", allocs)
+	}
+	stats := sc.Stats()
+	before := stats.SetupAllocs
+	run()
+	if after := sc.Stats().SetupAllocs; after != before {
+		t.Fatalf("warm run performed %d arena setup allocations; want 0", after-before)
+	}
+}
+
+// TestScratchZeroAllocAcrossShrinkingInstances checks the arena's sizing
+// discipline across instance changes: after warming on the largest instance
+// of a set, scheduling any smaller instance allocates nothing (backing
+// arrays only ever grow).
+func TestScratchZeroAllocAcrossShrinkingInstances(t *testing.T) {
+	big := denseTestInstance(4000, 3, 2000, 20)
+	small := denseTestInstance(500, 5, 120, 8)
+	tiny := denseTestInstance(40, 2, 30, 6)
+	sc := new(Scratch)
+	run := func(in *Instance) {
+		s := sc.NewSchedule(in)
+		s.EnableMachineIndex()
+		for j := range in.Jobs {
+			s.FirstFitAssign(j)
+		}
+	}
+	for _, in := range []*Instance{big, small, tiny} {
+		run(in) // warm-up (also builds each instance's cached axis)
+	}
+	run(big)
+	for _, in := range []*Instance{small, tiny, big} {
+		in := in
+		if allocs := testing.AllocsPerRun(3, func() { run(in) }); allocs != 0 {
+			t.Fatalf("n=%d after warm-up on larger instance: %v allocs per run; want 0", in.N(), allocs)
+		}
+	}
+}
+
+// TestScratchStatsCounts pins the telemetry the engine reports: a cold
+// scratch performs setup allocations, an identical second run performs none.
+func TestScratchStatsCounts(t *testing.T) {
+	in := denseTestInstance(800, 4, 400, 15)
+	sc := new(Scratch)
+	if got := sc.Stats(); got.Schedules != 0 || got.SetupAllocs != 0 {
+		t.Fatalf("fresh scratch reports %+v", got)
+	}
+	run := func() {
+		s := sc.NewSchedule(in)
+		s.EnableMachineIndex()
+		for j := range in.Jobs {
+			s.FirstFitAssign(j)
+		}
+	}
+	run()
+	first := sc.Stats()
+	if first.Schedules != 1 || first.SetupAllocs == 0 {
+		t.Fatalf("cold run reports %+v; want 1 schedule and nonzero setup allocs", first)
+	}
+	run()
+	second := sc.Stats()
+	if second.Schedules != 2 {
+		t.Fatalf("Schedules = %d, want 2", second.Schedules)
+	}
+	if second.SetupAllocs != first.SetupAllocs {
+		t.Fatalf("warm identical run performed %d setup allocs; want 0", second.SetupAllocs-first.SetupAllocs)
+	}
+}
+
 // TestScratchInvalidatesPreviousSchedule documents the reuse contract: the
 // schedule handed out before the latest NewSchedule call is dead.
 func TestScratchInvalidatesPreviousSchedule(t *testing.T) {

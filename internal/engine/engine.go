@@ -62,6 +62,15 @@ type Result struct {
 	// Options.Verify, produced an infeasible schedule; the other schedule
 	// fields are then zero.
 	Err string `json:"err,omitempty"`
+	// Warm reports whether the worker's recycled arena had already served an
+	// instance when this run started, and SetupAllocs counts the arena
+	// backing allocations (machine records, index arrays, profile slabs,
+	// shard chunks — see core.ScratchStats) this run performed; a warm
+	// worker re-serving a seen shape performs none. Both depend on worker
+	// count and scheduling order, so they are excluded from serialization to
+	// keep CSV/JSON output deterministic; Summarize aggregates them.
+	Warm        bool `json:"-"`
+	SetupAllocs int  `json:"-"`
 }
 
 // Run schedules every instance with the named algorithm and returns one
@@ -73,7 +82,7 @@ func Run(instances []*core.Instance, opt Options) ([]Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown algorithm %q", opt.Algorithm)
 	}
-	return runShard(a, instances, 0, opt), nil
+	return runShard(a, instances, 0, opt, newScratchPool(opt)), nil
 }
 
 // RunStream drains the instance stream next (which reports ok=false when
@@ -86,6 +95,10 @@ func RunStream(next func() (*core.Instance, bool), opt Options) ([]Result, error
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown algorithm %q", opt.Algorithm)
 	}
+	// One scratch pool serves every shard, so workers enter the second and
+	// later shards with warm arenas and stream processing stops allocating
+	// schedule state once the largest instance shape has been seen.
+	pool := newScratchPool(opt)
 	var out []Result
 	shard := make([]*core.Instance, 0, opt.shardSize())
 	for {
@@ -100,47 +113,65 @@ func RunStream(next func() (*core.Instance, bool), opt Options) ([]Result, error
 		if len(shard) == 0 {
 			return out, nil
 		}
-		out = append(out, runShard(a, shard, len(out), opt)...)
+		out = append(out, runShard(a, shard, len(out), opt, pool)...)
 	}
 }
 
-// runShard fans the instances out across workers. Each worker leases a
-// core.Scratch from a shared pool for the duration of one instance, so the
-// number of live scratches equals the worker count and every schedule's
-// state is recycled.
-func runShard(a algo.Algorithm, instances []*core.Instance, base int, opt Options) []Result {
-	// Resolve the worker count here and pass the same value to parallel.Map,
-	// so the scratch pool can never be smaller than the set of goroutines
-	// competing for it.
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// maxWorkers resolves the fan-out width of the options once, so the scratch
+// pool can never be smaller than any set of goroutines competing for it.
+func (o Options) maxWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
 	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// newScratchPool builds the per-run arena pool: one core.Scratch per
+// potential worker, shared across every shard of the run so arenas stay warm
+// from shard to shard.
+func newScratchPool(opt Options) chan *core.Scratch {
+	workers := opt.maxWorkers()
+	if workers < 1 {
+		workers = 1
+	}
+	pool := make(chan *core.Scratch, workers)
+	for i := 0; i < workers; i++ {
+		pool <- new(core.Scratch)
+	}
+	return pool
+}
+
+// runShard fans the instances out across workers. Each worker leases a
+// core.Scratch from the run-wide pool for the duration of one instance, so
+// the number of live scratches is bounded by the worker count and every
+// schedule's state is recycled — across instances and across shards.
+func runShard(a algo.Algorithm, instances []*core.Instance, base int, opt Options, pool chan *core.Scratch) []Result {
+	workers := opt.maxWorkers()
 	if workers > len(instances) {
 		workers = len(instances)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	scratches := make(chan *core.Scratch, workers)
-	for i := 0; i < workers; i++ {
-		scratches <- new(core.Scratch)
-	}
 	return parallel.Map(len(instances), workers, func(i int) Result {
-		sc := <-scratches
-		defer func() { scratches <- sc }()
+		sc := <-pool
+		defer func() { pool <- sc }()
 		return runOne(a, instances[i], base+i, sc, opt.Verify)
 	})
 }
 
 // runOne schedules a single instance, converting panics to Result.Err so a
-// malformed instance cannot take down the batch.
+// malformed instance cannot take down the batch. The scratch's arena
+// counters are snapshotted around the run to report per-run reuse.
 func runOne(a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool) (res Result) {
-	res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G}
+	before := sc.Stats()
+	warm := before.Schedules > 0
+	res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Warm: warm}
 	defer func() {
 		if r := recover(); r != nil {
-			res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Err: fmt.Sprint(r)}
+			res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Warm: warm, Err: fmt.Sprint(r)}
 		}
+		res.SetupAllocs = sc.Stats().SetupAllocs - before.SetupAllocs
 	}()
 	var s *core.Schedule
 	if a.RunScratch != nil {

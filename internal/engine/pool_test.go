@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"busytime/internal/core"
+	"busytime/internal/generator"
+)
+
+// TestSecondRunReusesArena is the engine-side arena acceptance gate: in a
+// two-instance shard processed by one worker, the second run must find the
+// scratch warm and perform zero index setup allocations — the arena sized on
+// the first instance is recycled wholesale.
+func TestSecondRunReusesArena(t *testing.T) {
+	batch := []*core.Instance{
+		generator.General(5, 2000, 4, 500, 20),
+		generator.General(5, 2000, 4, 500, 20), // identical shape → full reuse
+	}
+	res, err := Run(batch, Options{Algorithm: "firstfit", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Warm {
+		t.Error("first run reported a warm arena")
+	}
+	if res[0].SetupAllocs == 0 {
+		t.Error("first run reported zero setup allocations; counter wired wrong")
+	}
+	if !res[1].Warm {
+		t.Error("second run did not reuse the worker's arena")
+	}
+	if res[1].SetupAllocs != 0 {
+		t.Errorf("second run performed %d index setup allocations; want 0", res[1].SetupAllocs)
+	}
+}
+
+// TestStreamPoolSpansShards checks that the scratch pool is shared across
+// stream shards: with a shard size of 1 and one worker, every run after the
+// first must be warm, and Summarize must report the hit rate accordingly.
+func TestStreamPoolSpansShards(t *testing.T) {
+	const n = 5
+	i := 0
+	next := func() (*core.Instance, bool) {
+		if i >= n {
+			return nil, false
+		}
+		i++
+		return generator.General(9, 400, 3, 150, 12), true
+	}
+	res, err := RunStream(next, Options{Algorithm: "firstfit", Workers: 1, ShardSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != n {
+		t.Fatalf("got %d results, want %d", len(res), n)
+	}
+	for k := 1; k < n; k++ {
+		if !res[k].Warm {
+			t.Errorf("run %d of the stream found a cold arena; pool not shared across shards", k)
+		}
+		if res[k].SetupAllocs != 0 {
+			t.Errorf("run %d performed %d setup allocations; want 0", k, res[k].SetupAllocs)
+		}
+	}
+	p := Summarize(res)
+	if p.Runs != n || p.WarmRuns != n-1 {
+		t.Errorf("Summarize = %+v, want %d runs with %d warm", p, n, n-1)
+	}
+	if got, want := p.HitRate(), float64(n-1)/float64(n); got != want {
+		t.Errorf("HitRate = %v, want %v", got, want)
+	}
+}

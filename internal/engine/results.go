@@ -41,3 +41,35 @@ func WriteJSON(w io.Writer, results []Result) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
 }
+
+// PoolSummary aggregates the arena-reuse telemetry of a run: how many runs
+// found their worker's scratch warm, and how many backing allocations the
+// arenas performed in total. In steady state (a warm pool re-serving seen
+// instance shapes) SetupAllocs stays flat while WarmRuns tracks Runs.
+type PoolSummary struct {
+	Runs        int
+	WarmRuns    int
+	SetupAllocs int
+}
+
+// HitRate returns the fraction of runs served by a warm arena, 0 when the
+// summary is empty.
+func (p PoolSummary) HitRate() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.WarmRuns) / float64(p.Runs)
+}
+
+// Summarize folds the per-run reuse counters of a batch into a PoolSummary.
+func Summarize(results []Result) PoolSummary {
+	var p PoolSummary
+	for _, r := range results {
+		p.Runs++
+		if r.Warm {
+			p.WarmRuns++
+		}
+		p.SetupAllocs += r.SetupAllocs
+	}
+	return p
+}

@@ -92,6 +92,18 @@ func (t *Tree) Reset() {
 	t.root = 0
 }
 
+// ResetSeed is Reset plus a reseed of the priority generator, so a recycled
+// tree reproduces the exact shape a fresh New(seed) tree would build from
+// the same insertion sequence. Machine pools use it to keep treap shapes
+// independent of how often a tree has been recycled.
+func (t *Tree) ResetSeed(seed uint64) {
+	t.Reset()
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	t.rng = seed
+}
+
 // newNode reserves an arena slot for it and returns the slot's index.
 func (t *Tree) newNode(it Item) int32 {
 	if len(t.nodes) == 0 {
