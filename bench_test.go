@@ -9,11 +9,13 @@ import (
 	"runtime"
 	"testing"
 
+	"busytime/internal/algo/baselines"
 	"busytime/internal/algo/firstfit"
 	"busytime/internal/core"
 	"busytime/internal/engine"
 	"busytime/internal/experiments"
 	"busytime/internal/generator"
+	"busytime/internal/online"
 )
 
 // benchCfg keeps per-iteration work bounded; the experiment structure
@@ -74,6 +76,41 @@ func BenchmarkFirstFitN1e5(b *testing.B) { benchFirstFitN(b, 100000, firstfit.Sc
 func BenchmarkFirstFitScanN1e4(b *testing.B) { benchFirstFitN(b, 10000, firstfit.ScheduleScan) }
 func BenchmarkFirstFitScanN1e5(b *testing.B) { benchFirstFitN(b, 100000, firstfit.ScheduleScan) }
 
+// Kernel BestFit at scale (the indexed argmin over span deltas) against the
+// pre-kernel per-machine probe loop it replaced ("bestfit-scan").
+
+func BenchmarkBestFitN1e4(b *testing.B)     { benchFirstFitN(b, 10000, baselines.BestFit) }
+func BenchmarkBestFitN1e5(b *testing.B)     { benchFirstFitN(b, 100000, baselines.BestFit) }
+func BenchmarkBestFitScanN1e4(b *testing.B) { benchFirstFitN(b, 10000, baselines.BestFitScan) }
+func BenchmarkBestFitScanN1e5(b *testing.B) { benchFirstFitN(b, 100000, baselines.BestFitScan) }
+
+// Online replays at scale: the arrival-order FirstFit policy through the
+// kernel, fresh and through a recycled arena (the competitive-ratio sweep's
+// steady state).
+
+func BenchmarkOnlineN1e5(b *testing.B) {
+	in := generator.General(7, 100000, 4, 100000, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Run(in, online.FirstFit{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnlinePooledN1e5(b *testing.B) {
+	in := generator.General(7, 100000, 4, 100000, 30)
+	sc := new(core.Scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.RunScratch(in, sc, online.FirstFit{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Pooled-arena variants: the same workload scheduled through one recycled
 // core.Scratch, the engine worker's steady state. After the first iteration
 // warms the arena, runs perform zero schedule-state allocations (see
@@ -93,6 +130,22 @@ func benchFirstFitPooledN(b *testing.B, n int) {
 
 func BenchmarkFirstFitPooledN1e4(b *testing.B) { benchFirstFitPooledN(b, 10000) }
 func BenchmarkFirstFitPooledN1e5(b *testing.B) { benchFirstFitPooledN(b, 100000) }
+
+func benchBestFitPooledN(b *testing.B, n int) {
+	in := generator.General(7, n, 4, float64(n), 30)
+	sc := new(core.Scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := baselines.BestFitScratch(in, sc)
+		if s.NumMachines() == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkBestFitPooledN1e4(b *testing.B) { benchBestFitPooledN(b, 10000) }
+func BenchmarkBestFitPooledN1e5(b *testing.B) { benchBestFitPooledN(b, 100000) }
 
 // Batch-engine benchmarks (DESIGN.md §5): the same batch of seeded 100k-job
 // instances scheduled through internal/engine versus a naive sequential

@@ -8,7 +8,8 @@ package algo
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"busytime/internal/core"
 )
@@ -22,10 +23,12 @@ type Algorithm struct {
 	Name        string
 	Description string
 	Run         Func
-	// RunScratch, when non-nil, runs the algorithm drawing all schedule
-	// state from the scratch so batch drivers can recycle allocations
-	// across instances. The returned schedule is only valid until the
-	// scratch's next use; it must agree exactly with Run.
+	// RunScratch runs the algorithm drawing schedule state from the scratch
+	// so batch drivers can recycle allocations across instances. Every
+	// registered algorithm provides one, routed through the shared placement
+	// kernel (core.Placer); the registry-wide differential suite pins each
+	// RunScratch byte-identical to Run. The returned schedule is only valid
+	// until the scratch's next use.
 	RunScratch func(*core.Instance, *core.Scratch) *core.Schedule
 }
 
@@ -52,6 +55,6 @@ func All() []Algorithm {
 	for _, a := range registry {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b Algorithm) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }

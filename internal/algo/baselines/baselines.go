@@ -9,12 +9,17 @@
 //     (⌈k/g⌉ machines from an optimal interval-graph coloring — optimal in
 //     machine count, but not in busy time, which motivates the paper);
 //   - RandomFit, FirstFit on a seeded random job order (noise floor).
+//
+// Every baseline is a thin policy over the shared placement kernel
+// (core.Placer): FirstFit variants drive LowestFit, BestFit drives the
+// kernel's pruned argmin over span deltas, NextFit drives the kernel
+// cursor. BestFitScan keeps the pre-kernel per-machine probe loop,
+// registered as "bestfit-scan" for the ablation benchmarks; kernel and scan
+// produce byte-identical schedules.
 package baselines
 
 import (
-	"cmp"
 	"math/rand"
-	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/algo/firstfit"
@@ -27,32 +32,62 @@ func init() {
 		Name:        "firstfit-start",
 		Description: "FirstFit scanning jobs by start time (no length sort)",
 		Run:         FirstFitByStart,
+		RunScratch:  FirstFitByStartScratch,
 	})
 	algo.Register(algo.Algorithm{
 		Name:        "nextfit",
 		Description: "NextFit in start order (single open machine)",
 		Run:         NextFit,
+		RunScratch:  NextFitScratch,
 	})
 	algo.Register(algo.Algorithm{
 		Name:        "bestfit",
-		Description: "BestFit by minimal busy-time increase, longest job first",
+		Description: "BestFit by minimal busy-time increase, longest job first (indexed kernel argmin)",
 		Run:         BestFit,
+		RunScratch:  BestFitScratch,
+	})
+	algo.Register(algo.Algorithm{
+		Name:        "bestfit-scan",
+		Description: "BestFit with the plain per-machine probe loop (no selection index; ablation)",
+		Run:         BestFitScan,
+		RunScratch:  BestFitScanScratch,
 	})
 	algo.Register(algo.Algorithm{
 		Name:        "machine-min",
 		Description: "⌈k/g⌉-machine schedule from optimal coloring (§1.1 remark)",
 		Run:         MachineMin,
+		RunScratch:  MachineMinScratch,
 	})
 	algo.Register(algo.Algorithm{
 		Name:        "randomfit",
 		Description: "FirstFit on a seeded random job order",
 		Run:         func(in *core.Instance) *core.Schedule { return RandomFit(in, 1) },
+		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+			return RandomFitScratch(in, 1, sc)
+		},
 	})
 }
 
 // FirstFitByStart runs FirstFit scanning jobs by (start, end, ID).
 func FirstFitByStart(in *core.Instance) *core.Schedule {
-	return firstfit.ScheduleOrder(in, startOrder(in))
+	s := core.NewSchedule(in)
+	s.EnableMachineIndex()
+	return lowestFitByStart(in, s)
+}
+
+// FirstFitByStartScratch is FirstFitByStart drawing schedule state from sc.
+func FirstFitByStartScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	return lowestFitByStart(in, s)
+}
+
+func lowestFitByStart(in *core.Instance, s *core.Schedule) *core.Schedule {
+	k := s.Placer()
+	for _, j := range in.StartOrder() {
+		k.LowestFit(int(j))
+	}
+	return s
 }
 
 // NextFit assigns jobs in start order to a single currently open machine,
@@ -61,25 +96,67 @@ func FirstFitByStart(in *core.Instance) *core.Schedule {
 // its bin-packing name for harness comparisons on non-proper instances,
 // where its 2-approximation guarantee does not apply.
 func NextFit(in *core.Instance) *core.Schedule {
-	s := core.NewSchedule(in)
-	cur := -1
-	for _, j := range startOrder(in) {
-		if cur < 0 || !s.CanAssign(j, cur) {
-			cur = s.OpenMachine()
-		}
-		s.Assign(j, cur)
+	return nextFitByStart(in, core.NewSchedule(in))
+}
+
+// NextFitScratch is NextFit drawing schedule state from sc.
+func NextFitScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	return nextFitByStart(in, sc.NewSchedule(in))
+}
+
+func nextFitByStart(in *core.Instance, s *core.Schedule) *core.Schedule {
+	k := s.Placer()
+	for _, j := range in.StartOrder() {
+		k.NextFit(int(j))
 	}
 	return s
 }
 
 // BestFit scans jobs longest-first and assigns each to the machine whose
 // busy time grows the least (ties to the lowest index), opening a new
-// machine only when no machine fits. The growth of each candidate machine is
-// read from its incrementally maintained span union (core.Schedule.SpanDelta)
-// instead of rebuilding and re-sorting the machine's interval set per probe.
+// machine only when no machine fits. The argmin runs in the placement
+// kernel with the machine-selection index enabled: the saturation bitmap
+// skips provably rejecting machines word-wide and hull-disjoint machines
+// are dropped as soon as any candidate is held, so the scan touches only
+// machines that can actually win.
 func BestFit(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
-	for _, j := range lenOrder(in) {
+	s.EnableMachineIndex()
+	return bestFitByLength(in, s)
+}
+
+// BestFitScratch is BestFit drawing schedule state from sc; warm runs
+// perform zero allocations (the alloc-budget gate in CI pins this).
+func BestFitScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	return bestFitByLength(in, s)
+}
+
+func bestFitByLength(in *core.Instance, s *core.Schedule) *core.Schedule {
+	k := s.Placer()
+	for _, j := range in.LengthOrder() {
+		k.BestFit(int(j))
+	}
+	return s
+}
+
+// BestFitScan is the pre-kernel BestFit: the same longest-first argmin, but
+// probing every machine in index order with no selection index. It is the
+// ablation baseline for the kernel BestFit and produces byte-identical
+// schedules.
+func BestFitScan(in *core.Instance) *core.Schedule {
+	return bestFitScanInto(in, core.NewSchedule(in))
+}
+
+// BestFitScanScratch is BestFitScan drawing schedule state from sc.
+func BestFitScanScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	return bestFitScanInto(in, sc.NewSchedule(in))
+}
+
+func bestFitScanInto(in *core.Instance, s *core.Schedule) *core.Schedule {
+	for _, jj := range in.LengthOrder() {
+		j := int(jj)
 		bestM, bestDelta := -1, 0.0
 		for m := 0; m < s.NumMachines(); m++ {
 			if !s.CanAssign(j, m) {
@@ -106,25 +183,41 @@ func BestFit(in *core.Instance) *core.Schedule {
 // MachineMin requires unit demands (the coloring argument does not apply to
 // weighted jobs); it falls back to FirstFitByStart otherwise.
 func MachineMin(in *core.Instance) *core.Schedule {
+	if !unitDemands(in) {
+		return FirstFitByStart(in)
+	}
+	return machineMinInto(in, core.NewSchedule(in))
+}
+
+// MachineMinScratch is MachineMin drawing schedule state from sc.
+func MachineMinScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	if !unitDemands(in) {
+		return FirstFitByStartScratch(in, sc)
+	}
+	return machineMinInto(in, sc.NewSchedule(in))
+}
+
+func unitDemands(in *core.Instance) bool {
 	for _, j := range in.Jobs {
 		if j.Demand != 1 {
-			return FirstFitByStart(in)
+			return false
 		}
 	}
+	return true
+}
+
+func machineMinInto(in *core.Instance, s *core.Schedule) *core.Schedule {
 	g := intgraph.New(in.Set())
 	classes := intgraph.ColorClasses(g.MinColoring())
-	s := core.NewSchedule(in)
+	k := s.Placer()
 	for ci, class := range classes {
 		if ci%in.G == 0 {
-			s.OpenMachine()
+			k.OpenMachine()
 		}
-		m := s.NumMachines() - 1
+		m := k.NumMachines() - 1
 		for _, j := range class {
-			s.Assign(j, m)
+			k.Place(j, m)
 		}
-	}
-	if in.N() == 0 {
-		return s
 	}
 	return s
 }
@@ -132,62 +225,22 @@ func MachineMin(in *core.Instance) *core.Schedule {
 // RandomFit runs FirstFit on a deterministic pseudo-random permutation of
 // the jobs derived from seed.
 func RandomFit(in *core.Instance, seed int64) *core.Schedule {
+	return firstfit.ScheduleOrder(in, randomOrder(in, seed))
+}
+
+// RandomFitScratch is RandomFit drawing schedule state from sc (the
+// permutation itself is still derived per run).
+func RandomFitScratch(in *core.Instance, seed int64, sc *core.Scratch) *core.Schedule {
+	return firstfit.ScheduleOrderScratch(in, randomOrder(in, seed), sc)
+}
+
+func randomOrder(in *core.Instance, seed int64) []int {
 	order := make([]int, in.N())
 	for i := range order {
 		order[i] = i
 	}
 	rand.New(rand.NewSource(seed)).Shuffle(len(order), func(i, j int) {
 		order[i], order[j] = order[j], order[i]
-	})
-	return firstfit.ScheduleOrder(in, order)
-}
-
-func startOrder(in *core.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	jobs := in.Jobs
-	slices.SortFunc(order, func(a, b int) int {
-		ja, jb := jobs[a], jobs[b]
-		if ja.Iv.Start != jb.Iv.Start {
-			if ja.Iv.Start < jb.Iv.Start {
-				return -1
-			}
-			return 1
-		}
-		if ja.Iv.End != jb.Iv.End {
-			if ja.Iv.End < jb.Iv.End {
-				return -1
-			}
-			return 1
-		}
-		return cmp.Compare(ja.ID, jb.ID)
-	})
-	return order
-}
-
-func lenOrder(in *core.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	jobs := in.Jobs
-	slices.SortFunc(order, func(a, b int) int {
-		ja, jb := jobs[a], jobs[b]
-		if la, lb := ja.Len(), jb.Len(); la != lb {
-			if la > lb {
-				return -1
-			}
-			return 1
-		}
-		if ja.Iv.Start != jb.Iv.Start {
-			if ja.Iv.Start < jb.Iv.Start {
-				return -1
-			}
-			return 1
-		}
-		return cmp.Compare(ja.ID, jb.ID)
 	})
 	return order
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -14,11 +15,130 @@ import (
 func iv(s, e float64) interval.Interval { return interval.New(s, e) }
 
 func TestAllRegistered(t *testing.T) {
-	for _, name := range []string{"firstfit-start", "nextfit", "bestfit", "machine-min", "randomfit"} {
-		if _, ok := algo.Lookup(name); !ok {
+	for _, name := range []string{"firstfit-start", "nextfit", "bestfit", "bestfit-scan", "machine-min", "randomfit"} {
+		a, ok := algo.Lookup(name)
+		if !ok {
 			t.Errorf("%s not registered", name)
+			continue
+		}
+		if a.RunScratch == nil {
+			t.Errorf("%s has no RunScratch", name)
 		}
 	}
+}
+
+// diffFamilies mirrors the firstfit differential suite's generator sweep.
+func diffFamilies(seed int64) []*core.Instance {
+	gen := generator.General(seed, 120, 3, 80, 20)
+	return []*core.Instance{
+		gen,
+		generator.Proper(seed, 100, 3, 60, 15),
+		generator.Clique(seed, 60, 4, 10, 8),
+		generator.BoundedLength(seed, 80, 2, 6, 4),
+		generator.Laminar(seed, 3, 3, 3, 4, 20),
+		generator.CloudBurst(seed, 150, 6, 200, 10, 4, 0.6),
+		generator.LightpathWave(seed, 5, 30, 4, 40, 15, 10),
+		generator.WithDemands(gen, seed+1, 3),
+	}
+}
+
+// assertIdentical requires full byte-identity — machine count, job→machine
+// map, per-machine job lists in assignment order, and bitwise-equal cost —
+// matching the registry-wide suite's definition exactly.
+func assertIdentical(t *testing.T, label string, a, b *core.Schedule) {
+	t.Helper()
+	if a.NumMachines() != b.NumMachines() {
+		t.Fatalf("%s: %d machines vs %d", label, a.NumMachines(), b.NumMachines())
+	}
+	for j := 0; j < a.Instance().N(); j++ {
+		if a.MachineOf(j) != b.MachineOf(j) {
+			t.Fatalf("%s: job %d on machine %d vs %d", label, j, a.MachineOf(j), b.MachineOf(j))
+		}
+	}
+	for m := 0; m < a.NumMachines(); m++ {
+		ja, jb := a.MachineJobs(m), b.MachineJobs(m)
+		if len(ja) != len(jb) {
+			t.Fatalf("%s: machine %d holds %d vs %d jobs", label, m, len(ja), len(jb))
+		}
+		for i := range ja {
+			if ja[i] != jb[i] {
+				t.Fatalf("%s: machine %d slot %d: job %d vs %d", label, m, i, ja[i], jb[i])
+			}
+		}
+	}
+	if a.Cost() != b.Cost() {
+		t.Fatalf("%s: cost %v vs %v", label, a.Cost(), b.Cost())
+	}
+}
+
+// TestBestFitKernelMatchesScan is the differential contract of the kernel
+// BestFit: across every generator family and a seed sweep, the pruned
+// indexed argmin must produce byte-identical schedules to the naive
+// per-machine probe loop it replaced.
+func TestBestFitKernelMatchesScan(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for fi, in := range diffFamilies(seed) {
+			kernel := BestFit(in)
+			if err := kernel.Verify(); err != nil {
+				t.Fatalf("seed %d family %d: kernel BestFit infeasible: %v", seed, fi, err)
+			}
+			scan := BestFitScan(in)
+			assertIdentical(t, fmt.Sprintf("seed=%d family=%d", seed, fi), kernel, scan)
+		}
+	}
+}
+
+// TestBestFitScratchMatchesFresh pins the recycled arena under BestFit:
+// streaming many instances through one Scratch must reproduce fresh kernel
+// runs byte for byte.
+func TestBestFitScratchMatchesFresh(t *testing.T) {
+	sc := new(core.Scratch)
+	for seed := int64(0); seed < 8; seed++ {
+		for fi, in := range diffFamilies(seed) {
+			recycled := BestFitScratch(in, sc)
+			fresh := BestFit(in)
+			if fi == 0 && recycled.NumMachines() == 0 && in.N() > 0 {
+				t.Fatal("empty schedule")
+			}
+			assertIdentical(t, "scratch", recycled, fresh)
+		}
+	}
+}
+
+// TestBestFitZeroAllocSteadyState is the BestFit arena acceptance gate:
+// after one warm-up pass, re-scheduling an instance through a recycled
+// Scratch — NewSchedule, EnableMachineIndex, and every kernel BestFit
+// placement — performs zero allocations.
+func TestBestFitZeroAllocSteadyState(t *testing.T) {
+	in := generator.General(3, 3000, 4, 1500, 25)
+	sc := new(core.Scratch)
+	run := func() {
+		s := BestFitScratch(in, sc)
+		if s.NumMachines() == 0 {
+			t.Fatal("empty schedule")
+		}
+	}
+	run() // warm-up sizes the arena and the instance's cached length order
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Fatalf("warm BestFit allocated %v times per run; want 0", allocs)
+	}
+}
+
+// FuzzBestFitWarmScratch drives the BestFit differential check from fuzzed
+// shapes, with the scratch arriving warm from a differently-shaped instance
+// so no stale index or arena state can leak into the argmin.
+func FuzzBestFitWarmScratch(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(3), uint8(20))
+	f.Add(int64(99), uint8(200), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, n, g, maxLen uint8) {
+		in := generator.General(seed, int(n)+1, int(g)%8+1, float64(n)/2+1, float64(maxLen)+1)
+		scan := BestFitScan(in)
+		assertIdentical(t, "fuzz-kernel", BestFit(in), scan)
+		sc := new(core.Scratch)
+		warm := generator.General(seed+1, int(maxLen)+2, int(g)%5+1, float64(g)+2, float64(n)/4+1)
+		_ = BestFitScratch(warm, sc)
+		assertIdentical(t, "fuzz-scratch", BestFitScratch(in, sc), scan)
+	})
 }
 
 func TestAllFeasibleOnRandom(t *testing.T) {

@@ -43,6 +43,13 @@ func init() {
 			}
 			return s
 		},
+		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+			s, err := ScheduleScratch(in, Options{}, sc)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
 	})
 }
 
@@ -98,13 +105,24 @@ func Segments(in *core.Instance, d float64) (buckets [][]int, segnum []int) {
 // Schedule runs the Bounded_Length algorithm and returns a complete
 // feasible schedule that never mixes segments on one machine.
 func Schedule(in *core.Instance, opts Options) (*core.Schedule, error) {
+	return schedule(in, opts, nil)
+}
+
+// ScheduleScratch is Schedule with the outer (returned) schedule drawn from
+// sc; per-segment sub-solves still build their own transient state. The
+// returned schedule is only valid until sc's next use.
+func ScheduleScratch(in *core.Instance, opts Options, sc *core.Scratch) (*core.Schedule, error) {
+	return schedule(in, opts, sc)
+}
+
+func schedule(in *core.Instance, opts Options, sc *core.Scratch) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	if err := opts.fill(in); err != nil {
 		return nil, err
 	}
-	s := core.NewSchedule(in)
+	s := core.NewScheduleFrom(in, sc)
 	buckets, _ := Segments(in, opts.D)
 	for _, bucket := range buckets {
 		sub := subInstance(in, bucket)
@@ -146,14 +164,16 @@ func subInstance(in *core.Instance, bucket []int) *core.Instance {
 	return &core.Instance{Name: in.Name + "/seg", G: in.G, Jobs: jobs}
 }
 
-// graft copies a sub-instance schedule into s, opening fresh machines.
+// graft copies a sub-instance schedule into s through the placement kernel,
+// opening fresh machines.
 func graft(s *core.Schedule, bucket []int, solved *core.Schedule) {
+	k := s.Placer()
 	remap := make([]int, solved.NumMachines())
 	for m := range remap {
-		remap[m] = s.OpenMachine()
+		remap[m] = k.OpenMachine()
 	}
 	for i, j := range bucket {
-		s.Assign(j, remap[solved.MachineOf(i)])
+		k.Place(j, remap[solved.MachineOf(i)])
 	}
 }
 

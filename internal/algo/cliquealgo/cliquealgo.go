@@ -30,20 +30,37 @@ func init() {
 			}
 			return s
 		},
+		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+			s, err := ScheduleScratch(in, sc)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
 	})
 }
 
 // Schedule runs the clique algorithm. It fails if the instance is not a
 // clique (no common point exists).
 func Schedule(in *core.Instance) (*core.Schedule, error) {
+	return schedule(in, nil)
+}
+
+// ScheduleScratch is Schedule drawing schedule state from sc. The returned
+// schedule is only valid until sc's next use.
+func ScheduleScratch(in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
+	return schedule(in, sc)
+}
+
+func schedule(in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
 	if in.N() == 0 {
-		return core.NewSchedule(in), nil
+		return core.NewScheduleFrom(in, sc), nil
 	}
 	t, ok := in.Set().CommonPoint()
 	if !ok {
 		return nil, fmt.Errorf("cliquealgo: instance %q is not a clique", in.Name)
 	}
-	return ScheduleAround(in, t), nil
+	return scheduleAroundInto(in, t, core.NewScheduleFrom(in, sc)), nil
 }
 
 // ScheduleAround runs the clique algorithm using the given common point t.
@@ -51,14 +68,18 @@ func Schedule(in *core.Instance) (*core.Schedule, error) {
 // sensitivity to the choice of t) can pass it directly; the approximation
 // guarantee holds for any point contained in all intervals.
 func ScheduleAround(in *core.Instance, t float64) *core.Schedule {
+	return scheduleAroundInto(in, t, core.NewSchedule(in))
+}
+
+func scheduleAroundInto(in *core.Instance, t float64, s *core.Schedule) *core.Schedule {
 	order := distanceOrder(in, t)
-	s := core.NewSchedule(in)
+	k := s.Placer()
 	g := in.G
 	for i, j := range order {
 		if i%g == 0 {
-			s.OpenMachine()
+			k.OpenMachine()
 		}
-		s.Assign(j, s.NumMachines()-1)
+		k.Place(j, k.NumMachines()-1)
 	}
 	return s
 }

@@ -111,6 +111,18 @@ func (r *Result) Verify(in *FlexInstance) error {
 
 // Schedule chooses start times and machines greedily, longest job first.
 func Schedule(in *FlexInstance) (*Result, error) {
+	return schedule(in, nil)
+}
+
+// ScheduleScratch is Schedule with the induced fixed-interval schedule drawn
+// from sc through the placement kernel (the start-time search still builds
+// its own transient state). The result's Schedule field is only valid until
+// sc's next use.
+func ScheduleScratch(in *FlexInstance, sc *core.Scratch) (*Result, error) {
+	return schedule(in, sc)
+}
+
+func schedule(in *FlexInstance, sc *core.Scratch) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -188,7 +200,8 @@ func Schedule(in *FlexInstance) (*Result, error) {
 		starts[j.ID] = st
 		fixed.Jobs[i] = core.Job{ID: j.ID, Iv: interval.New(st, st+j.Proc), Demand: j.Demand}
 	}
-	s := core.NewSchedule(fixed)
+	s := core.NewScheduleFrom(fixed, sc)
+	k := s.Placer()
 	maxM := -1
 	for _, p := range decided {
 		if p.machine > maxM {
@@ -196,10 +209,10 @@ func Schedule(in *FlexInstance) (*Result, error) {
 		}
 	}
 	for m := 0; m <= maxM; m++ {
-		s.OpenMachine()
+		k.OpenMachine()
 	}
 	for i, p := range decided {
-		s.Assign(i, p.machine)
+		k.Place(i, p.machine)
 	}
 	res := &Result{Starts: starts, Fixed: fixed, Schedule: s}
 	if err := res.Verify(in); err != nil {

@@ -174,3 +174,32 @@ func BenchmarkFlexSchedule200(b *testing.B) {
 		}
 	}
 }
+
+// TestScheduleScratchMatchesFresh pins the kernel-materialized scratch path
+// against the fresh one: identical starts, machines and cost, with one
+// Scratch recycled across differently-shaped flexible instances.
+func TestScheduleScratchMatchesFresh(t *testing.T) {
+	sc := new(core.Scratch)
+	for seed := int64(0); seed < 8; seed++ {
+		in := flexRandom(seed, 25+int(seed)*7, 2+int(seed)%3, 4)
+		fresh, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recycled, err := ScheduleScratch(in, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Schedule.NumMachines() != recycled.Schedule.NumMachines() ||
+			fresh.Schedule.Cost() != recycled.Schedule.Cost() {
+			t.Fatalf("seed %d: fresh (%d machines, cost %v) != scratch (%d machines, cost %v)",
+				seed, fresh.Schedule.NumMachines(), fresh.Schedule.Cost(),
+				recycled.Schedule.NumMachines(), recycled.Schedule.Cost())
+		}
+		for id, st := range fresh.Starts {
+			if recycled.Starts[id] != st {
+				t.Fatalf("seed %d: job %d start %v vs %v", seed, id, st, recycled.Starts[id])
+			}
+		}
+	}
+}

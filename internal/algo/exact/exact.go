@@ -12,9 +12,10 @@
 package exact
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/algo/firstfit"
@@ -33,6 +34,13 @@ func init() {
 			}
 			return s
 		},
+		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+			s, err := SolveScratch(in, sc)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
 	})
 }
 
@@ -43,11 +51,22 @@ const DefaultMaxJobs = 18
 // connected components (optimal per component is optimal overall) and errors
 // if any component exceeds DefaultMaxJobs jobs.
 func Solve(in *core.Instance) (*core.Schedule, error) {
-	return SolveMax(in, DefaultMaxJobs)
+	return solveMax(in, DefaultMaxJobs, nil)
+}
+
+// SolveScratch is Solve with the final schedule materialized from sc through
+// the placement kernel (the search itself still builds transient state). The
+// returned schedule is only valid until sc's next use.
+func SolveScratch(in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
+	return solveMax(in, DefaultMaxJobs, sc)
 }
 
 // SolveMax is Solve with an explicit per-component job limit.
 func SolveMax(in *core.Instance, maxJobs int) (*core.Schedule, error) {
+	return solveMax(in, maxJobs, nil)
+}
+
+func solveMax(in *core.Instance, maxJobs int, sc *core.Scratch) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,9 +87,15 @@ func SolveMax(in *core.Instance, maxJobs int) (*core.Schedule, error) {
 		machineBase += used
 	}
 	if in.N() == 0 {
-		return core.NewSchedule(in), nil
+		return core.NewScheduleFrom(in, sc), nil
 	}
-	s, err := core.FromAssignment(in, assignment)
+	var s *core.Schedule
+	var err error
+	if sc != nil {
+		s, err = core.FromAssignmentScratch(in, assignment, sc)
+	} else {
+		s, err = core.FromAssignment(in, assignment)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -127,15 +152,21 @@ func solveComponent(comp *core.Instance) solution {
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.Slice(perm, func(a, b int) bool {
-		ja, jb := comp.Jobs[perm[a]], comp.Jobs[perm[b]]
+	slices.SortFunc(perm, func(a, b int) int {
+		ja, jb := comp.Jobs[a], comp.Jobs[b]
 		if ja.Iv.Start != jb.Iv.Start {
-			return ja.Iv.Start < jb.Iv.Start
+			if ja.Iv.Start < jb.Iv.Start {
+				return -1
+			}
+			return 1
 		}
 		if ja.Iv.End != jb.Iv.End {
-			return ja.Iv.End < jb.Iv.End
+			if ja.Iv.End < jb.Iv.End {
+				return -1
+			}
+			return 1
 		}
-		return ja.ID < jb.ID
+		return cmp.Compare(ja.ID, jb.ID)
 	})
 	sorted := make([]core.Job, n)
 	for i, p := range perm {
@@ -282,11 +313,14 @@ func (se *searcher) remainingBound(i int) float64 {
 	if len(evs) == 0 {
 		return 0
 	}
-	sort.Slice(evs, func(a, b int) bool {
-		if evs[a].t != evs[b].t {
-			return evs[a].t < evs[b].t
+	slices.SortFunc(evs, func(a, b ev) int {
+		if a.t != b.t {
+			if a.t < b.t {
+				return -1
+			}
+			return 1
 		}
-		return evs[a].delta < evs[b].delta
+		return a.delta - b.delta
 	})
 	g := float64(se.g)
 	var total float64

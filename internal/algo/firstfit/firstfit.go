@@ -7,11 +7,10 @@
 // Theorem 2.4 exhibits instances forcing a ratio arbitrarily close to 3, so
 // the algorithm's approximation ratio lies in [3, 4].
 //
-// Machine selection uses the core machine-selection index by default
-// (core.Schedule.FirstFitAssign): a segment tree bounds each scan at the
-// first machine guaranteed to accept and a time-bucketed saturation bitmap
-// skips machines provably unable to take the job's window. ScheduleScan is
-// the plain per-machine probe loop, kept for ablation A6 and registered as
+// Placement goes through the shared kernel (core.Placer): FirstFit is the
+// LowestFit primitive driven in the paper's length order, with the machine
+// selection index enabled so the scan is sublinear. ScheduleScan is the
+// plain per-machine probe loop, kept for ablation A6 and registered as
 // "firstfit-scan"; both paths produce byte-identical schedules.
 package firstfit
 
@@ -31,6 +30,7 @@ func init() {
 		Name:        "firstfit-scan",
 		Description: "FirstFit with the linear machine scan (no selection index; ablation A6)",
 		Run:         ScheduleScan,
+		RunScratch:  ScheduleScanScratch,
 	})
 }
 
@@ -39,7 +39,7 @@ func init() {
 func Schedule(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
 	s.EnableMachineIndex()
-	assignAllByLength(in, s)
+	assignAllByLength(in, s.Placer())
 	return s
 }
 
@@ -50,17 +50,17 @@ func Schedule(in *core.Instance) *core.Schedule {
 func ScheduleScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
 	s := sc.NewSchedule(in)
 	s.EnableMachineIndex()
-	assignAllByLength(in, s)
+	assignAllByLength(in, s.Placer())
 	return s
 }
 
-// assignAllByLength feeds every job to s in the paper's non-increasing
-// length order, read from the instance's cached ordering (computed once per
-// instance, like its time axis) so steady-state batch traffic neither sorts
-// nor allocates per run.
-func assignAllByLength(in *core.Instance, s *core.Schedule) {
+// assignAllByLength feeds every job to the kernel in the paper's
+// non-increasing length order, read from the instance's cached ordering
+// (computed once per instance, like its time axis) so steady-state batch
+// traffic neither sorts nor allocates per run.
+func assignAllByLength(in *core.Instance, k core.Placer) {
 	for _, j := range in.LengthOrder() {
-		s.FirstFitAssign(int(j))
+		k.LowestFit(int(j))
 	}
 }
 
@@ -70,8 +70,20 @@ func assignAllByLength(in *core.Instance, s *core.Schedule) {
 func ScheduleOrder(in *core.Instance, order []int) *core.Schedule {
 	s := core.NewSchedule(in)
 	s.EnableMachineIndex()
+	k := s.Placer()
 	for _, j := range order {
-		s.FirstFitAssign(j)
+		k.LowestFit(j)
+	}
+	return s
+}
+
+// ScheduleOrderScratch is ScheduleOrder drawing schedule state from sc.
+func ScheduleOrderScratch(in *core.Instance, order []int, sc *core.Scratch) *core.Schedule {
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	k := s.Placer()
+	for _, j := range order {
+		k.LowestFit(j)
 	}
 	return s
 }
@@ -82,8 +94,14 @@ func ScheduleOrder(in *core.Instance, order []int) *core.Schedule {
 // for the index and produces schedules byte-identical to Schedule.
 func ScheduleScan(in *core.Instance) *core.Schedule {
 	s := core.NewSchedule(in)
-	for _, j := range in.LengthOrder() {
-		s.FirstFitAssign(int(j))
-	}
+	assignAllByLength(in, s.Placer())
+	return s
+}
+
+// ScheduleScanScratch is ScheduleScan drawing schedule state from sc (the
+// kernel recycles the per-machine interval trees instead of the index).
+func ScheduleScanScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	s := sc.NewSchedule(in)
+	assignAllByLength(in, s.Placer())
 	return s
 }

@@ -1,7 +1,7 @@
 package firstfit
 
 import (
-	"sort"
+	"slices"
 
 	"busytime/internal/core"
 )
@@ -39,11 +39,14 @@ func ScheduleLinear(in *core.Instance) *core.Schedule {
 		if len(evs) == 0 {
 			return job.Demand <= in.G
 		}
-		sort.Slice(evs, func(a, b int) bool {
-			if evs[a].t != evs[b].t {
-				return evs[a].t < evs[b].t
+		slices.SortFunc(evs, func(a, b evt) int {
+			if a.t != b.t {
+				if a.t < b.t {
+					return -1
+				}
+				return 1
 			}
-			return evs[a].delta > evs[b].delta
+			return b.delta - a.delta
 		})
 		depth, peak := 0, 0
 		for _, e := range evs {

@@ -37,6 +37,13 @@ func init() {
 			}
 			return s
 		},
+		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+			s, err := ScheduleScratch(in, sc)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
 	})
 }
 
@@ -113,6 +120,16 @@ func Levels(set interval.Set) []int {
 // nesting level ℓ to machine ⌈ℓ/g⌉. It errors when the instance is not
 // laminar. The result's cost equals core.FractionalBound(in).
 func Schedule(in *core.Instance) (*core.Schedule, error) {
+	return schedule(in, nil)
+}
+
+// ScheduleScratch is Schedule drawing schedule state from sc. The returned
+// schedule is only valid until sc's next use.
+func ScheduleScratch(in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
+	return schedule(in, sc)
+}
+
+func schedule(in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,13 +150,14 @@ func Schedule(in *core.Instance) (*core.Schedule, error) {
 			maxLevel = l
 		}
 	}
-	s := core.NewSchedule(in)
+	s := core.NewScheduleFrom(in, sc)
+	k := s.Placer()
 	numMachines := (maxLevel + in.G - 1) / in.G
 	for m := 0; m < numMachines; m++ {
-		s.OpenMachine()
+		k.OpenMachine()
 	}
 	for j, l := range levels {
-		s.Assign(j, (l-1)/in.G)
+		k.Place(j, (l-1)/in.G)
 	}
 	if err := s.Verify(); err != nil {
 		return nil, fmt.Errorf("laminar: produced infeasible schedule: %w", err)

@@ -37,6 +37,18 @@ func init() {
 			}
 			return s
 		},
+		// The portfolio keeps several candidate schedules alive at once, so
+		// none of them can draw from the single-live-schedule scratch; every
+		// candidate is itself kernel-routed, and the scratch is simply
+		// unused. Registered so batch drivers can dispatch the portfolio
+		// uniformly with every other algorithm.
+		RunScratch: func(in *core.Instance, _ *core.Scratch) *core.Schedule {
+			s, _, err := Schedule(in)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
 	})
 }
 

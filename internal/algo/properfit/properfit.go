@@ -5,12 +5,12 @@
 // create a (g+1)-clique on it, open a new machine.
 //
 // Theorem 3.1: on proper instances Greedy(J) ≤ OPT(J) + span(J) ≤ 2·OPT(J).
+//
+// The greedy is the placement kernel's NextFit primitive driven in the
+// instance's cached start order (core.Placer.NextFit).
 package properfit
 
 import (
-	"cmp"
-	"slices"
-
 	"busytime/internal/algo"
 	"busytime/internal/core"
 )
@@ -20,6 +20,7 @@ func init() {
 		Name:        "properfit",
 		Description: "NextFit by start time for proper instances (§3.1, 2-approximation)",
 		Run:         Schedule,
+		RunScratch:  ScheduleScratch,
 	})
 }
 
@@ -27,40 +28,19 @@ func init() {
 // Theorem 3.1 requires a proper instance (use core.Instance.IsProper to
 // check); the returned schedule is feasible for any instance.
 func Schedule(in *core.Instance) *core.Schedule {
-	order := startOrder(in)
-	s := core.NewSchedule(in)
-	cur := -1
-	for _, j := range order {
-		if cur < 0 || !s.CanAssign(j, cur) {
-			cur = s.OpenMachine()
-		}
-		s.Assign(j, cur)
-	}
-	return s
+	return scheduleInto(in, core.NewSchedule(in))
 }
 
-// startOrder returns job indices by (start, end, ID).
-func startOrder(in *core.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
+// ScheduleScratch is Schedule drawing schedule state from sc. The returned
+// schedule is only valid until sc's next use.
+func ScheduleScratch(in *core.Instance, sc *core.Scratch) *core.Schedule {
+	return scheduleInto(in, sc.NewSchedule(in))
+}
+
+func scheduleInto(in *core.Instance, s *core.Schedule) *core.Schedule {
+	k := s.Placer()
+	for _, j := range in.StartOrder() {
+		k.NextFit(int(j))
 	}
-	jobs := in.Jobs
-	slices.SortFunc(order, func(a, b int) int {
-		ja, jb := jobs[a], jobs[b]
-		if ja.Iv.Start != jb.Iv.Start {
-			if ja.Iv.Start < jb.Iv.Start {
-				return -1
-			}
-			return 1
-		}
-		if ja.Iv.End != jb.Iv.End {
-			if ja.Iv.End < jb.Iv.End {
-				return -1
-			}
-			return 1
-		}
-		return cmp.Compare(ja.ID, jb.ID)
-	})
-	return order
+	return s
 }

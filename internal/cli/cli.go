@@ -35,6 +35,7 @@ import (
 	"busytime/internal/core"
 	"busytime/internal/engine"
 	"busytime/internal/generator"
+	_ "busytime/internal/online"
 	"busytime/internal/sim"
 	"busytime/internal/stats"
 	"busytime/internal/trace"

@@ -51,11 +51,13 @@ type Instance struct {
 
 	// axis lazily caches the compressed time axis (*instanceAxis) shared by
 	// every indexed schedule of this instance; accessed atomically via
-	// timeAxis. lenOrder lazily caches LengthOrder (*[]int32). Both are
-	// derived data: the job-reordering methods drop them, and mutating jobs
-	// directly after scheduling has begun is not supported.
-	axis     unsafe.Pointer
-	lenOrder unsafe.Pointer
+	// timeAxis. lenOrder lazily caches LengthOrder and startOrder caches
+	// StartOrder (both *[]int32). All are derived data: the job-reordering
+	// methods drop them, and mutating jobs directly after scheduling has
+	// begun is not supported.
+	axis       unsafe.Pointer
+	lenOrder   unsafe.Pointer
+	startOrder unsafe.Pointer
 }
 
 // NewInstance builds an instance with parallelism g from raw intervals,
@@ -157,10 +159,11 @@ func (in *Instance) SortJobsByStart() {
 }
 
 // dropDerived invalidates the cached per-job-position derivations (time
-// axis, length order) after a reordering.
+// axis, length order, start order) after a reordering.
 func (in *Instance) dropDerived() {
 	atomic.StorePointer(&in.axis, nil)
 	atomic.StorePointer(&in.lenOrder, nil)
+	atomic.StorePointer(&in.startOrder, nil)
 }
 
 // LengthOrder returns the job indices in the paper's FirstFit order — by
@@ -204,6 +207,27 @@ func (in *Instance) LengthOrder() []int32 {
 		order[i] = k.idx
 	}
 	atomic.StorePointer(&in.lenOrder, unsafe.Pointer(&order))
+	return order
+}
+
+// StartOrder returns the job indices in arrival order — by (start, end, ID)
+// — computed once per instance and cached like LengthOrder. This is the
+// processing order of the online replays and the start-time baselines, so
+// steady-state batch traffic neither sorts nor allocates per run. The
+// returned slice is shared: callers must not modify it.
+func (in *Instance) StartOrder() []int32 {
+	if p := (*[]int32)(atomic.LoadPointer(&in.startOrder)); p != nil {
+		return *p
+	}
+	order := make([]int32, in.N())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	jobs := in.Jobs
+	slices.SortFunc(order, func(a, b int32) int {
+		return compareJobPosition(jobs[a], jobs[b])
+	})
+	atomic.StorePointer(&in.startOrder, unsafe.Pointer(&order))
 	return order
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveBestFit replicates the un-pruned BestFit argmin on a parallel
+// schedule: probe every machine in index order, rank feasible ones by span
+// delta, ties to the lowest index.
+func naiveBestFit(s *Schedule, j int) int {
+	iv := s.inst.Jobs[j].Iv
+	bestM, bestDelta := -1, 0.0
+	for m := 0; m < s.NumMachines(); m++ {
+		if !s.CanAssign(j, m) {
+			continue
+		}
+		if delta := s.SpanDelta(m, iv); bestM < 0 || delta < bestDelta {
+			bestM, bestDelta = m, delta
+		}
+	}
+	if bestM < 0 {
+		return s.AssignNew(j)
+	}
+	s.Assign(j, bestM)
+	return bestM
+}
+
+// TestPlacerBestFitMatchesNaive drives the kernel BestFit (indexed and
+// unindexed) against the naive scan on random demand-weighted instances and
+// requires identical machine choices throughout.
+func TestPlacerBestFitMatchesNaive(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		for seed := int64(0); seed < 25; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			in := randInstance(r, 140, 1+r.Intn(5))
+			a := NewSchedule(in)
+			if indexed {
+				a.EnableMachineIndex()
+			}
+			b := NewSchedule(in)
+			k := a.Placer()
+			for j := range in.Jobs {
+				got := k.BestFit(j)
+				want := naiveBestFit(b, j)
+				if got != want {
+					t.Fatalf("indexed=%v seed %d: job %d kernel chose machine %d, naive %d",
+						indexed, seed, j, got, want)
+				}
+			}
+			if err := a.Verify(); err != nil {
+				t.Fatalf("indexed=%v seed %d: %v", indexed, seed, err)
+			}
+			if a.Cost() != b.Cost() {
+				t.Fatalf("indexed=%v seed %d: cost %v vs %v", indexed, seed, a.Cost(), b.Cost())
+			}
+		}
+	}
+}
+
+// TestPlacerNextFitCursor pins the cursor semantics: fill the current
+// machine, abandon it permanently on overflow, and reset with the schedule.
+func TestPlacerNextFitCursor(t *testing.T) {
+	in := NewInstance(1,
+		iv(0, 4), // opens M0
+		iv(1, 2), // conflicts -> M1
+		iv(5, 6), // fits M1 (current), M0 never revisited
+	)
+	s := NewSchedule(in)
+	k := s.Placer()
+	if m := k.NextFit(0); m != 0 {
+		t.Fatalf("first placement on machine %d, want 0", m)
+	}
+	if m := k.NextFit(1); m != 1 {
+		t.Fatalf("overflow placement on machine %d, want 1", m)
+	}
+	if m := k.NextFit(2); m != 1 {
+		t.Fatalf("cursor placement on machine %d, want 1 (no revisiting)", m)
+	}
+
+	// A recycled schedule must reset the cursor.
+	sc := new(Scratch)
+	s2 := sc.NewSchedule(in)
+	_ = s2.Placer().NextFit(0)
+	s3 := sc.NewSchedule(in)
+	if m := s3.Placer().NextFit(0); m != 0 {
+		t.Fatalf("recycled schedule's cursor placed on machine %d, want fresh machine 0", m)
+	}
+}
+
+// TestPlacerBestFitProbeDoesNotPlace checks the probe variant leaves the
+// assignment untouched and agrees with the placing variant.
+func TestPlacerBestFitProbeDoesNotPlace(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	in := randInstance(r, 60, 3)
+	s := NewSchedule(in)
+	s.EnableMachineIndex()
+	k := s.Placer()
+	for j := range in.Jobs {
+		probe := k.BestFitProbe(j)
+		if s.MachineOf(j) != Unassigned {
+			t.Fatalf("probe assigned job %d", j)
+		}
+		got := k.BestFit(j)
+		if probe == Unassigned {
+			if got != s.NumMachines()-1 {
+				t.Fatalf("job %d: probe said no machine but BestFit chose existing %d", j, got)
+			}
+			continue
+		}
+		if got != probe {
+			t.Fatalf("job %d: probe chose %d, BestFit placed on %d", j, probe, got)
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

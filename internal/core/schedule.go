@@ -40,6 +40,11 @@ type Schedule struct {
 	index *machindex
 	ia    *instanceAxis
 	pool  *shardPool
+	// cursor is the NextFit placement cursor of the kernel (Placer.NextFit):
+	// the single currently open machine, or Unassigned before the first
+	// opening. It lives on the schedule so recycled schedules reset it for
+	// free and the kernel view stays a stateless handle.
+	cursor int
 }
 
 // hotspot is a saturation hint: the machine's load at time at is known to be
@@ -136,7 +141,7 @@ func NewSchedule(inst *Instance) *Schedule {
 	for i := range assign {
 		assign[i] = Unassigned
 	}
-	return &Schedule{inst: inst, assign: assign}
+	return &Schedule{inst: inst, assign: assign, cursor: Unassigned}
 }
 
 // Instance returns the instance this schedule belongs to.
@@ -724,7 +729,18 @@ func (s *Schedule) Summary() []MachineSummary {
 // previously exported with Assignment or decoded from JSON. Machine indices
 // are compacted preserving their relative order.
 func FromAssignment(inst *Instance, byID map[int]int) (*Schedule, error) {
-	s := NewSchedule(inst)
+	return fromAssignmentInto(inst, byID, NewSchedule(inst))
+}
+
+// FromAssignmentScratch is FromAssignment with the schedule drawn from sc —
+// the kernel-routed materialization step of solvers that compute an
+// assignment out of band (e.g. the exact branch and bound). Jobs are
+// inserted in position order, matching FromAssignment bit for bit.
+func FromAssignmentScratch(inst *Instance, byID map[int]int, sc *Scratch) (*Schedule, error) {
+	return fromAssignmentInto(inst, byID, sc.NewSchedule(inst))
+}
+
+func fromAssignmentInto(inst *Instance, byID map[int]int, s *Schedule) (*Schedule, error) {
 	machines := make([]int, 0, len(byID))
 	seen := map[int]bool{}
 	for _, m := range byID {

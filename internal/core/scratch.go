@@ -52,6 +52,16 @@ func (sc *Scratch) Stats() ScratchStats {
 	}
 }
 
+// NewScheduleFrom returns an empty schedule for inst drawn from sc, or a
+// fresh one when sc is nil. It is the single construction point for
+// algorithms whose Run and RunScratch entry points share one body.
+func NewScheduleFrom(inst *Instance, sc *Scratch) *Schedule {
+	if sc != nil {
+		return sc.NewSchedule(inst)
+	}
+	return NewSchedule(inst)
+}
+
 // NewSchedule returns an empty schedule for inst backed by this scratch,
 // invalidating (and recycling in place) the schedule returned by the
 // previous call.
@@ -67,7 +77,7 @@ func (sc *Scratch) NewSchedule(inst *Instance) *Schedule {
 	for i := range assign {
 		assign[i] = Unassigned
 	}
-	*s = Schedule{inst: inst, assign: assign, machines: machines, scratch: sc}
+	*s = Schedule{inst: inst, assign: assign, machines: machines, scratch: sc, cursor: Unassigned}
 	sc.schedules++
 	return s
 }

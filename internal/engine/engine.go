@@ -3,7 +3,10 @@
 // workers with the internal/parallel primitives, each worker recycles one
 // core.Scratch so warm workers stop allocating schedule state, and results
 // land in input order so a parallel run is byte-identical to a sequential
-// one.
+// one. Every registered algorithm carries a RunScratch entry point routed
+// through the shared placement kernel (core.Placer), so arena recycling
+// applies to the whole registry — offline heuristics, exact solvers and
+// online replays alike.
 //
 // The engine reports per-instance summaries (machines, cost, lower bound,
 // ratio) rather than retaining schedules: retaining every schedule of a

@@ -7,43 +7,68 @@
 // The package provides an event-driven runner and three online policies —
 // FirstFit, BestFit and NextFit by arrival — plus a harness hook measuring
 // empirical competitive ratios against the offline optimum / lower bound.
+//
+// Policies place arrivals through the shared placement kernel: Place
+// receives a core.Placer view instead of a raw schedule, so every policy
+// rides the machine-selection index, the saturation bitmap and the arena,
+// and competitive-ratio replays through a recycled core.Scratch are
+// allocation-free once warm (RunScratch). The policies are also registered
+// with the algorithm registry ("online-firstfit", "online-bestfit",
+// "online-nextfit"), so the batch engine and the CLI drive online replays
+// exactly like offline algorithms.
 package online
 
 import (
 	"fmt"
-	"sort"
 
+	"busytime/internal/algo"
 	"busytime/internal/core"
 )
 
-// Policy decides the machine for each arriving job. Implementations receive
-// the current schedule (for feasibility queries) and the arriving job index
-// and return an existing machine or core.Unassigned to request a new one.
+func init() {
+	for _, pol := range Policies() {
+		pol := pol
+		algo.Register(algo.Algorithm{
+			Name:        pol.Name(),
+			Description: "online " + pol.Name()[len("online-"):] + " by arrival order (jobs revealed at start times)",
+			Run: func(in *core.Instance) *core.Schedule {
+				s, err := Run(in, pol)
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+			RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+				s, err := RunScratch(in, sc, pol)
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+		})
+	}
+}
+
+// Policy decides the machine for each arriving job. Place receives the
+// placement-kernel view of the schedule under construction and the arriving
+// job index; it must place the job through the kernel (LowestFit, BestFit,
+// NextFit, or CanPlace/Place/PlaceNew for bespoke rules) and return the
+// machine it chose. The built-in policies are stateless values: per-arrival
+// state such as the NextFit cursor lives in the kernel.
 type Policy interface {
 	Name() string
-	Place(s *core.Schedule, j int) int
+	Place(k core.Placer, j int) int
 }
 
 // Run replays the instance in arrival order (start, end, ID) through the
 // policy and returns the resulting schedule. The returned schedule is
-// verified feasible; a policy returning an infeasible machine is an error.
+// verified feasible; policy misuse — placing nothing, double-placing, or
+// overloading a machine — is reported as a wrapped error, never a panic.
 func Run(in *core.Instance, p Policy) (*core.Schedule, error) {
-	order := arrivalOrder(in)
 	s := core.NewSchedule(in)
-	for _, j := range order {
-		m := p.Place(s, j)
-		if m == core.Unassigned {
-			s.AssignNew(j)
-			continue
-		}
-		if m < 0 || m >= s.NumMachines() {
-			return nil, fmt.Errorf("online: policy %s returned invalid machine %d", p.Name(), m)
-		}
-		if !s.CanAssign(j, m) {
-			return nil, fmt.Errorf("online: policy %s chose overloaded machine %d for job %d",
-				p.Name(), m, j)
-		}
-		s.Assign(j, m)
+	s.EnableMachineIndex()
+	if err := replay(in, s, p); err != nil {
+		return nil, err
 	}
 	if err := s.Verify(); err != nil {
 		return nil, fmt.Errorf("online: %s produced infeasible schedule: %w", p.Name(), err)
@@ -51,87 +76,86 @@ func Run(in *core.Instance, p Policy) (*core.Schedule, error) {
 	return s, nil
 }
 
-func arrivalOrder(in *core.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
+// RunScratch is Run with all schedule state drawn from sc, so
+// competitive-ratio sweeps replaying many instances recycle one arena and
+// stop allocating once warm. It skips the final feasibility re-verification
+// (the kernel's checked primitives only make feasible placements; batch
+// callers re-verify via the engine's Verify option); misuse detection is
+// identical to Run. The returned schedule is only valid until sc's next use.
+func RunScratch(in *core.Instance, sc *core.Scratch, p Policy) (*core.Schedule, error) {
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	if err := replay(in, s, p); err != nil {
+		return nil, err
 	}
-	jobs := in.Jobs
-	sort.Slice(order, func(a, b int) bool {
-		a, b = order[a], order[b]
-		if jobs[a].Iv.Start != jobs[b].Iv.Start {
-			return jobs[a].Iv.Start < jobs[b].Iv.Start
-		}
-		if jobs[a].Iv.End != jobs[b].Iv.End {
-			return jobs[a].Iv.End < jobs[b].Iv.End
-		}
-		return jobs[a].ID < jobs[b].ID
-	})
-	return order
+	return s, nil
 }
 
-// FirstFit places each arrival on the lowest-indexed feasible machine.
+// replay feeds the arrivals to the policy and validates each decision.
+func replay(in *core.Instance, s *core.Schedule, p Policy) error {
+	k := s.Placer()
+	for _, j := range in.StartOrder() {
+		if err := placeOne(k, s, p, int(j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placeOne invokes the policy for one arrival and validates its decision. A
+// panic raised during the placement (a policy driving the raw kernel out of
+// range, double-placing, …) is converted to a wrapped error so one bad
+// policy cannot take down a sweep; the recover is scoped to the single
+// Place call, so the error pinpoints the offending job and a panic anywhere
+// outside a placement still surfaces with its stack intact.
+func placeOne(k core.Placer, s *core.Schedule, p Policy, j int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("online: policy %s panicked placing job %d: %v", p.Name(), j, r)
+		}
+	}()
+	m := p.Place(k, j)
+	if got := s.MachineOf(j); got == core.Unassigned || got != m {
+		return fmt.Errorf("online: policy %s returned machine %d for job %d but placed it on %d",
+			p.Name(), m, j, got)
+	}
+	return nil
+}
+
+// FirstFit places each arrival on the lowest-indexed feasible machine
+// (the kernel's index-accelerated LowestFit).
 type FirstFit struct{}
 
 // Name implements Policy.
 func (FirstFit) Name() string { return "online-firstfit" }
 
 // Place implements Policy.
-func (FirstFit) Place(s *core.Schedule, j int) int {
-	for m := 0; m < s.NumMachines(); m++ {
-		if s.CanAssign(j, m) {
-			return m
-		}
-	}
-	return core.Unassigned
-}
+func (FirstFit) Place(k core.Placer, j int) int { return k.LowestFit(j) }
 
 // BestFit places each arrival on the feasible machine whose busy time grows
-// the least (ties to the lowest index).
+// the least (ties to the lowest index), via the kernel's pruned argmin.
 type BestFit struct{}
 
 // Name implements Policy.
 func (BestFit) Name() string { return "online-bestfit" }
 
 // Place implements Policy.
-func (BestFit) Place(s *core.Schedule, j int) int {
-	in := s.Instance()
-	best, bestDelta := core.Unassigned, 0.0
-	for m := 0; m < s.NumMachines(); m++ {
-		if !s.CanAssign(j, m) {
-			continue
-		}
-		set := s.MachineSet(m)
-		delta := append(set, in.Jobs[j].Iv).Span() - set.Span()
-		if best == core.Unassigned || delta < bestDelta {
-			best, bestDelta = m, delta
-		}
-	}
-	return best
-}
+func (BestFit) Place(k core.Placer, j int) int { return k.BestFit(j) }
 
-// NextFit keeps one open machine and abandons it permanently on overflow.
-type NextFit struct {
-	cur int
-	ok  bool
-}
+// NextFit keeps one open machine and abandons it permanently on overflow
+// (the kernel cursor).
+type NextFit struct{}
 
 // Name implements Policy.
-func (*NextFit) Name() string { return "online-nextfit" }
+func (NextFit) Name() string { return "online-nextfit" }
 
 // Place implements Policy.
-func (p *NextFit) Place(s *core.Schedule, j int) int {
-	if p.ok && s.CanAssign(j, p.cur) {
-		return p.cur
-	}
-	p.ok = true
-	p.cur = s.NumMachines() // the runner opens it via AssignNew
-	return core.Unassigned
-}
+func (NextFit) Place(k core.Placer, j int) int { return k.NextFit(j) }
 
-// Policies returns fresh instances of every built-in policy.
+// Policies returns every built-in policy. The built-ins are stateless, so
+// the same values can drive any number of runs.
 func Policies() []Policy {
-	return []Policy{FirstFit{}, BestFit{}, &NextFit{}}
+	return []Policy{FirstFit{}, BestFit{}, NextFit{}}
 }
 
 // RunLookahead is the semi-online variant: the scheduler sees a buffer of
@@ -144,13 +168,25 @@ func RunLookahead(in *core.Instance, k int, p Policy) (*core.Schedule, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("online: lookahead %d, want ≥ 1", k)
 	}
-	arrivals := arrivalOrder(in)
+	arrivals := in.StartOrder()
 	s := core.NewSchedule(in)
+	s.EnableMachineIndex()
+	if err := lookaheadReplay(in, s, arrivals, k, p); err != nil {
+		return nil, err
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("online: lookahead %s infeasible: %w", p.Name(), err)
+	}
+	return s, nil
+}
+
+func lookaheadReplay(in *core.Instance, s *core.Schedule, arrivals []int32, k int, p Policy) error {
+	view := s.Placer()
 	buffer := make([]int, 0, k)
 	next := 0
 	fill := func() {
 		for len(buffer) < k && next < len(arrivals) {
-			buffer = append(buffer, arrivals[next])
+			buffer = append(buffer, int(arrivals[next]))
 			next++
 		}
 	}
@@ -181,19 +217,9 @@ func RunLookahead(in *core.Instance, k int, p Policy) (*core.Schedule, error) {
 		i := longest()
 		j := buffer[i]
 		buffer = append(buffer[:i], buffer[i+1:]...)
-		m := p.Place(s, j)
-		if m == core.Unassigned {
-			s.AssignNew(j)
-			continue
+		if err := placeOne(view, s, p, j); err != nil {
+			return err
 		}
-		if m < 0 || m >= s.NumMachines() || !s.CanAssign(j, m) {
-			return nil, fmt.Errorf("online: policy %s made invalid placement %d for job %d",
-				p.Name(), m, j)
-		}
-		s.Assign(j, m)
 	}
-	if err := s.Verify(); err != nil {
-		return nil, fmt.Errorf("online: lookahead %s infeasible: %w", p.Name(), err)
-	}
-	return s, nil
+	return nil
 }

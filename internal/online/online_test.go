@@ -19,17 +19,7 @@ func TestPoliciesFeasibleOnRandom(t *testing.T) {
 		t.Run(p.Name(), func(t *testing.T) {
 			f := func(seed int64, nn, gg uint8) bool {
 				in := generator.General(seed, int(nn%30)+1, int(gg%4)+1, 40, 12)
-				// NextFit is stateful: fresh policy per run.
-				var pol Policy
-				switch p.(type) {
-				case FirstFit:
-					pol = FirstFit{}
-				case BestFit:
-					pol = BestFit{}
-				default:
-					pol = &NextFit{}
-				}
-				s, err := Run(in, pol)
+				s, err := Run(in, p)
 				if err != nil {
 					return false
 				}
@@ -85,7 +75,7 @@ func TestOnlineNextFitAbandons(t *testing.T) {
 	// g=1: [0,4] opens M0; [1,2] conflicts → M1; [5,6] fits M1 (current),
 	// never returns to M0 even though it also fits.
 	in := core.NewInstance(1, iv(0, 4), iv(1, 2), iv(5, 6))
-	s, err := Run(in, &NextFit{})
+	s, err := Run(in, NextFit{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,33 +108,135 @@ func TestOnlineVsOfflineGap(t *testing.T) {
 	}
 }
 
-func TestRunRejectsStalePolicy(t *testing.T) {
-	// A policy returning an out-of-range machine index is rejected.
-	bad := policyFunc{name: "bad", f: func(s *core.Schedule, j int) int { return 99 }}
-	in := core.NewInstance(2, iv(0, 1))
-	if _, err := Run(in, bad); err == nil {
-		t.Error("invalid machine index accepted")
-	}
-	// A policy choosing an overloaded machine is rejected.
-	over := policyFunc{name: "over", f: func(s *core.Schedule, j int) int {
-		if s.NumMachines() > 0 {
-			return 0
-		}
-		return core.Unassigned
+// TestRunWrapsPolicyMisuse pins the misuse contract: a policy that lies
+// about its placement, places nothing, or trips a kernel panic yields a
+// wrapped error, never a panic.
+func TestRunWrapsPolicyMisuse(t *testing.T) {
+	in := core.NewInstance(2, iv(0, 1), iv(0.5, 2))
+	// Places correctly but reports the wrong machine.
+	liar := policyFunc{name: "liar", f: func(k core.Placer, j int) int {
+		k.LowestFit(j)
+		return 99
 	}}
-	in2 := core.NewInstance(1, iv(0, 2), iv(1, 3))
-	if _, err := Run(in2, over); err == nil {
-		t.Error("overloaded placement accepted")
+	if _, err := Run(in, liar); err == nil {
+		t.Error("mis-reported placement accepted")
+	}
+	// Never places at all.
+	idle := policyFunc{name: "idle", f: func(k core.Placer, j int) int { return 0 }}
+	if _, err := Run(in, idle); err == nil {
+		t.Error("unplaced job accepted")
+	}
+	// Places the same job twice: the kernel panics, the runner must wrap it.
+	double := policyFunc{name: "double", f: func(k core.Placer, j int) int {
+		m := k.PlaceNew(j)
+		k.Place(j, m)
+		return m
+	}}
+	if _, err := Run(in, double); err == nil {
+		t.Error("double placement accepted")
+	}
+	// Out-of-range raw placement panics inside the kernel; wrapped too.
+	wild := policyFunc{name: "wild", f: func(k core.Placer, j int) int {
+		k.Place(j, 42)
+		return 42
+	}}
+	if _, err := Run(in, wild); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	// RunScratch wraps identically.
+	sc := new(core.Scratch)
+	if _, err := RunScratch(in, sc, double); err == nil {
+		t.Error("RunScratch did not wrap double placement")
 	}
 }
 
 type policyFunc struct {
 	name string
-	f    func(*core.Schedule, int) int
+	f    func(core.Placer, int) int
 }
 
-func (p policyFunc) Name() string                      { return p.name }
-func (p policyFunc) Place(s *core.Schedule, j int) int { return p.f(s, j) }
+func (p policyFunc) Name() string                   { return p.name }
+func (p policyFunc) Place(k core.Placer, j int) int { return p.f(k, j) }
+
+// TestRunScratchMatchesRun is the online leg of the differential contract:
+// replaying through a recycled scratch must reproduce fresh runs byte for
+// byte, for every built-in policy, across instance shapes.
+func TestRunScratchMatchesRun(t *testing.T) {
+	sc := new(core.Scratch)
+	for seed := int64(0); seed < 12; seed++ {
+		in := generator.General(seed, 60+int(seed)*13, 2+int(seed)%4, 50, 14)
+		for _, pol := range Policies() {
+			fresh, err := Run(in, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recycled, err := RunScratch(in, sc, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh.NumMachines() != recycled.NumMachines() || fresh.Cost() != recycled.Cost() {
+				t.Fatalf("seed %d %s: fresh (%d machines, cost %v) != scratch (%d machines, cost %v)",
+					seed, pol.Name(), fresh.NumMachines(), fresh.Cost(),
+					recycled.NumMachines(), recycled.Cost())
+			}
+			for j := 0; j < in.N(); j++ {
+				if fresh.MachineOf(j) != recycled.MachineOf(j) {
+					t.Fatalf("seed %d %s: job %d placement differs", seed, pol.Name(), j)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineFirstFitZeroAllocSteadyState is the online arena gate: after a
+// warm-up replay, re-running online FirstFit through a recycled Scratch
+// performs zero allocations per run.
+func TestOnlineFirstFitZeroAllocSteadyState(t *testing.T) {
+	in := generator.General(3, 3000, 4, 1500, 25)
+	sc := new(core.Scratch)
+	run := func() {
+		if _, err := RunScratch(in, sc, FirstFit{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up sizes the arena and the instance's cached orders
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Fatalf("warm online FirstFit allocated %v times per run; want 0", allocs)
+	}
+}
+
+// FuzzOnlineFirstFitWarmScratch drives the online differential check from
+// fuzzed shapes, with the scratch arriving warm from a differently-shaped
+// instance so no stale state can leak through the recycled arena.
+func FuzzOnlineFirstFitWarmScratch(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(3), uint8(20))
+	f.Add(int64(99), uint8(200), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, n, g, maxLen uint8) {
+		in := generator.General(seed, int(n)+1, int(g)%8+1, float64(n)/2+1, float64(maxLen)+1)
+		fresh, err := Run(in, FirstFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := new(core.Scratch)
+		warm := generator.General(seed+1, int(maxLen)+2, int(g)%5+1, float64(g)+2, float64(n)/4+1)
+		if _, err := RunScratch(warm, sc, FirstFit{}); err != nil {
+			t.Fatal(err)
+		}
+		recycled, err := RunScratch(in, sc, FirstFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.NumMachines() != recycled.NumMachines() || fresh.Cost() != recycled.Cost() {
+			t.Fatalf("fresh (%d machines, cost %v) != warm scratch (%d machines, cost %v)",
+				fresh.NumMachines(), fresh.Cost(), recycled.NumMachines(), recycled.Cost())
+		}
+		for j := 0; j < in.N(); j++ {
+			if fresh.MachineOf(j) != recycled.MachineOf(j) {
+				t.Fatalf("job %d placement differs", j)
+			}
+		}
+	})
+}
 
 func BenchmarkOnlineFirstFit1k(b *testing.B) {
 	in := generator.General(7, 1000, 4, 500, 30)
