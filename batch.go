@@ -1,0 +1,159 @@
+package busytime
+
+import (
+	"context"
+	"io"
+
+	"busytime/internal/algo"
+	"busytime/internal/engine"
+)
+
+// BatchResult summarizes scheduling one instance of a batch or stream. The
+// engine deliberately reports summaries rather than retaining schedules:
+// keeping every schedule of a 100k-job batch alive would defeat the arena
+// recycling that makes batch runs fast. Re-run an interesting instance
+// through Solve to get its schedule.
+//
+// The field layout mirrors internal/engine.Result exactly; SolveBatch
+// converts by plain struct conversion.
+type BatchResult struct {
+	// Index is the instance's position in the batch or stream.
+	Index int `json:"index"`
+	// Name echoes Instance.Name.
+	Name string `json:"name"`
+	// N and G are the instance's size and parallelism.
+	N int `json:"n"`
+	G int `json:"g"`
+	// Machines and Cost describe the produced schedule.
+	Machines int     `json:"machines"`
+	Cost     float64 `json:"cost"`
+	// LowerBound is the fractional lower bound and Ratio is
+	// Cost/LowerBound (0 when the bound is 0).
+	LowerBound float64 `json:"lower_bound"`
+	Ratio      float64 `json:"ratio"`
+	// Err is non-empty when the algorithm rejected the instance or, under
+	// WithVerify, produced an infeasible schedule; the schedule fields are
+	// then zero.
+	Err string `json:"err,omitempty"`
+	// Warm and SetupAllocs report arena reuse (see ArenaStats). They depend
+	// on worker count and scheduling order, so they are excluded from
+	// serialization to keep CSV/JSON output deterministic; SummarizeBatch
+	// aggregates them.
+	Warm        bool `json:"-"`
+	SetupAllocs int  `json:"-"`
+}
+
+// SolveBatch schedules every instance with the session's algorithm, fanned
+// out across WithWorkers workers over the session's shared arena pool, and
+// returns one summary per instance in input order — a parallel run is
+// byte-identical to a sequential one. Per-instance failures land in
+// BatchResult.Err and do not abort the batch. Cancelling ctx stops workers
+// at their next instance (and mid-run for the cancellable algorithms),
+// drains the fan-out without leaking goroutines, and returns the context's
+// error.
+func (s *Solver) SolveBatch(ctx context.Context, instances []*Instance) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, err := engine.Run(ctx, instances, s.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	return convertBatch(results), nil
+}
+
+// SolveStream drains the instance stream next (which reports ok=false when
+// exhausted), scheduling shard by shard with the same guarantees as
+// SolveBatch; the output is identical to collecting the stream into a slice
+// first. Arbitrarily long streams run in bounded memory.
+func (s *Solver) SolveStream(ctx context.Context, next func() (*Instance, bool)) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, err := engine.RunStream(ctx, next, s.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	return convertBatch(results), nil
+}
+
+// engineOptions maps the session config onto the internal engine. The
+// session's arena pool is passed through, so batch arenas stay warm across
+// SolveBatch/SolveStream/Solve calls, not just across shards of one call;
+// the algorithm record is the Solver's own dispatch (engine.Options.Custom),
+// so batch runs carry the full session configuration — WithExactLimit,
+// WithLookahead, WithLengthBound — and are guaranteed to agree with Solve.
+func (s *Solver) engineOptions() engine.Options {
+	return engine.Options{
+		Algorithm: s.cfg.algorithm,
+		Custom: &algo.Algorithm{
+			Name:          s.cfg.algorithm,
+			RunScratchCtx: s.run,
+			Cancellation:  s.alg.Cancellation,
+		},
+		Workers: s.cfg.workers,
+		Verify:  s.cfg.verify,
+		Pool:    s.pool, // nil in fresh mode: the engine builds a private pool
+	}
+}
+
+func convertBatch(results []engine.Result) []BatchResult {
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		out[i] = BatchResult(r)
+	}
+	return out
+}
+
+// BatchSummary aggregates the arena-reuse telemetry of a batch: how many
+// runs found their worker's arena warm, and how many backing allocations
+// the arenas performed in total. In steady state (a warm pool re-serving
+// seen instance shapes) SetupAllocs stays flat while WarmRuns tracks Runs.
+type BatchSummary struct {
+	Runs        int
+	WarmRuns    int
+	SetupAllocs int
+}
+
+// HitRate returns the fraction of runs served by a warm arena, 0 when the
+// summary is empty.
+func (b BatchSummary) HitRate() float64 {
+	if b.Runs == 0 {
+		return 0
+	}
+	return float64(b.WarmRuns) / float64(b.Runs)
+}
+
+// SummarizeBatch folds the per-run arena counters of a batch into a
+// BatchSummary.
+func SummarizeBatch(results []BatchResult) BatchSummary {
+	var b BatchSummary
+	for _, r := range results {
+		b.Runs++
+		if r.Warm {
+			b.WarmRuns++
+		}
+		b.SetupAllocs += r.SetupAllocs
+	}
+	return b
+}
+
+// WriteBatchCSV writes batch results as CSV with a header row. Floats use
+// the shortest round-trip representation, so output is byte-stable across
+// runs and worker counts.
+func WriteBatchCSV(w io.Writer, results []BatchResult) error {
+	return engine.WriteCSV(w, convertToEngine(results))
+}
+
+// WriteBatchJSON writes batch results as an indented JSON array.
+func WriteBatchJSON(w io.Writer, results []BatchResult) error {
+	return engine.WriteJSON(w, convertToEngine(results))
+}
+
+func convertToEngine(results []BatchResult) []engine.Result {
+	out := make([]engine.Result, len(results))
+	for i, r := range results {
+		out[i] = engine.Result(r)
+	}
+	return out
+}

@@ -6,9 +6,11 @@ package busytime_test
 // prints the full tables.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
+	"busytime"
 	"busytime/internal/algo/baselines"
 	"busytime/internal/algo/firstfit"
 	"busytime/internal/core"
@@ -131,6 +133,59 @@ func benchFirstFitPooledN(b *testing.B, n int) {
 func BenchmarkFirstFitPooledN1e4(b *testing.B) { benchFirstFitPooledN(b, 10000) }
 func BenchmarkFirstFitPooledN1e5(b *testing.B) { benchFirstFitPooledN(b, 100000) }
 
+// Public warm path: a single-worker Solver session re-solving one instance,
+// which must ride exactly the internal pooled path (same recycled arena,
+// cached bounds and orders) — BenchmarkSolverWarmN1e5 is pinned to the
+// allocs/op of BenchmarkFirstFitPooledN1e5 by TestSolverWarmMatchesPooled
+// and the BENCH_5 record.
+func benchSolverWarmN(b *testing.B, n int, algorithm string) {
+	in := generator.General(7, n, 4, float64(n), 30)
+	s, err := busytime.New(busytime.WithAlgorithm(algorithm), busytime.WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, in); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(ctx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Machines == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkSolverWarmN1e4(b *testing.B)        { benchSolverWarmN(b, 10000, "firstfit") }
+func BenchmarkSolverWarmN1e5(b *testing.B)        { benchSolverWarmN(b, 100000, "firstfit") }
+func BenchmarkSolverWarmBestFitN1e5(b *testing.B) { benchSolverWarmN(b, 100000, "bestfit") }
+
+// The batch fan-out through the public facade, against BenchmarkBatchFirstFit
+// (the internal engine run it wraps).
+func BenchmarkSolverBatchFirstFit(b *testing.B) {
+	batch := batch100k()
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.SolveBatch(context.Background(), batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(batch) {
+			b.Fatalf("got %d results, want %d", len(res), len(batch))
+		}
+	}
+}
+
 func benchBestFitPooledN(b *testing.B, n int) {
 	in := generator.General(7, n, 4, float64(n), 30)
 	sc := new(core.Scratch)
@@ -179,7 +234,7 @@ func BenchmarkBatchFirstFit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := engine.Run(batch, engine.Options{Algorithm: "firstfit"})
+		res, err := engine.Run(context.Background(), batch, engine.Options{Algorithm: "firstfit"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +270,7 @@ func BenchmarkBatchPortfolio(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Run(batch, engine.Options{Algorithm: "portfolio"}); err != nil {
+		if _, err := engine.Run(context.Background(), batch, engine.Options{Algorithm: "portfolio"}); err != nil {
 			b.Fatal(err)
 		}
 	}

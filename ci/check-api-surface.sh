@@ -1,0 +1,26 @@
+#!/bin/sh
+# Golden check of the public busytime API surface.
+#
+# The committed ci/api-surface.txt is the symbol listing of `go doc -all .`
+# (exported funcs, types, consts, vars and methods, one line each). Any
+# change to the public surface — additions included — must be deliberate:
+# regenerate with `ci/check-api-surface.sh -u`, review the diff, and commit
+# it alongside the change. CI fails on undocumented drift.
+set -eu
+cd "$(dirname "$0")/.."
+golden=ci/api-surface.txt
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+go doc -all . | grep -E '^(func|type|const|var)' > "$current"
+if [ "${1:-}" = "-u" ]; then
+    cp "$current" "$golden"
+    echo "updated $golden"
+    exit 0
+fi
+if ! diff -u "$golden" "$current"; then
+    echo >&2
+    echo "public API surface drifted from $golden." >&2
+    echo "If the change is intentional, run ci/check-api-surface.sh -u and commit the result." >&2
+    exit 1
+fi
+echo "public API surface matches $golden"

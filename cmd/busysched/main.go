@@ -1,14 +1,22 @@
 // Command busysched is the command-line front end of the busy-time
-// scheduling library; all logic lives in internal/cli. Run
+// scheduling library; all logic lives in internal/cli, which drives the
+// public busytime Solver API. SIGINT/SIGTERM cancel the run's context, so
+// an interrupted batch or exact solve stops cooperatively (mid-search for
+// the branch-and-bound) instead of being killed mid-write. Run
 // `busysched help` for the subcommand list.
 package main
 
 import (
+	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"busytime/internal/cli"
 )
 
 func main() {
-	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(cli.RunContext(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

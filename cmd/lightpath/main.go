@@ -8,13 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"busytime/internal/algo/baselines"
-	"busytime/internal/algo/firstfit"
-	"busytime/internal/core"
+	"busytime"
 	"busytime/internal/optical"
 	"busytime/internal/stats"
 )
@@ -41,31 +40,46 @@ func main() {
 	}
 	in := net.ToInstance()
 	fmt.Printf("network: %d nodes, %d lightpaths, grooming g=%d\n", *nodes, *paths, *g)
-	fmt.Printf("reduction: %d jobs, fractional LB %.2f\n\n", in.N(), core.BestBound(in))
+	fmt.Printf("reduction: %d jobs, fractional LB %.2f\n\n", in.N(), busytime.LowerBound(in))
 
+	// The schedulers run through the public Solver API (the coloring keeps
+	// the schedule, so sessions hand out caller-owned fresh memory).
 	algs := []struct {
-		name string
-		run  func(*core.Instance) *core.Schedule
+		label string
+		algo  string
 	}{
-		{"firstfit (paper §2)", firstfit.Schedule},
-		{"machine-min (§1.1)", baselines.MachineMin},
-		{"nextfit", baselines.NextFit},
+		{"firstfit (paper §2)", "firstfit"},
+		{"machine-min (§1.1)", "machine-min"},
+		{"nextfit", "nextfit"},
 	}
 	tb := stats.NewTable("coloring comparison",
 		"algorithm", "wavelengths", "regenerators", "ADMs", "α=0", "α=0.5", "α=1")
 	var best *optical.Coloring
 	for _, a := range algs {
-		s := a.run(in)
-		col, err := optical.FromSchedule(net, s)
+		solver, err := busytime.New(
+			busytime.WithAlgorithm(a.algo),
+			busytime.WithVerify(true),
+			busytime.WithFreshSchedules(),
+		)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lightpath: %s: %v\n", a.name, err)
+			fmt.Fprintf(os.Stderr, "lightpath: %s: %v\n", a.label, err)
+			os.Exit(1)
+		}
+		res, err := solver.Solve(context.Background(), in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpath: %s: %v\n", a.label, err)
+			os.Exit(1)
+		}
+		col, err := optical.FromSchedule(net, res.Schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpath: %s: %v\n", a.label, err)
 			os.Exit(1)
 		}
 		if err := col.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "lightpath: %s produced invalid coloring: %v\n", a.name, err)
+			fmt.Fprintf(os.Stderr, "lightpath: %s produced invalid coloring: %v\n", a.label, err)
 			os.Exit(1)
 		}
-		tb.AddRow(a.name, col.Wavelengths(), col.Regenerators(), col.ADMs(),
+		tb.AddRow(a.label, col.Wavelengths(), col.Regenerators(), col.ADMs(),
 			col.Cost(0), col.Cost(0.5), col.Cost(1))
 		if best == nil || col.Regenerators() < best.Regenerators() {
 			best = col

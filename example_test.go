@@ -1,10 +1,158 @@
 package busytime_test
 
 import (
+	"context"
 	"fmt"
 
 	"busytime"
 )
+
+// ExampleNew shows option combinations and the eager validation New
+// performs: a semi-online lookahead belongs to the online-* algorithms.
+func ExampleNew() {
+	s, err := busytime.New(
+		busytime.WithAlgorithm("online-firstfit"),
+		busytime.WithLookahead(8),
+		busytime.WithWorkers(4),
+		busytime.WithVerify(true),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s.Algorithm())
+
+	_, err = busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithLookahead(8))
+	fmt.Println(err)
+	// Output:
+	// online-firstfit
+	// busytime: WithLookahead applies to the online-* algorithms, not "firstfit"
+}
+
+// ExampleSolver_Solve schedules one instance through a session and reads
+// the Result: cost, lower bound, optimality gap.
+func ExampleSolver_Solve() {
+	in, err := busytime.BuildInstance(2, busytime.UnitJobs(
+		busytime.Interval{Start: 0, End: 4},
+		busytime.Interval{Start: 1, End: 5},
+		busytime.Interval{Start: 2, End: 6},
+	)...)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithVerify(true))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := s.Solve(context.Background(), in)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: machines=%d cost=%.0f lb=%.0f gap=%.0f\n",
+		res.Algorithm, res.Machines, res.Cost, res.LowerBound(), res.Gap())
+	// Output: firstfit: machines=2 cost=9 lb=8 gap=1
+}
+
+// ExampleSolver_SolveBatch fans a batch out across workers; results come
+// back in input order regardless of parallelism.
+func ExampleSolver_SolveBatch() {
+	batch := []*busytime.Instance{
+		busytime.NewInstance(2,
+			busytime.NewInterval(0, 4),
+			busytime.NewInterval(1, 5),
+			busytime.NewInterval(2, 6)),
+		busytime.NewInstance(2,
+			busytime.NewInterval(0, 2),
+			busytime.NewInterval(1, 3)),
+	}
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	results, err := s.SolveBatch(context.Background(), batch)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range results {
+		fmt.Printf("%d: n=%d machines=%d cost=%.0f\n", r.Index, r.N, r.Machines, r.Cost)
+	}
+	// Output:
+	// 0: n=3 machines=2 cost=9
+	// 1: n=2 machines=1 cost=3
+}
+
+// ExampleSolver_SolveStream drains a generator-backed stream in bounded
+// memory; the output is identical to collecting and batching.
+func ExampleSolver_SolveStream() {
+	i := 0
+	next := func() (*busytime.Instance, bool) {
+		if i >= 3 {
+			return nil, false
+		}
+		i++
+		end := float64(i)
+		return busytime.NewInstance(2,
+			busytime.NewInterval(0, end),
+			busytime.NewInterval(0, end)), true
+	}
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	results, err := s.SolveStream(context.Background(), next)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range results {
+		fmt.Printf("cost=%.0f ", r.Cost)
+	}
+	fmt.Println()
+	// Output: cost=1 cost=2 cost=3
+}
+
+// ExampleSolver_Online feeds arrivals one at a time — the online model,
+// where decisions are immediate and irrevocable.
+func ExampleSolver_Online() {
+	s, err := busytime.New()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sess, err := s.Online(2, "bestfit")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range [][2]float64{{0, 4}, {1, 5}, {2, 6}} {
+		m, err := sess.Place(busytime.Interval{Start: p[0], End: p[1]})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("[%g,%g] -> machine %d\n", p[0], p[1], m)
+	}
+	fmt.Printf("machines=%d cost=%.0f\n", sess.Machines(), sess.Cost())
+	// Output:
+	// [0,4] -> machine 0
+	// [1,5] -> machine 0
+	// [2,6] -> machine 1
+	// machines=2 cost=9
+}
+
+// ExampleBuildInstance shows the validating constructor rejecting what the
+// legacy shims would panic on (or silently accept).
+func ExampleBuildInstance() {
+	_, err := busytime.BuildInstance(2, busytime.Job{ID: 0, Iv: busytime.Interval{Start: 0, End: 5}, Demand: 3})
+	fmt.Println(err)
+	// Output: core: job 0 demand 3 outside [1, 2]
+}
 
 // Example schedules three overlapping jobs with parallelism 2 and compares
 // FirstFit to the optimum.

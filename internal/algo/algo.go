@@ -7,6 +7,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -17,6 +18,36 @@ import (
 // Func is a scheduling algorithm: it must return a complete schedule that
 // passes (*core.Schedule).Verify for any valid instance it accepts.
 type Func func(*core.Instance) *core.Schedule
+
+// CtxFunc is a context-aware scratch entry point: it observes ctx at its own
+// checkpoints during the run and returns context.Cause(ctx)'s error when
+// cancelled mid-search, instead of a schedule.
+type CtxFunc func(context.Context, *core.Instance, *core.Scratch) (*core.Schedule, error)
+
+// CancelPoint documents where a registered algorithm observes context
+// cancellation. It is registry metadata for drivers: the batch engine and
+// the public Solver check ctx between runs regardless; only CancelMidRun
+// algorithms additionally stop inside a single run.
+type CancelPoint int
+
+const (
+	// CancelAtBoundary marks an algorithm whose single run always completes:
+	// it is polynomial and fast, so drivers observe ctx only between runs
+	// (the engine's shard loop, the Solver's entry check).
+	CancelAtBoundary CancelPoint = iota
+	// CancelMidRun marks an algorithm with an unbounded-time search that
+	// checkpoints ctx during the run via RunScratchCtx (the exact branch and
+	// bound).
+	CancelMidRun
+)
+
+// String returns the metadata label used in listings.
+func (c CancelPoint) String() string {
+	if c == CancelMidRun {
+		return "mid-run"
+	}
+	return "run-boundary"
+}
 
 // Algorithm is a named scheduling algorithm with a short description.
 type Algorithm struct {
@@ -30,6 +61,12 @@ type Algorithm struct {
 	// RunScratch byte-identical to Run. The returned schedule is only valid
 	// until the scratch's next use.
 	RunScratch func(*core.Instance, *core.Scratch) *core.Schedule
+	// RunScratchCtx, set exactly when Cancellation is CancelMidRun, is the
+	// context-aware variant: identical output to RunScratch when ctx stays
+	// live, a nil schedule and ctx's error when cancelled mid-run.
+	RunScratchCtx CtxFunc
+	// Cancellation records where the algorithm observes ctx; see CancelPoint.
+	Cancellation CancelPoint
 }
 
 var registry = map[string]Algorithm{}
@@ -39,6 +76,10 @@ var registry = map[string]Algorithm{}
 func Register(a Algorithm) {
 	if _, dup := registry[a.Name]; dup {
 		panic(fmt.Sprintf("algo: duplicate registration of %q", a.Name))
+	}
+	if (a.Cancellation == CancelMidRun) != (a.RunScratchCtx != nil) {
+		panic(fmt.Sprintf("algo: %q declares Cancellation=%v but RunScratchCtx=%v",
+			a.Name, a.Cancellation, a.RunScratchCtx != nil))
 	}
 	registry[a.Name] = a
 }

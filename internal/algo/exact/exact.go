@@ -13,6 +13,7 @@ package exact
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -41,6 +42,10 @@ func init() {
 			}
 			return s
 		},
+		RunScratchCtx: func(ctx context.Context, in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
+			return SolveWith(ctx, in, DefaultMaxJobs, sc)
+		},
+		Cancellation: algo.CancelMidRun,
 	})
 }
 
@@ -51,24 +56,33 @@ const DefaultMaxJobs = 18
 // connected components (optimal per component is optimal overall) and errors
 // if any component exceeds DefaultMaxJobs jobs.
 func Solve(in *core.Instance) (*core.Schedule, error) {
-	return solveMax(in, DefaultMaxJobs, nil)
+	return SolveWith(context.Background(), in, DefaultMaxJobs, nil)
 }
 
 // SolveScratch is Solve with the final schedule materialized from sc through
 // the placement kernel (the search itself still builds transient state). The
 // returned schedule is only valid until sc's next use.
 func SolveScratch(in *core.Instance, sc *core.Scratch) (*core.Schedule, error) {
-	return solveMax(in, DefaultMaxJobs, sc)
+	return SolveWith(context.Background(), in, DefaultMaxJobs, sc)
 }
 
 // SolveMax is Solve with an explicit per-component job limit.
 func SolveMax(in *core.Instance, maxJobs int) (*core.Schedule, error) {
-	return solveMax(in, maxJobs, nil)
+	return SolveWith(context.Background(), in, maxJobs, nil)
 }
 
-func solveMax(in *core.Instance, maxJobs int, sc *core.Scratch) (*core.Schedule, error) {
+// SolveWith is the general entry point: branch and bound with an explicit
+// per-component job limit, cooperative ctx checkpoints inside the search
+// (every few thousand nodes and between components — the search is the
+// library's only per-run unbounded-time path), and the final schedule drawn
+// from sc when non-nil. Cancelling ctx makes the search unwind promptly and
+// SolveWith return ctx's error.
+func SolveWith(ctx context.Context, in *core.Instance, maxJobs int, sc *core.Scratch) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if maxJobs < 1 {
+		return nil, fmt.Errorf("exact: component job limit %d, want ≥ 1", maxJobs)
 	}
 	assignment := make(map[int]int, in.N())
 	machineBase := 0
@@ -76,7 +90,13 @@ func solveMax(in *core.Instance, maxJobs int, sc *core.Scratch) (*core.Schedule,
 		if comp.N() > maxJobs {
 			return nil, fmt.Errorf("exact: component with %d jobs exceeds limit %d", comp.N(), maxJobs)
 		}
-		sub := solveComponent(comp)
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
+		sub, err := solveComponent(ctx, comp)
+		if err != nil {
+			return nil, err
+		}
 		used := 0
 		for j, m := range sub.assign {
 			assignment[comp.Jobs[j].ID] = machineBase + m
@@ -139,13 +159,25 @@ type searcher struct {
 	cur     []int
 	mach    []*machine
 	cost    float64
+	// ctx cancellation: the search polls ctx.Done() every cancelStride nodes
+	// (a select per node would dominate the O(1) capacity updates) and sets
+	// stopped, which unwinds the recursion without exploring further nodes.
+	ctx     context.Context
+	tick    uint
+	stopped bool
 }
 
-// solveComponent finds an optimal assignment of one connected component.
-func solveComponent(comp *core.Instance) solution {
+// cancelStride is how many search nodes pass between ctx polls: frequent
+// enough that cancellation lands in well under a millisecond, sparse enough
+// to stay invisible next to the per-node bound computation.
+const cancelStride = 1024
+
+// solveComponent finds an optimal assignment of one connected component; it
+// returns ctx's error when the search was cancelled mid-run.
+func solveComponent(ctx context.Context, comp *core.Instance) (solution, error) {
 	n := comp.N()
 	if n == 0 {
-		return solution{}
+		return solution{}, nil
 	}
 	// Sort jobs by start; remember the permutation to report in job order.
 	perm := make([]int, n)
@@ -179,9 +211,13 @@ func solveComponent(comp *core.Instance) solution {
 		g:    comp.G,
 		best: ff.Cost() + 1e-9,
 		cur:  make([]int, n),
+		ctx:  ctx,
 	}
 	se.bestFit = nil
 	se.search(0)
+	if se.stopped {
+		return solution{}, context.Cause(ctx)
+	}
 	assign := make([]int, n)
 	if se.bestFit == nil {
 		// FirstFit was already optimal; translate its assignment.
@@ -189,15 +225,25 @@ func solveComponent(comp *core.Instance) solution {
 			assign[p] = ff.MachineOf(p)
 			_ = i
 		}
-		return solution{assign: assign, cost: ff.Cost()}
+		return solution{assign: assign, cost: ff.Cost()}, nil
 	}
 	for i, p := range perm {
 		assign[p] = se.bestFit[i]
 	}
-	return solution{assign: assign, cost: se.best}
+	return solution{assign: assign, cost: se.best}, nil
 }
 
 func (se *searcher) search(i int) {
+	if se.tick++; se.tick%cancelStride == 0 {
+		select {
+		case <-se.ctx.Done():
+			se.stopped = true
+		default:
+		}
+	}
+	if se.stopped {
+		return
+	}
 	if i == len(se.jobs) {
 		if se.cost < se.best {
 			se.best = se.cost

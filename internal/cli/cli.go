@@ -1,6 +1,10 @@
 // Package cli implements the busysched command-line front end as a
 // testable library: Run dispatches subcommands and writes to injected
-// streams, and cmd/busysched is a thin wrapper around it. Subcommands:
+// streams, and cmd/busysched is a thin wrapper around it. The CLI is a
+// consumer of the public busytime API — solvers are built with busytime.New
+// and driven through Solve/SolveBatch/SolveStream, so every subcommand
+// exercises exactly the surface external users get (including context
+// cancellation: busysched wires SIGINT into the context). Subcommands:
 //
 //	generate  create a random instance (JSON on stdout or -out)
 //	solve     run one algorithm on an instance file
@@ -17,25 +21,17 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"busytime/internal/algo"
-	_ "busytime/internal/algo/baselines"
-	_ "busytime/internal/algo/boundedlength"
-	_ "busytime/internal/algo/cliquealgo"
-	_ "busytime/internal/algo/exact"
-	_ "busytime/internal/algo/firstfit"
+	"busytime"
 	"busytime/internal/algo/laminar"
-	_ "busytime/internal/algo/portfolio"
-	_ "busytime/internal/algo/properfit"
 	"busytime/internal/core"
-	"busytime/internal/engine"
 	"busytime/internal/generator"
-	_ "busytime/internal/online"
 	"busytime/internal/sim"
 	"busytime/internal/stats"
 	"busytime/internal/trace"
@@ -51,6 +47,14 @@ type CLI struct {
 // Run dispatches a busysched invocation (args excludes the program name)
 // and returns the process exit code.
 func Run(args []string, stdout, stderr io.Writer) int {
+	return RunContext(context.Background(), args, stdout, stderr)
+}
+
+// RunContext is Run with a caller-supplied context: cancelling it stops
+// in-flight solves cooperatively (batch workers at their next instance, the
+// exact search mid-run) and surfaces context.Canceled as an ordinary
+// command error.
+func RunContext(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	c := &CLI{Out: stdout, Err: stderr}
 	if len(args) < 1 {
 		c.usage()
@@ -61,19 +65,19 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	case "generate":
 		err = c.cmdGenerate(args[1:])
 	case "solve":
-		err = c.cmdSolve(args[1:])
+		err = c.cmdSolve(ctx, args[1:])
 	case "eval":
-		err = c.cmdEval(args[1:])
+		err = c.cmdEval(ctx, args[1:])
 	case "bounds":
 		err = c.cmdBounds(args[1:])
 	case "show":
-		err = c.cmdShow(args[1:])
+		err = c.cmdShow(ctx, args[1:])
 	case "simulate":
-		err = c.cmdSimulate(args[1:])
+		err = c.cmdSimulate(ctx, args[1:])
 	case "convert":
 		err = c.cmdConvert(args[1:])
 	case "batch":
-		err = c.cmdBatch(args[1:])
+		err = c.cmdBatch(ctx, args[1:])
 	case "help", "-h", "--help":
 		c.usage()
 	default:
@@ -105,9 +109,19 @@ commands:
             -kind ... -count K -n N -g G -seed S   a generated suite
 
 registered algorithms:`)
-	for _, a := range algo.All() {
-		fmt.Fprintf(c.Err, "  %-16s %s\n", a.Name, a.Description)
+	for _, a := range busytime.Algorithms() {
+		suffix := ""
+		if a.Cancellation == "mid-run" {
+			suffix = "  (cancels mid-run)"
+		}
+		fmt.Fprintf(c.Err, "  %-16s %s%s\n", a.Name, a.Description, suffix)
 	}
+}
+
+// newSolver builds a session for one CLI invocation; every schedule-running
+// subcommand goes through here, so the CLI cannot bypass the public API.
+func newSolver(name string, opts ...busytime.Option) (*busytime.Solver, error) {
+	return busytime.New(append([]busytime.Option{busytime.WithAlgorithm(name)}, opts...)...)
 }
 
 func (c *CLI) cmdGenerate(args []string) error {
@@ -151,7 +165,7 @@ func loadInstance(path string) (*core.Instance, error) {
 	return core.ReadInstance(f)
 }
 
-func (c *CLI) cmdSolve(args []string) error {
+func (c *CLI) cmdSolve(ctx context.Context, args []string) error {
 	fs := newFlagSet(c, "solve")
 	name := fs.String("algo", "firstfit", "algorithm name (see busysched help)")
 	in := fs.String("in", "", "instance file")
@@ -164,22 +178,21 @@ func (c *CLI) cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, ok := algo.Lookup(*name)
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", *name)
+	solver, err := newSolver(*name, busytime.WithVerify(true))
+	if err != nil {
+		return err
 	}
-	s := a.Run(inst)
-	if err := s.Verify(); err != nil {
-		return fmt.Errorf("algorithm produced infeasible schedule: %w", err)
+	res, err := solver.Solve(ctx, inst)
+	if err != nil {
+		return err
 	}
-	lb := core.BestBound(inst)
 	fmt.Fprintf(c.Out, "instance : %s (n=%d, g=%d)\n", inst.Name, inst.N(), inst.G)
-	fmt.Fprintf(c.Out, "algorithm: %s\n", a.Name)
-	fmt.Fprintf(c.Out, "machines : %d\n", s.NumMachines())
-	fmt.Fprintf(c.Out, "cost     : %.4f\n", s.Cost())
-	fmt.Fprintf(c.Out, "LB(frac) : %.4f  (cost/LB = %.4f)\n", lb, stats.Ratio(s.Cost(), lb))
+	fmt.Fprintf(c.Out, "algorithm: %s\n", res.Algorithm)
+	fmt.Fprintf(c.Out, "machines : %d\n", res.Machines)
+	fmt.Fprintf(c.Out, "cost     : %.4f\n", res.Cost)
+	fmt.Fprintf(c.Out, "LB(frac) : %.4f  (cost/LB = %.4f)\n", res.LowerBound(), res.Ratio())
 	if *replay {
-		if err := sim.Check(s, 1e-6); err != nil {
+		if err := sim.Check(res.Schedule, 1e-6); err != nil {
 			return fmt.Errorf("replay check failed: %w", err)
 		}
 		fmt.Fprintln(c.Out, "replay   : ok (measured busy time matches)")
@@ -190,12 +203,12 @@ func (c *CLI) cmdSolve(args []string) error {
 			return err
 		}
 		defer f.Close()
-		return core.WriteSchedule(f, s)
+		return core.WriteSchedule(f, res.Schedule)
 	}
 	return nil
 }
 
-func (c *CLI) cmdEval(args []string) error {
+func (c *CLI) cmdEval(ctx context.Context, args []string) error {
 	fs := newFlagSet(c, "eval")
 	in := fs.String("in", "", "instance file")
 	if err := fs.Parse(args); err != nil {
@@ -205,11 +218,11 @@ func (c *CLI) cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	lb := core.BestBound(inst)
+	lb := busytime.LowerBound(inst)
 	tb := stats.NewTable(
 		fmt.Sprintf("evaluation of %s (n=%d, g=%d, LB=%.3f)", inst.Name, inst.N(), inst.G, lb),
 		"algorithm", "machines", "cost", "cost/LB")
-	for _, a := range algo.All() {
+	for _, a := range busytime.Algorithms() {
 		if a.Name == "exact" && inst.N() > 16 {
 			continue // exact is exponential; skip on big inputs
 		}
@@ -219,29 +232,24 @@ func (c *CLI) cmdEval(args []string) error {
 		if a.Name == "laminar" && !laminar.IsLaminar(inst.Set()) {
 			continue
 		}
-		s, err := runSafely(a, inst)
+		solver, err := newSolver(a.Name, busytime.WithVerify(true))
 		if err != nil {
+			return err
+		}
+		res, err := solver.Solve(ctx, inst)
+		if err != nil {
+			// A cancelled run aborts the whole evaluation (nonzero exit);
+			// per-algorithm rejections stay in the table.
+			if ctx.Err() != nil {
+				return err
+			}
 			tb.AddRow(a.Name, "-", "-", fmt.Sprintf("error: %v", err))
 			continue
 		}
-		tb.AddRow(a.Name, s.NumMachines(), s.Cost(), stats.Ratio(s.Cost(), lb))
+		tb.AddRow(a.Name, res.Machines, res.Cost, res.Ratio())
 	}
 	fmt.Fprint(c.Out, tb.String())
 	return nil
-}
-
-// runSafely converts algorithm panics (e.g. class preconditions) to errors.
-func runSafely(a algo.Algorithm, in *core.Instance) (s *core.Schedule, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
-		}
-	}()
-	s = a.Run(in)
-	if verr := s.Verify(); verr != nil {
-		return nil, verr
-	}
-	return s, nil
 }
 
 func (c *CLI) cmdBounds(args []string) error {
@@ -254,7 +262,7 @@ func (c *CLI) cmdBounds(args []string) error {
 	if err != nil {
 		return err
 	}
-	b := core.AllBounds(inst)
+	b := busytime.AllBounds(inst)
 	fmt.Fprintf(c.Out, "instance    : %s (n=%d, g=%d)\n", inst.Name, inst.N(), inst.G)
 	fmt.Fprintf(c.Out, "span        : %.4f\n", b.Span)
 	fmt.Fprintf(c.Out, "parallelism : %.4f\n", b.Parallelism)
@@ -265,7 +273,7 @@ func (c *CLI) cmdBounds(args []string) error {
 	return nil
 }
 
-func (c *CLI) cmdShow(args []string) error {
+func (c *CLI) cmdShow(ctx context.Context, args []string) error {
 	fs := newFlagSet(c, "show")
 	in := fs.String("in", "", "instance file")
 	name := fs.String("algo", "firstfit", "algorithm to schedule with")
@@ -277,21 +285,21 @@ func (c *CLI) cmdShow(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, ok := algo.Lookup(*name)
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", *name)
+	solver, err := newSolver(*name, busytime.WithVerify(true))
+	if err != nil {
+		return err
 	}
-	s, err := runSafely(a, inst)
+	res, err := solver.Solve(ctx, inst)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(c.Out, viz.DepthProfile(inst, *width))
 	fmt.Fprintln(c.Out)
-	fmt.Fprint(c.Out, viz.Gantt(s, *width))
+	fmt.Fprint(c.Out, viz.Gantt(res.Schedule, *width))
 	return nil
 }
 
-func (c *CLI) cmdSimulate(args []string) error {
+func (c *CLI) cmdSimulate(ctx context.Context, args []string) error {
 	fs := newFlagSet(c, "simulate")
 	in := fs.String("in", "", "instance file")
 	name := fs.String("algo", "firstfit", "algorithm to schedule with")
@@ -302,27 +310,27 @@ func (c *CLI) cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, ok := algo.Lookup(*name)
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", *name)
-	}
-	s, err := runSafely(a, inst)
+	solver, err := newSolver(*name, busytime.WithVerify(true))
 	if err != nil {
 		return err
 	}
-	rep, err := sim.Run(s)
+	res, err := solver.Solve(ctx, inst)
+	if err != nil {
+		return err
+	}
+	rep, err := sim.Run(res.Schedule)
 	if err != nil {
 		return err
 	}
 	tb := stats.NewTable(
-		fmt.Sprintf("replay of %s via %s (%d events)", inst.Name, a.Name, rep.Events),
+		fmt.Sprintf("replay of %s via %s (%d events)", inst.Name, res.Algorithm, rep.Events),
 		"machine", "jobs", "busy", "peak load", "power-ons")
 	for _, m := range rep.Machines {
 		tb.AddRow(m.Machine, m.Jobs, m.Busy, m.PeakLoad, m.Switches)
 	}
 	fmt.Fprint(c.Out, tb.String())
 	fmt.Fprintf(c.Out, "total busy %.4f (analytic %.4f), violations %d\n",
-		rep.TotalBusy, s.Cost(), len(rep.Violations))
+		rep.TotalBusy, res.Cost, len(rep.Violations))
 	if len(rep.Violations) > 0 {
 		return fmt.Errorf("schedule violates capacity")
 	}
@@ -366,13 +374,13 @@ func (c *CLI) cmdConvert(args []string) error {
 	return core.WriteInstance(wf, inst)
 }
 
-// cmdBatch runs one algorithm over a batch of instances through the
-// internal/engine fan-out and reports one CSV or JSON row per instance.
-// Instances come either from the positional file arguments or, when none are
-// given, from a generated suite (-kind/-count/-n/-g/-seed, seeds increasing
-// per instance). Generated suites stream into the engine shard by shard, so
-// arbitrarily long suites run in bounded memory.
-func (c *CLI) cmdBatch(args []string) error {
+// cmdBatch runs one algorithm over a batch of instances through the public
+// SolveBatch/SolveStream fan-out and reports one CSV or JSON row per
+// instance. Instances come either from the positional file arguments or,
+// when none are given, from a generated suite (-kind/-count/-n/-g/-seed,
+// seeds increasing per instance). Generated suites stream into the solver
+// shard by shard, so arbitrarily long suites run in bounded memory.
+func (c *CLI) cmdBatch(ctx context.Context, args []string) error {
 	fs := newFlagSet(c, "batch")
 	name := fs.String("algo", "firstfit", "algorithm name (see busysched help)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
@@ -392,10 +400,13 @@ func (c *CLI) cmdBatch(args []string) error {
 	if *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want csv or json)", *format)
 	}
-	opt := engine.Options{Algorithm: *name, Workers: *workers, Verify: *verify}
+	solver, err := newSolver(*name,
+		busytime.WithWorkers(*workers), busytime.WithVerify(*verify))
+	if err != nil {
+		return err
+	}
 
-	var results []engine.Result
-	var err error
+	var results []busytime.BatchResult
 	if files := fs.Args(); len(files) > 0 {
 		instances := make([]*core.Instance, len(files))
 		for i, path := range files {
@@ -403,29 +414,29 @@ func (c *CLI) cmdBatch(args []string) error {
 				return err
 			}
 		}
-		results, err = engine.Run(instances, opt)
+		results, err = solver.SolveBatch(ctx, instances)
 	} else {
 		hz := *horizon
 		if hz <= 0 {
 			hz = float64(*n) / 10
 		}
+		var genErr error
 		i := 0
 		next := func() (*core.Instance, bool) {
 			if i >= *count {
 				return nil, false
 			}
-			in, genErr := generateInstance(*kind, *seed+int64(i), *n, *g, hz, *maxLen, *maxLen)
-			if genErr != nil {
-				err = genErr
+			in, err := generateInstance(*kind, *seed+int64(i), *n, *g, hz, *maxLen, *maxLen)
+			if err != nil {
+				genErr = err
 				return nil, false
 			}
 			i++
 			return in, true
 		}
-		var runErr error
-		results, runErr = engine.RunStream(next, opt)
+		results, err = solver.SolveStream(ctx, next)
 		if err == nil {
-			err = runErr
+			err = genErr
 		}
 	}
 	if err != nil {
@@ -436,7 +447,7 @@ func (c *CLI) cmdBatch(args []string) error {
 	// deterministic across worker counts. Algorithms without a scratch path
 	// never advance the counters; stay quiet rather than report a
 	// meaningless 0% hit rate.
-	if pool := engine.Summarize(results); pool.WarmRuns > 0 || pool.SetupAllocs > 0 {
+	if pool := busytime.SummarizeBatch(results); pool.WarmRuns > 0 || pool.SetupAllocs > 0 {
 		fmt.Fprintf(c.Err, "arena pool: %d/%d warm runs (%.0f%% hit rate), %d setup allocations\n",
 			pool.WarmRuns, pool.Runs, 100*pool.HitRate(), pool.SetupAllocs)
 	}
@@ -451,9 +462,9 @@ func (c *CLI) cmdBatch(args []string) error {
 		w = f
 	}
 	if *format == "json" {
-		return engine.WriteJSON(w, results)
+		return busytime.WriteBatchJSON(w, results)
 	}
-	return engine.WriteCSV(w, results)
+	return busytime.WriteBatchCSV(w, results)
 }
 
 // generateInstance builds one instance of the named class; it is the single

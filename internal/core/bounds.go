@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 )
 
 // SpanBound returns the span lower bound of Observation 1.1:
@@ -78,4 +80,18 @@ func AllBounds(in *Instance) Bounds {
 		Parallelism: ParallelismBound(in),
 		Fractional:  FractionalBound(in),
 	}
+}
+
+// CachedBounds returns AllBounds computed once per instance and cached like
+// the time axis and the job orders, so steady-state drivers (the engine's
+// per-run lower bound, a warm Solver's repeat solves of one instance) read
+// the bounds without re-running the sweep or allocating. Reordering methods
+// drop the cache.
+func (in *Instance) CachedBounds() Bounds {
+	if p := (*Bounds)(atomic.LoadPointer(&in.bounds)); p != nil {
+		return *p
+	}
+	b := AllBounds(in)
+	atomic.StorePointer(&in.bounds, unsafe.Pointer(&b))
+	return b
 }

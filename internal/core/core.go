@@ -14,6 +14,7 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"sync/atomic"
@@ -51,13 +52,15 @@ type Instance struct {
 
 	// axis lazily caches the compressed time axis (*instanceAxis) shared by
 	// every indexed schedule of this instance; accessed atomically via
-	// timeAxis. lenOrder lazily caches LengthOrder and startOrder caches
-	// StartOrder (both *[]int32). All are derived data: the job-reordering
-	// methods drop them, and mutating jobs directly after scheduling has
-	// begun is not supported.
+	// timeAxis. lenOrder lazily caches LengthOrder, startOrder caches
+	// StartOrder (both *[]int32), and bounds caches CachedBounds (*Bounds).
+	// All are derived data: the job-reordering methods drop them, and
+	// mutating jobs directly after scheduling has begun is not supported.
 	axis       unsafe.Pointer
 	lenOrder   unsafe.Pointer
 	startOrder unsafe.Pointer
+	bounds     unsafe.Pointer
+	valid      unsafe.Pointer
 }
 
 // NewInstance builds an instance with parallelism g from raw intervals,
@@ -85,11 +88,32 @@ func (in *Instance) Validate() error {
 		if j.Demand < 1 || j.Demand > in.G {
 			return fmt.Errorf("core: job %d demand %d outside [1, %d]", j.ID, j.Demand, in.G)
 		}
+		if math.IsNaN(j.Iv.Start) || math.IsNaN(j.Iv.End) {
+			return fmt.Errorf("core: job %d has NaN endpoint in %v", j.ID, j.Iv)
+		}
 		if j.Iv.End < j.Iv.Start {
 			return fmt.Errorf("core: job %d has reversed interval %v", j.ID, j.Iv)
 		}
 	}
 	return nil
+}
+
+// CachedValidate returns Validate, caching only a success verdict like the
+// time axis (Validate's duplicate-ID check allocates, which would put a map
+// allocation on every warm Solve). Failures are re-validated every call, so
+// a caller that fixes a rejected instance (sets G, repairs a job) and
+// retries is not served a stale error. The job-reordering methods drop the
+// cache; mutating jobs directly after scheduling has begun is not
+// supported.
+func (in *Instance) CachedValidate() error {
+	if p := (*error)(atomic.LoadPointer(&in.valid)); p != nil {
+		return *p
+	}
+	err := in.Validate()
+	if err == nil {
+		atomic.StorePointer(&in.valid, unsafe.Pointer(&err))
+	}
+	return err
 }
 
 // N returns the number of jobs.
@@ -159,11 +183,13 @@ func (in *Instance) SortJobsByStart() {
 }
 
 // dropDerived invalidates the cached per-job-position derivations (time
-// axis, length order, start order) after a reordering.
+// axis, length order, start order, bounds) after a reordering.
 func (in *Instance) dropDerived() {
 	atomic.StorePointer(&in.axis, nil)
 	atomic.StorePointer(&in.lenOrder, nil)
 	atomic.StorePointer(&in.startOrder, nil)
+	atomic.StorePointer(&in.bounds, nil)
+	atomic.StorePointer(&in.valid, nil)
 }
 
 // LengthOrder returns the job indices in the paper's FirstFit order — by

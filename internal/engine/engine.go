@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -36,6 +37,18 @@ type Options struct {
 	// Verify re-checks every schedule's feasibility (capacity at every
 	// instant, totality) and reports violations as per-instance errors.
 	Verify bool
+	// Pool optionally supplies the scratch arena pool. A caller that runs
+	// many batches (the public Solver) passes one pool so arenas stay warm
+	// across calls, not just across shards; nil means a run-private pool.
+	// The pool may hold fewer scratches than Workers — workers then throttle
+	// to the available arenas — but must never be empty.
+	Pool chan *core.Scratch
+	// Custom, when non-nil, supplies the algorithm record directly instead
+	// of looking Algorithm up in the registry. The public Solver passes its
+	// own dispatch here so a batch run carries the session's full
+	// configuration (exact limits, lookahead buffers, segment bounds) and
+	// is guaranteed to agree with single Solve calls.
+	Custom *algo.Algorithm
 }
 
 func (o Options) shardSize() int {
@@ -79,32 +92,45 @@ type Result struct {
 // Run schedules every instance with the named algorithm and returns one
 // result per instance, in input order. Per-instance failures (panics,
 // verification errors) are recorded in Result.Err and do not abort the
-// batch; Run itself errors only on an unknown algorithm name.
-func Run(instances []*core.Instance, opt Options) ([]Result, error) {
-	a, ok := algo.Lookup(opt.Algorithm)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown algorithm %q", opt.Algorithm)
+// batch; Run itself errors on an unknown algorithm name or a cancelled ctx.
+//
+// Cancellation is cooperative: each worker checks ctx before claiming its
+// next instance (and mid-run algorithms — see algo.CancelMidRun — also stop
+// inside the run), the fan-out drains without leaking goroutines, and Run
+// returns ctx's error with no partial results.
+func Run(ctx context.Context, instances []*core.Instance, opt Options) ([]Result, error) {
+	a, err := opt.algorithm()
+	if err != nil {
+		return nil, err
 	}
-	return runShard(a, instances, 0, opt, newScratchPool(opt)), nil
+	out := runShard(ctx, a, instances, 0, opt, opt.pool())
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RunStream drains the instance stream next (which reports ok=false when
 // exhausted), scheduling it shard by shard: each shard of Options.ShardSize
 // instances is fanned out across the workers while the results of previous
 // shards accumulate in arrival order. The output is identical to collecting
-// the stream into a slice and calling Run.
-func RunStream(next func() (*core.Instance, bool), opt Options) ([]Result, error) {
-	a, ok := algo.Lookup(opt.Algorithm)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown algorithm %q", opt.Algorithm)
+// the stream into a slice and calling Run. Ctx is checked at every shard
+// boundary as well as per instance inside each shard.
+func RunStream(ctx context.Context, next func() (*core.Instance, bool), opt Options) ([]Result, error) {
+	a, err := opt.algorithm()
+	if err != nil {
+		return nil, err
 	}
 	// One scratch pool serves every shard, so workers enter the second and
 	// later shards with warm arenas and stream processing stops allocating
 	// schedule state once the largest instance shape has been seen.
-	pool := newScratchPool(opt)
+	pool := opt.pool()
 	var out []Result
 	shard := make([]*core.Instance, 0, opt.shardSize())
 	for {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
 		shard = shard[:0]
 		for len(shard) < cap(shard) {
 			in, ok := next()
@@ -116,7 +142,10 @@ func RunStream(next func() (*core.Instance, bool), opt Options) ([]Result, error
 		if len(shard) == 0 {
 			return out, nil
 		}
-		out = append(out, runShard(a, shard, len(out), opt, pool)...)
+		out = append(out, runShard(ctx, a, shard, len(out), opt, pool)...)
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
 	}
 }
 
@@ -129,11 +158,33 @@ func (o Options) maxWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// newScratchPool builds the per-run arena pool: one core.Scratch per
-// potential worker, shared across every shard of the run so arenas stay warm
-// from shard to shard.
-func newScratchPool(opt Options) chan *core.Scratch {
-	workers := opt.maxWorkers()
+// algorithm resolves the run's algorithm record: Custom when supplied,
+// otherwise a registry lookup by name.
+func (o Options) algorithm() (algo.Algorithm, error) {
+	if o.Custom != nil {
+		return *o.Custom, nil
+	}
+	a, ok := algo.Lookup(o.Algorithm)
+	if !ok {
+		return algo.Algorithm{}, fmt.Errorf("engine: unknown algorithm %q", o.Algorithm)
+	}
+	return a, nil
+}
+
+// pool resolves the arena pool of the run: the caller-supplied one when set
+// (the Solver's session pool, warm across calls), otherwise a fresh pool of
+// one core.Scratch per potential worker.
+func (o Options) pool() chan *core.Scratch {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return NewScratchPool(o.maxWorkers())
+}
+
+// NewScratchPool builds an arena pool of the given width (min 1): a buffered
+// channel holding one recyclable core.Scratch per slot. Sharing one pool
+// across runs keeps arenas warm from run to run.
+func NewScratchPool(workers int) chan *core.Scratch {
 	if workers < 1 {
 		workers = 1
 	}
@@ -147,8 +198,11 @@ func newScratchPool(opt Options) chan *core.Scratch {
 // runShard fans the instances out across workers. Each worker leases a
 // core.Scratch from the run-wide pool for the duration of one instance, so
 // the number of live scratches is bounded by the worker count and every
-// schedule's state is recycled — across instances and across shards.
-func runShard(a algo.Algorithm, instances []*core.Instance, base int, opt Options, pool chan *core.Scratch) []Result {
+// schedule's state is recycled — across instances and across shards. A
+// cancelled ctx makes the remaining workers claim-and-skip their indices
+// (zero Results, overwritten by the callers' error return), so the fan-out
+// always drains completely and never leaks a goroutine.
+func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance, base int, opt Options, pool chan *core.Scratch) []Result {
 	workers := opt.maxWorkers()
 	if workers > len(instances) {
 		workers = len(instances)
@@ -157,16 +211,21 @@ func runShard(a algo.Algorithm, instances []*core.Instance, base int, opt Option
 		workers = 1
 	}
 	return parallel.Map(len(instances), workers, func(i int) Result {
+		if ctx.Err() != nil {
+			return Result{Index: base + i}
+		}
 		sc := <-pool
 		defer func() { pool <- sc }()
-		return runOne(a, instances[i], base+i, sc, opt.Verify)
+		return runOne(ctx, a, instances[i], base+i, sc, opt.Verify)
 	})
 }
 
 // runOne schedules a single instance, converting panics to Result.Err so a
-// malformed instance cannot take down the batch. The scratch's arena
-// counters are snapshotted around the run to report per-run reuse.
-func runOne(a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool) (res Result) {
+// malformed instance cannot take down the batch. Mid-run-cancellable
+// algorithms run through their ctx entry point; for the rest ctx is observed
+// by the shard loop only. The scratch's arena counters are snapshotted
+// around the run to report per-run reuse.
+func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool) (res Result) {
 	before := sc.Stats()
 	warm := before.Schedules > 0
 	res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Warm: warm}
@@ -177,9 +236,17 @@ func runOne(a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, ve
 		res.SetupAllocs = sc.Stats().SetupAllocs - before.SetupAllocs
 	}()
 	var s *core.Schedule
-	if a.RunScratch != nil {
+	switch {
+	case a.RunScratchCtx != nil:
+		var err error
+		s, err = a.RunScratchCtx(ctx, in, sc)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	case a.RunScratch != nil:
 		s = a.RunScratch(in, sc)
-	} else {
+	default:
 		s = a.Run(in)
 	}
 	if verify {
@@ -190,7 +257,7 @@ func runOne(a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, ve
 	}
 	res.Machines = s.NumMachines()
 	res.Cost = s.Cost()
-	res.LowerBound = core.BestBound(in)
+	res.LowerBound = in.CachedBounds().Fractional
 	if res.LowerBound > 0 {
 		res.Ratio = res.Cost / res.LowerBound
 	}

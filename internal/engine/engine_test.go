@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -35,11 +36,11 @@ func mixedBatch(n int) []*core.Instance {
 // sequential run.
 func TestParallelMatchesSequential(t *testing.T) {
 	batch := mixedBatch(8)
-	seq, err := Run(batch, Options{Algorithm: "firstfit", Workers: 1, Verify: true})
+	seq, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Workers: 1, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(batch, Options{Algorithm: "firstfit", Workers: 8, Verify: true})
+	par, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Workers: 8, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 // same results as the slice API.
 func TestStreamMatchesBatch(t *testing.T) {
 	batch := mixedBatch(5)
-	want, err := Run(batch, Options{Algorithm: "firstfit"})
+	want, err := Run(context.Background(), batch, Options{Algorithm: "firstfit"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestStreamMatchesBatch(t *testing.T) {
 		return in, true
 	}
 	// ShardSize 7 does not divide the batch, exercising the partial shard.
-	got, err := RunStream(next, Options{Algorithm: "firstfit", ShardSize: 7})
+	got, err := RunStream(context.Background(), next, Options{Algorithm: "firstfit", ShardSize: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestScratchReuseMatchesFresh(t *testing.T) {
 		t.Fatal("firstfit has no RunScratch fast path")
 	}
 	batch := mixedBatch(4)
-	got, err := Run(batch, Options{Algorithm: "firstfit", Workers: 1})
+	got, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestScratchReuseMatchesFresh(t *testing.T) {
 // TestRunWithoutScratchPath covers algorithms that only provide Run.
 func TestRunWithoutScratchPath(t *testing.T) {
 	batch := mixedBatch(2)
-	res, err := Run(batch, Options{Algorithm: "nextfit", Workers: 4, Verify: true})
+	res, err := Run(context.Background(), batch, Options{Algorithm: "nextfit", Workers: 4, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +160,10 @@ func TestRunWithoutScratchPath(t *testing.T) {
 }
 
 func TestUnknownAlgorithm(t *testing.T) {
-	if _, err := Run(nil, Options{Algorithm: "no-such-algo"}); err == nil {
+	if _, err := Run(context.Background(), nil, Options{Algorithm: "no-such-algo"}); err == nil {
 		t.Error("expected error for unknown algorithm")
 	}
-	if _, err := RunStream(func() (*core.Instance, bool) { return nil, false }, Options{Algorithm: "no-such-algo"}); err == nil {
+	if _, err := RunStream(context.Background(), func() (*core.Instance, bool) { return nil, false }, Options{Algorithm: "no-such-algo"}); err == nil {
 		t.Error("expected error for unknown algorithm (stream)")
 	}
 }
@@ -172,7 +173,7 @@ func TestUnknownAlgorithm(t *testing.T) {
 func TestPanicIsolated(t *testing.T) {
 	bad := &core.Instance{Name: "bad", G: 0} // g < 1 makes every placement impossible
 	batch := []*core.Instance{generator.General(1, 50, 3, 100, 10), bad, generator.General(2, 50, 3, 100, 10)}
-	res, err := Run(batch, Options{Algorithm: "firstfit", Workers: 2, Verify: true})
+	res, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Workers: 2, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"busytime/internal/generator"
@@ -15,7 +16,7 @@ func TestIndexedEngineDeterministicUnderParallelism(t *testing.T) {
 	batch := mixedBatch(6)
 	var want []Result
 	for _, workers := range []int{1, 4, 8, 1, 4} {
-		got, err := Run(batch, Options{Algorithm: "firstfit", Workers: workers, Verify: true})
+		got, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Workers: workers, Verify: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,11 +42,11 @@ func TestIndexedMatchesScanThroughEngine(t *testing.T) {
 		generator.WithDemands(generator.General(77, 300, 6, 200, 25), 78, 4),
 		generator.Clique(79, 100, 5, 20, 12),
 	)
-	indexed, err := Run(batch, Options{Algorithm: "firstfit", Verify: true})
+	indexed, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	scan, err := Run(batch, Options{Algorithm: "firstfit-scan", Verify: true})
+	scan, err := Run(context.Background(), batch, Options{Algorithm: "firstfit-scan", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"busytime/internal/core"
@@ -16,7 +17,7 @@ func TestSecondRunReusesArena(t *testing.T) {
 		generator.General(5, 2000, 4, 500, 20),
 		generator.General(5, 2000, 4, 500, 20), // identical shape → full reuse
 	}
-	res, err := Run(batch, Options{Algorithm: "firstfit", Workers: 1})
+	res, err := Run(context.Background(), batch, Options{Algorithm: "firstfit", Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestStreamPoolSpansShards(t *testing.T) {
 		i++
 		return generator.General(9, 400, 3, 150, 12), true
 	}
-	res, err := RunStream(next, Options{Algorithm: "firstfit", Workers: 1, ShardSize: 1})
+	res, err := RunStream(context.Background(), next, Options{Algorithm: "firstfit", Workers: 1, ShardSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -158,6 +158,19 @@ func Policies() []Policy {
 	return []Policy{FirstFit{}, BestFit{}, NextFit{}}
 }
 
+// PolicyByName returns the built-in policy with the given registered name
+// ("online-firstfit", …); the bare rule name without the "online-" prefix
+// is also accepted. It is the single name→policy mapping, so callers
+// cannot drift from Policies().
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range Policies() {
+		if p.Name() == name || p.Name() == "online-"+name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
 // RunLookahead is the semi-online variant: the scheduler sees a buffer of
 // the next k future arrivals and repeatedly extracts the longest buffered
 // job (ties by start, end, ID — FirstFit's offline order) before placing it
@@ -176,6 +189,22 @@ func RunLookahead(in *core.Instance, k int, p Policy) (*core.Schedule, error) {
 	}
 	if err := s.Verify(); err != nil {
 		return nil, fmt.Errorf("online: lookahead %s infeasible: %w", p.Name(), err)
+	}
+	return s, nil
+}
+
+// RunLookaheadScratch is RunLookahead with schedule state drawn from sc, the
+// warm path of Solver-driven semi-online replays. Like RunScratch it skips
+// the final re-verification (the kernel only makes feasible placements); the
+// returned schedule is only valid until sc's next use.
+func RunLookaheadScratch(in *core.Instance, sc *core.Scratch, k int, p Policy) (*core.Schedule, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("online: lookahead %d, want ≥ 1", k)
+	}
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	if err := lookaheadReplay(in, s, in.StartOrder(), k, p); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -1,0 +1,252 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+// Session is the incremental online handle: jobs are fed one at a time in
+// non-decreasing start order — the paper's online model, where a job is
+// revealed at its start time — and each is placed immediately and
+// irrevocably by the session's policy. Unlike Run/RunScratch, which replay a
+// complete instance, a Session never sees the future: there is no job list
+// to index, so placement state is a per-machine active-load list and busy
+// union maintained exactly like the exact solver's incremental machines
+// (amortized O(active jobs) per arrival).
+//
+// Sessions support the built-in policies only (FirstFit, BestFit, NextFit):
+// a bespoke Policy places through a core.Placer, which requires the full
+// instance up front. The per-policy differential tests pin a Session fed in
+// arrival order byte-identical (assignment, cost, machine count) to the
+// corresponding kernel replay of the completed instance.
+type Session struct {
+	g         int
+	rule      sessionRule
+	name      string
+	machines  []sessionMachine
+	cursor    int // NextFit's single open machine, -1 when closed
+	jobs      []core.Job
+	assign    []int
+	lastStart float64
+	cost      float64
+}
+
+type sessionRule int
+
+const (
+	ruleLowestFit sessionRule = iota
+	ruleBestFit
+	ruleNextFit
+)
+
+// sessionMachine mirrors the exact solver's incremental machine: busy pieces
+// stay sorted and disjoint because arrivals come in non-decreasing start
+// order, and capacity at a new job's window is maximized at its start, so a
+// demand sum over the still-active loads is a complete feasibility check.
+type sessionMachine struct {
+	pieces []interval.Interval
+	load   []sessionLoad
+}
+
+type sessionLoad struct {
+	end    float64
+	demand int
+}
+
+// NewSession returns an empty session with parallelism g placing through the
+// built-in policy p. Custom policies are rejected: they require the kernel's
+// full-instance view.
+func NewSession(g int, p Policy) (*Session, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("online: session parallelism g = %d, want ≥ 1", g)
+	}
+	s := &Session{g: g, cursor: -1, lastStart: math.Inf(-1)}
+	switch p.(type) {
+	case FirstFit:
+		s.rule = ruleLowestFit
+	case BestFit:
+		s.rule = ruleBestFit
+	case NextFit:
+		s.rule = ruleNextFit
+	default:
+		return nil, fmt.Errorf("online: policy %s is not supported by incremental sessions (built-in policies only)", p.Name())
+	}
+	s.name = p.Name()
+	return s, nil
+}
+
+// Policy returns the name of the session's placement policy.
+func (s *Session) Policy() string { return s.name }
+
+// Place feeds the next arrival — the closed interval iv with the given
+// capacity demand — and returns the machine it was irrevocably assigned to.
+// Arrivals must come in non-decreasing start order (jobs are revealed at
+// their start times); an out-of-order start, an invalid interval, or a
+// demand outside [1, g] is rejected without changing the session.
+func (s *Session) Place(iv interval.Interval, demand int) (int, error) {
+	if math.IsNaN(iv.Start) || math.IsNaN(iv.End) {
+		return -1, fmt.Errorf("online: NaN endpoint in %v", iv)
+	}
+	if iv.End < iv.Start {
+		return -1, fmt.Errorf("online: reversed interval %v", iv)
+	}
+	if demand < 1 || demand > s.g {
+		return -1, fmt.Errorf("online: demand %d outside [1, %d]", demand, s.g)
+	}
+	if iv.Start < s.lastStart {
+		return -1, fmt.Errorf("online: out-of-order arrival %v (previous start %v): online jobs are revealed at their start times", iv, s.lastStart)
+	}
+	var m int
+	switch s.rule {
+	case ruleLowestFit:
+		m = s.lowestFit(iv, demand)
+	case ruleBestFit:
+		m = s.bestFit(iv, demand)
+	default:
+		m = s.nextFit(iv, demand)
+	}
+	s.cost += s.machines[m].add(iv, demand)
+	s.jobs = append(s.jobs, core.Job{ID: len(s.jobs), Iv: iv, Demand: demand})
+	s.assign = append(s.assign, m)
+	s.lastStart = iv.Start
+	return m, nil
+}
+
+// lowestFit returns the lowest-indexed machine that fits, opening a fresh
+// one when none does (the FirstFit rule).
+func (s *Session) lowestFit(iv interval.Interval, demand int) int {
+	for m := range s.machines {
+		if s.machines[m].fits(iv.Start, demand, s.g) {
+			return m
+		}
+	}
+	return s.open()
+}
+
+// bestFit returns the feasible machine whose busy time grows the least, ties
+// to the lowest index, opening a fresh one when none fits — the same argmin
+// the kernel's pruned BestFit computes over a completed instance.
+func (s *Session) bestFit(iv interval.Interval, demand int) int {
+	best, bestDelta := -1, 0.0
+	for m := range s.machines {
+		if !s.machines[m].fits(iv.Start, demand, s.g) {
+			continue
+		}
+		delta := s.machines[m].delta(iv)
+		if best < 0 || delta < bestDelta {
+			best, bestDelta = m, delta
+		}
+	}
+	if best < 0 {
+		return s.open()
+	}
+	return best
+}
+
+// nextFit keeps one open machine and abandons it permanently on overflow.
+func (s *Session) nextFit(iv interval.Interval, demand int) int {
+	if s.cursor >= 0 && s.machines[s.cursor].fits(iv.Start, demand, s.g) {
+		return s.cursor
+	}
+	s.cursor = s.open()
+	return s.cursor
+}
+
+func (s *Session) open() int {
+	s.machines = append(s.machines, sessionMachine{})
+	return len(s.machines) - 1
+}
+
+// fits reports whether a job starting at start with the given demand joins
+// the machine without exceeding capacity g. Loads that ended before start
+// can never constrain a future arrival (starts are non-decreasing), so they
+// are compacted away during the scan.
+func (mc *sessionMachine) fits(start float64, demand, g int) bool {
+	used, keep := 0, mc.load[:0]
+	for _, r := range mc.load {
+		if r.end < start {
+			continue // expired: end < every future start
+		}
+		keep = append(keep, r)
+		used += r.demand
+	}
+	mc.load = keep
+	return used+demand <= g
+}
+
+// delta returns the busy-time increase iv would cause. Every existing piece
+// starts at or before iv.Start, so only the last piece can absorb it.
+func (mc *sessionMachine) delta(iv interval.Interval) float64 {
+	if n := len(mc.pieces); n > 0 && iv.Start <= mc.pieces[n-1].End {
+		if iv.End <= mc.pieces[n-1].End {
+			return 0
+		}
+		return iv.End - mc.pieces[n-1].End
+	}
+	return iv.End - iv.Start
+}
+
+// add records the job on the machine and returns the busy-time increase.
+func (mc *sessionMachine) add(iv interval.Interval, demand int) float64 {
+	mc.load = append(mc.load, sessionLoad{end: iv.End, demand: demand})
+	if n := len(mc.pieces); n > 0 && iv.Start <= mc.pieces[n-1].End {
+		last := &mc.pieces[n-1]
+		old := last.End
+		if iv.End > last.End {
+			last.End = iv.End
+		}
+		return last.End - old
+	}
+	mc.pieces = append(mc.pieces, iv)
+	return iv.Len()
+}
+
+// Jobs returns the number of arrivals placed so far.
+func (s *Session) Jobs() int { return len(s.jobs) }
+
+// Machines returns the number of machines opened so far.
+func (s *Session) Machines() int { return len(s.machines) }
+
+// Cost returns the total busy time accrued so far, maintained incrementally.
+func (s *Session) Cost() float64 { return s.cost }
+
+// MachineOf returns the machine of the j-th arrival (feed order).
+func (s *Session) MachineOf(j int) int { return s.assign[j] }
+
+// Assignment returns a copy of the per-arrival machine assignment in feed
+// order.
+func (s *Session) Assignment() []int {
+	out := make([]int, len(s.assign))
+	copy(out, s.assign)
+	return out
+}
+
+// Instance returns a snapshot of the arrivals fed so far as a fresh
+// instance: job IDs are feed positions, so the snapshot pairs with
+// Assignment index-for-index.
+func (s *Session) Instance() *core.Instance {
+	jobs := make([]core.Job, len(s.jobs))
+	copy(jobs, s.jobs)
+	return &core.Instance{Name: "online-session", G: s.g, Jobs: jobs}
+}
+
+// Snapshot materializes the session's decisions as a verified core.Schedule
+// over the Instance snapshot, in caller-owned memory.
+func (s *Session) Snapshot() (*core.Schedule, error) {
+	in := s.Instance()
+	byID := make(map[int]int, len(s.assign))
+	for j, m := range s.assign {
+		byID[j] = m
+	}
+	sched, err := core.FromAssignment(in, byID)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Verify(); err != nil {
+		return nil, fmt.Errorf("online: session snapshot infeasible: %w", err)
+	}
+	return sched, nil
+}

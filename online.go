@@ -1,0 +1,91 @@
+package busytime
+
+import (
+	"fmt"
+
+	"busytime/internal/online"
+)
+
+// OnlineSession is the feed-one-job-at-a-time handle of the online problem:
+// jobs are revealed at their start times (arrivals must come in
+// non-decreasing start order) and each Place decision is immediate and
+// irrevocable — the model the paper's offline length sort (§2.1) is not
+// allowed to use. Obtain one from Solver.Online; it is not safe for
+// concurrent use.
+type OnlineSession struct {
+	inner *online.Session
+}
+
+// Online opens an incremental session with parallelism g placing through
+// the named arrival policy: "firstfit" (lowest feasible machine), "bestfit"
+// (least busy-time growth), or "nextfit" (single open machine, abandoned on
+// overflow) — the registered "online-" prefix is also accepted. The
+// session's decisions are byte-identical to replaying the completed
+// instance through the corresponding online-* algorithm.
+//
+// Batch replays of recorded arrival sequences are better served by a Solver
+// with WithAlgorithm("online-..."), which rides the indexed placement
+// kernel and the arena; a session exists for the genuinely incremental
+// caller that does not have the future in hand. For the same reason a
+// WithLookahead session is rejected: buffering k future arrivals requires
+// the replay side (Solve), not an immediate-decision handle.
+func (s *Solver) Online(g int, policy string) (*OnlineSession, error) {
+	if s.cfg.lookahead > 1 {
+		return nil, fmt.Errorf("busytime: WithLookahead(%d) cannot drive an incremental session (decisions are immediate); replay the completed instance via Solve instead", s.cfg.lookahead)
+	}
+	pol, ok := online.PolicyByName(policy)
+	if !ok {
+		return nil, fmt.Errorf("busytime: unknown online policy %q (want firstfit, bestfit or nextfit)", policy)
+	}
+	inner, err := online.NewSession(g, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineSession{inner: inner}, nil
+}
+
+// Place feeds the next unit-demand arrival and returns the machine it was
+// irrevocably assigned to. Arrivals must come in non-decreasing start
+// order; violations are rejected without changing the session.
+func (o *OnlineSession) Place(iv Interval) (int, error) {
+	return o.inner.Place(iv, 1)
+}
+
+// PlaceDemand is Place for a job consuming demand machine slots while
+// active (the demand extension; 1 ≤ demand ≤ g).
+func (o *OnlineSession) PlaceDemand(iv Interval, demand int) (int, error) {
+	return o.inner.Place(iv, demand)
+}
+
+// Jobs returns the number of arrivals placed so far.
+func (o *OnlineSession) Jobs() int { return o.inner.Jobs() }
+
+// Machines returns the number of machines opened so far.
+func (o *OnlineSession) Machines() int { return o.inner.Machines() }
+
+// Cost returns the total busy time accrued so far, maintained incrementally
+// (no sweep per call).
+func (o *OnlineSession) Cost() float64 { return o.inner.Cost() }
+
+// MachineOf returns the machine of the j-th arrival (feed order).
+func (o *OnlineSession) MachineOf(j int) int { return o.inner.MachineOf(j) }
+
+// Result materializes the session so far as a standard Result: a verified
+// schedule in caller-owned memory over a snapshot of the fed jobs, with the
+// lower bounds and gap computed against the arrivals seen so far. The
+// session remains usable; later arrivals do not invalidate the returned
+// Result.
+func (o *OnlineSession) Result() (Result, error) {
+	sched, err := o.inner.Snapshot()
+	if err != nil {
+		return Result{}, err
+	}
+	in := sched.Instance()
+	return Result{
+		Algorithm: o.inner.Policy(),
+		Schedule:  sched,
+		Machines:  sched.NumMachines(),
+		Cost:      sched.Cost(),
+		Bounds:    in.CachedBounds(),
+	}, nil
+}

@@ -1,0 +1,167 @@
+package busytime
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"busytime/internal/algo"
+)
+
+// Option configures a Solver under construction; see New. Options validate
+// eagerly where they can and defer cross-option checks (a lookahead without
+// an online algorithm, a length bound on a non-segmenting algorithm) to New,
+// which reports the first configuration error.
+type Option func(*config)
+
+// config is the resolved Solver configuration.
+type config struct {
+	algorithm  string
+	verify     bool
+	workers    int
+	lookahead  int
+	exactLimit int
+	lengthD    float64
+	fresh      bool
+	err        error
+}
+
+func (c *config) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("busytime: "+format, args...)
+	}
+}
+
+// WithAlgorithm selects the scheduling algorithm by its registered name
+// ("firstfit", "bestfit", "properfit", "boundedlength", "clique", "laminar",
+// "exact", "portfolio", "online-firstfit", …); Algorithms lists every name.
+// The default is "firstfit", the paper's 4-approximation.
+func WithAlgorithm(name string) Option {
+	return func(c *config) {
+		if name == "" {
+			c.fail("WithAlgorithm: empty name")
+			return
+		}
+		c.algorithm = name
+	}
+}
+
+// WithVerify controls whether every schedule's feasibility (capacity at
+// every instant, totality) is re-checked before a Result is returned;
+// verification failures surface as errors. Off by default: every shipped
+// algorithm is differential- and fuzz-tested to produce feasible schedules.
+func WithVerify(verify bool) Option {
+	return func(c *config) { c.verify = verify }
+}
+
+// WithWorkers sets the solver's parallelism: the fan-out width of SolveBatch
+// and SolveStream, and equally the number of recycled arenas — the count of
+// Solve calls that can run concurrently without contending for scratch
+// state. 0 (the default) means GOMAXPROCS. Results never depend on it.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("WithWorkers: %d workers, want ≥ 0", n)
+			return
+		}
+		c.workers = n
+	}
+}
+
+// WithLookahead sets the semi-online buffer size k for the online-*
+// algorithms: the scheduler sees the next k arrivals and always places the
+// longest buffered job first. k = 1 (the default) is pure arrival order;
+// k ≥ n recovers the offline processing order, so online-firstfit with full
+// lookahead equals the paper's FirstFit. New rejects a lookahead on offline
+// algorithms.
+func WithLookahead(k int) Option {
+	return func(c *config) {
+		if k < 1 {
+			c.fail("WithLookahead: %d, want ≥ 1", k)
+			return
+		}
+		c.lookahead = k
+	}
+}
+
+// WithExactLimit sets the largest connected component (in jobs) the "exact"
+// branch-and-bound accepts, replacing its default of 18. The search is
+// exponential: raising the limit is useful together with a cancelling
+// context. New rejects the option on other algorithms.
+func WithExactLimit(maxJobs int) Option {
+	return func(c *config) {
+		if maxJobs < 1 {
+			c.fail("WithExactLimit: %d jobs, want ≥ 1", maxJobs)
+			return
+		}
+		c.exactLimit = maxJobs
+	}
+}
+
+// WithLengthBound sets the segment granularity d of the "boundedlength"
+// algorithm (§3.2); 0, the default, uses the maximum job length. New
+// rejects the option on other algorithms.
+func WithLengthBound(d float64) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.fail("WithLengthBound: d = %v, want ≥ 0", d)
+			return
+		}
+		c.lengthD = d
+	}
+}
+
+// WithFreshSchedules makes every Solve return its schedule in caller-owned
+// memory instead of the solver's recycled arena: results stay valid forever
+// without Detach, at the cost of allocating schedule state per call. This is
+// the right mode when schedules are retained; the default arena mode is the
+// right one for high-throughput metric extraction.
+func WithFreshSchedules() Option {
+	return func(c *config) { c.fresh = true }
+}
+
+// maxWorkers resolves the configured worker count.
+func (c *config) maxWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AlgorithmInfo describes one registered algorithm.
+type AlgorithmInfo struct {
+	// Name is the identifier WithAlgorithm accepts.
+	Name string
+	// Description is a one-line summary with the paper reference.
+	Description string
+	// Cancellation reports where the algorithm observes context
+	// cancellation: "mid-run" for the unbounded-time searches that
+	// checkpoint ctx inside a single run (exact), "run-boundary" for the
+	// fast polynomial algorithms that drivers cancel between runs.
+	Cancellation string
+}
+
+// Algorithms lists every registered algorithm sorted by name; each entry's
+// Name is valid for WithAlgorithm.
+func Algorithms() []AlgorithmInfo {
+	all := algo.All()
+	out := make([]AlgorithmInfo, len(all))
+	for i, a := range all {
+		out[i] = AlgorithmInfo{
+			Name:         a.Name,
+			Description:  a.Description,
+			Cancellation: a.Cancellation.String(),
+		}
+	}
+	return out
+}
+
+// algorithmNames returns every registered name for error messages.
+func algorithmNames() string {
+	all := algo.All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

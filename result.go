@@ -1,0 +1,77 @@
+package busytime
+
+import "busytime/internal/core"
+
+// ArenaStats reports the scratch-arena traffic of one Solve: whether the
+// call was served by a warm arena (one that had already scheduled an
+// instance) and how many backing-array allocations the arena performed. A
+// warm Solver re-solving a seen instance shape performs none — the public
+// warm path is the same zero-steady-state-allocation path the internal
+// batch engine's workers run.
+type ArenaStats struct {
+	Warm        bool
+	SetupAllocs int
+}
+
+// Result is the outcome of one Solve: the schedule plus the metrics every
+// caller of a scheduling library ends up recomputing — cost, every lower
+// bound, the optimality gap against the strongest bound, and arena reuse
+// stats.
+type Result struct {
+	// Algorithm is the registered name that produced the schedule.
+	Algorithm string
+	// Schedule is the produced assignment. In the default arena mode it
+	// lives in the Solver's recycled memory and is valid until a later
+	// Solve leases the same arena — extract what you need immediately,
+	// Detach it, or build the Solver with WithFreshSchedules.
+	Schedule *Schedule
+	// Machines is the number of machines opened.
+	Machines int
+	// Cost is the schedule's total busy time.
+	Cost float64
+	// Bounds carries every lower bound on OPT: span and parallelism
+	// (Observation 1.1) and the dominating fractional bound ∫⌈D_t/g⌉dt.
+	Bounds Bounds
+	// Arena reports scratch reuse for this call; zero in fresh mode.
+	Arena ArenaStats
+}
+
+// LowerBound returns the strongest lower bound on OPT (the fractional
+// bound).
+func (r Result) LowerBound() float64 { return r.Bounds.Fractional }
+
+// Gap returns the absolute optimality gap Cost − LowerBound: the busy time
+// that is provably not forced by the instance. The true gap to OPT is at
+// most this.
+func (r Result) Gap() float64 { return r.Cost - r.LowerBound() }
+
+// Ratio returns Cost / LowerBound, the empirical approximation ratio
+// witnessed against the strongest bound (0 when the bound is 0). Since the
+// bound is below OPT, the true ratio Cost/OPT is at most this.
+func (r Result) Ratio() float64 {
+	if lb := r.LowerBound(); lb > 0 {
+		return r.Cost / lb
+	}
+	return 0
+}
+
+// Detach moves the Result's schedule out of the Solver's recycled arena
+// into caller-owned memory, after which it stays valid indefinitely. It is
+// a no-op on fresh-mode results beyond one copy.
+//
+// Detach reads the arena-backed schedule, so it is subject to the same
+// lifetime window as any other Schedule access: call it before the arena
+// is reused — that is, before the next Solve on this Solver from any
+// goroutine. Pipelines that retain schedules while solving concurrently
+// should build the Solver with WithFreshSchedules instead.
+func (r *Result) Detach() error {
+	if r.Schedule == nil {
+		return nil
+	}
+	sched, err := core.FromAssignment(r.Schedule.Instance(), r.Schedule.Assignment())
+	if err != nil {
+		return err
+	}
+	r.Schedule = sched
+	return nil
+}

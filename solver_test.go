@@ -1,0 +1,608 @@
+package busytime_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"busytime"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+)
+
+// almostEq compares busy times up to last-ulp drift: incremental cost
+// accounting (span deltas summed during placement) and recomputation from
+// pieces round differently.
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// tinyUniversal returns an instance accepted by every registered algorithm:
+// it is simultaneously a clique (all intervals share a point) and laminar
+// (nested), small enough for exact, and valid for every heuristic.
+func tinyUniversal() *busytime.Instance {
+	in := busytime.NewInstance(2,
+		busytime.NewInterval(0, 4),
+		busytime.NewInterval(1, 3),
+		busytime.NewInterval(1.5, 2.5),
+	)
+	in.Name = "tiny-universal"
+	return in
+}
+
+// TestSolverEveryRegisteredAlgorithm is the acceptance gate of the API
+// redesign: every name in the registry must be constructible and solvable
+// through the public Solver, with a verified feasible schedule.
+func TestSolverEveryRegisteredAlgorithm(t *testing.T) {
+	algos := busytime.Algorithms()
+	if len(algos) < 17 {
+		t.Fatalf("registry lists %d algorithms, want ≥ 17", len(algos))
+	}
+	for _, a := range algos {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			s, err := busytime.New(busytime.WithAlgorithm(a.Name), busytime.WithVerify(true))
+			if err != nil {
+				t.Fatalf("New(%q): %v", a.Name, err)
+			}
+			res, err := s.Solve(context.Background(), tinyUniversal())
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if res.Machines < 1 || res.Cost <= 0 {
+				t.Errorf("degenerate result: machines=%d cost=%v", res.Machines, res.Cost)
+			}
+			if res.Cost < res.LowerBound()-1e-9 {
+				t.Errorf("cost %v below lower bound %v", res.Cost, res.LowerBound())
+			}
+			if res.Algorithm != a.Name {
+				t.Errorf("Result.Algorithm = %q, want %q", res.Algorithm, a.Name)
+			}
+		})
+	}
+}
+
+func TestSolverWarmPathReusesArena(t *testing.T) {
+	in := generator.General(11, 2000, 4, 500, 20)
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Arena.Warm {
+		t.Error("first solve reported a warm arena")
+	}
+	if first.Arena.SetupAllocs == 0 {
+		t.Error("first solve reported zero setup allocations")
+	}
+	second, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Arena.Warm {
+		t.Error("second solve did not report a warm arena")
+	}
+	if second.Arena.SetupAllocs != 0 {
+		t.Errorf("warm re-solve performed %d arena setup allocations, want 0", second.Arena.SetupAllocs)
+	}
+	if second.Cost != first.Cost || second.Machines != first.Machines {
+		t.Errorf("warm solve changed the result: %v/%d vs %v/%d",
+			second.Cost, second.Machines, first.Cost, first.Machines)
+	}
+}
+
+// TestSolverWarmMatchesPooled pins the public warm path to the internal
+// pooled path: a warm single-worker Solver must perform (almost) exactly
+// the allocations of firstfit.ScheduleScratch on a warm core.Scratch — the
+// facade may not add per-call garbage.
+func TestSolverWarmMatchesPooled(t *testing.T) {
+	in := generator.General(7, 5000, 4, 5000, 30)
+	ctx := context.Background()
+
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	public := testing.AllocsPerRun(5, func() {
+		if _, err := s.Solve(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	sc := new(core.Scratch)
+	firstfit.ScheduleScratch(in, sc)
+	internal := testing.AllocsPerRun(5, func() {
+		firstfit.ScheduleScratch(in, sc)
+	})
+
+	if public > internal+4 {
+		t.Errorf("public warm Solve allocates %.0f/op, internal pooled path %.0f/op (budget +4)",
+			public, internal)
+	}
+}
+
+// TestSolveCancelExact proves ctx cancellation reaches inside the
+// exponential search: a dense 28-job g=2 instance takes far longer than the
+// test budget to solve exactly (>3s measured), yet a cancel after 50ms
+// returns context.Canceled well within a second.
+func TestSolveCancelExact(t *testing.T) {
+	in := generator.General(3, 28, 2, float64(28)/3, 14)
+	s, err := busytime.New(busytime.WithAlgorithm("exact"), busytime.WithExactLimit(28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = s.Solve(ctx, in)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve returned %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestSolveBatchCancel cancels a batch mid-flight: SolveBatch must return
+// context.Canceled promptly and drain its worker goroutines.
+func TestSolveBatchCancel(t *testing.T) {
+	batch := make([]*busytime.Instance, 64)
+	for i := range batch {
+		batch[i] = generator.General(int64(i+1), 20000, 4, 20000, 30)
+	}
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := s.SolveBatch(ctx, batch); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveBatch returned %v, want context.Canceled", err)
+	}
+	// The engine's fan-out waits for its workers before returning, so no
+	// goroutine may outlive the call; allow scheduler jitter to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Errorf("goroutines leaked: %d before, %d after cancellation", before, after)
+	}
+}
+
+func TestSolveStreamCancel(t *testing.T) {
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	i := 0
+	next := func() (*busytime.Instance, bool) {
+		i++
+		if i == 3 {
+			cancel() // cancel between shards; the stream would be endless
+		}
+		return generator.General(int64(i), 5000, 4, 5000, 30), true
+	}
+	if _, err := s.SolveStream(ctx, next); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveStream returned %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	batch := make([]*busytime.Instance, 9)
+	for i := range batch {
+		batch[i] = generator.General(int64(40+i), 400, 3, 200, 25)
+	}
+	s, err := busytime.New(busytime.WithAlgorithm("bestfit"), busytime.WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.SolveBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results, want %d", len(results), len(batch))
+	}
+	for i, r := range results {
+		if r.Err != "" {
+			t.Fatalf("instance %d failed: %s", i, r.Err)
+		}
+		res, err := s.Solve(context.Background(), batch[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost != res.Cost || r.Machines != res.Machines {
+			t.Errorf("instance %d: batch %v/%d vs solve %v/%d",
+				i, r.Cost, r.Machines, res.Cost, res.Machines)
+		}
+		if r.LowerBound != res.LowerBound() {
+			t.Errorf("instance %d: batch LB %v vs solve LB %v", i, r.LowerBound, res.LowerBound())
+		}
+	}
+	sum := busytime.SummarizeBatch(results)
+	if sum.Runs != len(batch) {
+		t.Errorf("summary runs %d, want %d", sum.Runs, len(batch))
+	}
+}
+
+// TestSolveBatchHonorsSessionConfig pins SolveBatch to the session's full
+// configuration: options that route around the registry (exact limits,
+// lookahead buffers) must produce the same outcome as Solve, never fall
+// back to the registered defaults.
+func TestSolveBatchHonorsSessionConfig(t *testing.T) {
+	three := busytime.NewInstance(2,
+		busytime.NewInterval(0, 4), busytime.NewInterval(1, 5), busytime.NewInterval(2, 6))
+
+	s, err := busytime.New(busytime.WithAlgorithm("exact"), busytime.WithExactLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), three); err == nil {
+		t.Fatal("Solve accepted a 3-job component with limit 2")
+	}
+	batch, err := s.SolveBatch(context.Background(), []*busytime.Instance{three})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Err == "" || !strings.Contains(batch[0].Err, "exceeds limit 2") {
+		t.Errorf("SolveBatch ignored WithExactLimit: err = %q", batch[0].Err)
+	}
+
+	in := generator.General(23, 300, 3, 150, 20)
+	offline, err := busytime.New(busytime.WithAlgorithm("firstfit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := offline.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	look, err := busytime.New(
+		busytime.WithAlgorithm("online-firstfit"), busytime.WithLookahead(in.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := look.SolveBatch(context.Background(), []*busytime.Instance{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err != "" || !almostEq(got[0].Cost, want.Cost) {
+		t.Errorf("SolveBatch ignored WithLookahead: cost %v err %q, want offline FirstFit %v",
+			got[0].Cost, got[0].Err, want.Cost)
+	}
+}
+
+func TestOnlineRejectsLookaheadSession(t *testing.T) {
+	s, err := busytime.New(busytime.WithAlgorithm("online-firstfit"), busytime.WithLookahead(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Online(2, "firstfit"); err == nil || !strings.Contains(err.Error(), "WithLookahead") {
+		t.Errorf("lookahead session accepted: %v", err)
+	}
+}
+
+func TestSolverOptionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []busytime.Option
+		want string
+	}{
+		{"unknown algorithm", []busytime.Option{busytime.WithAlgorithm("nope")}, "unknown algorithm"},
+		{"empty algorithm", []busytime.Option{busytime.WithAlgorithm("")}, "empty name"},
+		{"lookahead offline", []busytime.Option{busytime.WithLookahead(4)}, "online-"},
+		{"lookahead zero", []busytime.Option{busytime.WithAlgorithm("online-firstfit"), busytime.WithLookahead(0)}, "want ≥ 1"},
+		{"exact limit elsewhere", []busytime.Option{busytime.WithExactLimit(20)}, "exact"},
+		{"length bound elsewhere", []busytime.Option{busytime.WithLengthBound(2)}, "boundedlength"},
+		{"negative workers", []busytime.Option{busytime.WithWorkers(-1)}, "want ≥ 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := busytime.New(tc.opts...); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New(%s) error = %v, want containing %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSolveValidatesInstance(t *testing.T) {
+	s, err := busytime.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+	bad := &busytime.Instance{G: 0, Jobs: []busytime.Job{{ID: 0, Iv: busytime.Interval{Start: 0, End: 1}, Demand: 1}}}
+	if _, err := s.Solve(context.Background(), bad); err == nil {
+		t.Error("g=0 instance accepted")
+	}
+}
+
+func TestParseIntervalAndBuildInstance(t *testing.T) {
+	if _, err := busytime.ParseInterval(3, 1); err == nil {
+		t.Error("reversed interval accepted")
+	}
+	if _, err := busytime.ParseInterval(math.NaN(), 1); err == nil {
+		t.Error("NaN start accepted")
+	}
+	iv, err := busytime.ParseInterval(1, 3)
+	if err != nil || iv.Len() != 2 {
+		t.Errorf("ParseInterval(1,3) = %v, %v", iv, err)
+	}
+
+	if _, err := busytime.BuildInstance(0, busytime.UnitJobs(iv)...); err == nil {
+		t.Error("g=0 accepted")
+	}
+	if _, err := busytime.BuildInstance(2, busytime.Job{ID: 1, Iv: iv, Demand: 3}); err == nil {
+		t.Error("demand > g accepted")
+	}
+	if _, err := busytime.BuildInstance(2,
+		busytime.Job{ID: 1, Iv: iv, Demand: 1}, busytime.Job{ID: 1, Iv: iv, Demand: 1}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := busytime.BuildInstance(2, busytime.Job{ID: 0, Iv: busytime.Interval{Start: math.NaN(), End: 1}, Demand: 1}); err == nil {
+		t.Error("NaN job interval accepted")
+	}
+	in, err := busytime.BuildInstance(2, busytime.UnitJobs(iv, busytime.Interval{Start: 2, End: 5})...)
+	if err != nil || in.N() != 2 {
+		t.Errorf("BuildInstance = %v, %v", in, err)
+	}
+}
+
+func TestResultDetachSurvivesReuse(t *testing.T) {
+	in := generator.General(5, 500, 4, 200, 20)
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, machines := res.Cost, res.Machines
+	if err := res.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	// Recycle the arena with a different instance; the detached schedule
+	// must be unaffected.
+	if _, err := s.Solve(context.Background(), generator.General(6, 700, 3, 300, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(); err != nil {
+		t.Errorf("detached schedule no longer verifies: %v", err)
+	}
+	if !almostEq(res.Schedule.Cost(), cost) || res.Schedule.NumMachines() != machines {
+		t.Errorf("detached schedule changed: %v/%d, want %v/%d",
+			res.Schedule.Cost(), res.Schedule.NumMachines(), cost, machines)
+	}
+}
+
+func TestFreshSchedulesSurviveWithoutDetach(t *testing.T) {
+	in := generator.General(5, 300, 4, 150, 20)
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithFreshSchedules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := res1.Cost
+	if _, err := s.Solve(context.Background(), generator.General(9, 400, 3, 200, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Schedule.Cost() != cost {
+		t.Errorf("fresh-mode schedule was recycled: cost %v, want %v", res1.Schedule.Cost(), cost)
+	}
+	if res1.Arena.Warm || res1.Arena.SetupAllocs != 0 {
+		t.Errorf("fresh mode reported arena stats: %+v", res1.Arena)
+	}
+}
+
+// TestSolverLookaheadRecoversOffline checks the semi-online ladder: with a
+// full lookahead buffer the online FirstFit policy processes jobs in the
+// offline order and must equal the paper's FirstFit exactly.
+func TestSolverLookaheadRecoversOffline(t *testing.T) {
+	in := generator.General(21, 400, 3, 200, 25)
+	offline, err := busytime.New(busytime.WithAlgorithm("firstfit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := offline.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := busytime.New(
+		busytime.WithAlgorithm("online-firstfit"),
+		busytime.WithLookahead(in.N()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := full.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || got.Machines != want.Machines {
+		t.Errorf("full lookahead %v/%d != offline FirstFit %v/%d",
+			got.Cost, got.Machines, want.Cost, want.Machines)
+	}
+	// A small buffer must still produce a feasible (verified) schedule.
+	small, err := busytime.New(
+		busytime.WithAlgorithm("online-firstfit"),
+		busytime.WithLookahead(4),
+		busytime.WithVerify(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Solve(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnlineSessionMatchesReplay pins the incremental OnlineSession to the
+// registered online-* algorithms: feeding an instance's jobs in arrival
+// order must reproduce the batch replay decision for decision.
+func TestOnlineSessionMatchesReplay(t *testing.T) {
+	for _, policy := range []string{"firstfit", "bestfit", "nextfit"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				in := generator.General(seed, 300, 3, 150, 20)
+				replaySolver, err := busytime.New(busytime.WithAlgorithm("online-" + policy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := replaySolver.Solve(context.Background(), in)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				s, err := busytime.New()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := s.Online(in.G, policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				order := in.StartOrder()
+				feedMachine := make([]int, len(order))
+				for p, j := range order {
+					m, err := sess.PlaceDemand(in.Jobs[j].Iv, in.Jobs[j].Demand)
+					if err != nil {
+						t.Fatalf("seed %d: Place job %d: %v", seed, j, err)
+					}
+					if m != sess.MachineOf(p) {
+						t.Fatalf("MachineOf(%d) = %d, Place returned %d", p, sess.MachineOf(p), m)
+					}
+					feedMachine[p] = m
+				}
+				if !almostEq(sess.Cost(), want.Cost) || sess.Machines() != want.Machines {
+					t.Fatalf("seed %d: session %v/%d != replay %v/%d",
+						seed, sess.Cost(), sess.Machines(), want.Cost, want.Machines)
+				}
+				for p, j := range order {
+					if feedMachine[p] != want.Schedule.MachineOf(int(j)) {
+						t.Fatalf("seed %d: job %d on machine %d in session, %d in replay",
+							seed, j, feedMachine[p], want.Schedule.MachineOf(int(j)))
+					}
+				}
+				res, err := sess.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !almostEq(res.Cost, want.Cost) {
+					t.Errorf("session Result cost %v != replay %v", res.Cost, want.Cost)
+				}
+			}
+		})
+	}
+}
+
+func TestOnlineSessionRejectsBadInput(t *testing.T) {
+	s, err := busytime.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Online(2, "leastloaded"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := s.Online(0, "firstfit"); err == nil {
+		t.Error("g=0 accepted")
+	}
+	sess, err := s.Online(2, "online-firstfit") // registered prefix accepted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Place(busytime.Interval{Start: 5, End: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Place(busytime.Interval{Start: 4, End: 10}); err == nil {
+		t.Error("out-of-order arrival accepted")
+	}
+	if _, err := sess.Place(busytime.Interval{Start: 6, End: 5}); err == nil {
+		t.Error("reversed interval accepted")
+	}
+	if _, err := sess.PlaceDemand(busytime.Interval{Start: 6, End: 7}, 3); err == nil {
+		t.Error("demand > g accepted")
+	}
+	if _, err := sess.PlaceDemand(busytime.Interval{Start: 6, End: 7}, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if sess.Jobs() != 1 {
+		t.Errorf("rejected placements changed the session: %d jobs", sess.Jobs())
+	}
+}
+
+// TestSolverConcurrentUse exercises the arena pool under concurrent Solve
+// traffic (run with -race): distinct arenas per in-flight call, correct
+// results throughout.
+func TestSolverConcurrentUse(t *testing.T) {
+	in := generator.General(13, 1000, 4, 500, 20)
+	s, err := busytime.New(busytime.WithAlgorithm("firstfit"), busytime.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			res, err := s.Solve(context.Background(), in)
+			if err == nil && (res.Cost != want.Cost || res.Machines != want.Machines) {
+				err = errors.New("concurrent solve diverged")
+			}
+			errs <- err
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLegacyWrappersStillWork pins the deprecated free functions to the
+// session path they now wrap.
+func TestLegacyWrappersStillWork(t *testing.T) {
+	in := tinyUniversal()
+	s := busytime.FirstFit(in)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The wrapper solvers run in fresh mode: consecutive calls must not
+	// recycle each other's schedules.
+	s2 := busytime.FirstFit(busytime.NewInstance(2, busytime.NewInterval(0, 1)))
+	if err := s.Verify(); err != nil {
+		t.Errorf("first schedule invalidated by second call: %v", err)
+	}
+	if s2.NumMachines() != 1 {
+		t.Errorf("second schedule machines = %d", s2.NumMachines())
+	}
+}
