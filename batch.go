@@ -41,6 +41,13 @@ type BatchResult struct {
 	// aggregates them.
 	Warm        bool `json:"-"`
 	SetupAllocs int  `json:"-"`
+	// Components is the connected-component count the decomposition layer
+	// observed for this instance and IntraWorkers how many workers solved
+	// them; both are 0 when the run never consulted the layer (see
+	// WithIntraWorkers). Like Warm they depend on momentary pool pressure,
+	// so they are excluded from serialization.
+	Components   int `json:"-"`
+	IntraWorkers int `json:"-"`
 }
 
 // SolveBatch schedules every instance with the session's algorithm, fanned
@@ -84,17 +91,26 @@ func (s *Solver) SolveStream(ctx context.Context, next func() (*Instance, bool))
 // so batch runs carry the full session configuration — WithExactLimit,
 // WithLookahead, WithLengthBound — and are guaranteed to agree with Solve.
 func (s *Solver) engineOptions() engine.Options {
-	return engine.Options{
+	opt := engine.Options{
 		Algorithm: s.cfg.algorithm,
 		Custom: &algo.Algorithm{
 			Name:          s.cfg.algorithm,
 			RunScratchCtx: s.run,
 			Cancellation:  s.alg.Cancellation,
+			// Decompose carries the session's resolved contract (exact limit
+			// applied), so batch workers route through the same decomposition
+			// layer as Solve — or none, identically.
+			Decompose: s.decomp,
 		},
 		Workers: s.cfg.workers,
 		Verify:  s.cfg.verify,
 		Pool:    s.pool, // nil in fresh mode: the engine builds a private pool
 	}
+	if s.decomp != nil {
+		opt.IntraWorkers = s.cfg.intraWorkers()
+		opt.Runners = s.runners
+	}
+	return opt
 }
 
 func convertBatch(results []engine.Result) []BatchResult {

@@ -14,6 +14,7 @@ import (
 	"busytime/internal/algo/baselines"
 	"busytime/internal/algo/firstfit"
 	"busytime/internal/core"
+	"busytime/internal/decomp"
 	"busytime/internal/engine"
 	"busytime/internal/experiments"
 	"busytime/internal/generator"
@@ -272,6 +273,62 @@ func BenchmarkBatchPortfolio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Run(context.Background(), batch, engine.Options{Algorithm: "portfolio"}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The decompose–solve–merge path: one warm Solver session re-solving a
+// multi-component clustered instance (~100k jobs across 16 time-disjoint
+// clusters). The Seq variant is the plain sequential path; the Intra
+// variants enable WithIntraWorkers so components solve concurrently on the
+// session's spare arenas. On a multi-core host the ladder shows the
+// intra-instance speedup; determinism is pinned separately (the decomposed
+// schedule is bitwise-identical, see intra_test.go), so the bench only
+// checks machine count. BENCH_6.json records the measured numbers together
+// with the host core count — the scaling gate is only meaningful when
+// GOMAXPROCS exceeds the intra budget.
+func benchDecompClustered(b *testing.B, workers, intra int) {
+	in := generator.Clustered(7, 16, 6250, 4, 5000, 40)
+	opts := []busytime.Option{busytime.WithWorkers(workers)}
+	if intra != 1 {
+		opts = append(opts, busytime.WithIntraWorkers(intra))
+	}
+	s, err := busytime.New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, in); err != nil { // warm the arenas
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(ctx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Machines == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkDecompClustered100kSeq(b *testing.B)    { benchDecompClustered(b, 1, 1) }
+func BenchmarkDecompClustered100kIntra2(b *testing.B) { benchDecompClustered(b, 2, 2) }
+func BenchmarkDecompClustered100kIntra4(b *testing.B) { benchDecompClustered(b, 4, 4) }
+
+// The sweep alone: component labeling over the cached start order, the O(n)
+// prefix of every decomposed run.
+func BenchmarkDecompSweep100k(b *testing.B) {
+	in := generator.Clustered(7, 16, 6250, 4, 5000, 40)
+	in.CachedValidate()
+	r := decomp.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := r.SweepCount(in); n != 16 {
+			b.Fatalf("sweep found %d components, want 16", n)
 		}
 	}
 }

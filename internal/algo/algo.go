@@ -67,6 +67,73 @@ type Algorithm struct {
 	RunScratchCtx CtxFunc
 	// Cancellation records where the algorithm observes ctx; see CancelPoint.
 	Cancellation CancelPoint
+	// Decompose, when non-nil, declares the algorithm safe for the
+	// component-decomposition layer (internal/decomp): running it on each
+	// connected component of the interval graph independently and merging
+	// the per-component schedules reproduces the sequential whole-instance
+	// run exactly. The registry-wide differential suite pins decomposed ==
+	// sequential bitwise for every algorithm that sets it.
+	Decompose *Decomposer
+}
+
+// Decomposer is the decomposition contract of an algorithm: how to partition
+// its processing order by component, how to solve one component against the
+// parent instance, and how component-local machine indices map to global
+// ones.
+//
+// The greedy family qualifies under the identity mapping: components are
+// strictly time-disjoint, so during the sequential whole-instance run a
+// machine's jobs from other components never constrain a job's feasibility
+// or span delta — machine m's placements restricted to one component are
+// exactly the component-local run's machine m. Algorithms with cross-job
+// state that survives a component boundary (NextFit's cursor, local search's
+// move passes, dynamic lookahead buffers) do not qualify and leave Decompose
+// nil.
+type Decomposer struct {
+	// Order returns the algorithm's global processing order as job indices
+	// (a cached instance order; the slice is not modified). nil means
+	// position order 0..n-1.
+	Order func(in *core.Instance) []int32
+	// RunComponent solves one component against the parent instance: order
+	// is the component's jobs as a subsequence of the global Order, sc is a
+	// worker-private arena, and out (aligned with order) receives each job's
+	// component-local machine. Machines must be opened densely from 0.
+	RunComponent func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error
+	// Stacked selects the merge mapping: false merges under the identity
+	// (component-local machine j → global machine j, the greedy family);
+	// true stacks components onto disjoint machine ranges in component
+	// order (the exact solver, which opens fresh machines per component).
+	Stacked bool
+}
+
+// ComponentLowestFit is the shared RunComponent of the LowestFit-driven
+// family (firstfit, firstfit-scan, firstfit-start, randomfit,
+// online-firstfit): the component's jobs through the indexed kernel
+// LowestFit on a schedule drawn from sc. The index prunings are sound, so
+// indexed component runs merge byte-identical even to the sequential
+// no-index scans. out (aligned with order) receives each job's
+// component-local machine.
+func ComponentLowestFit(_ context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	k := s.Placer()
+	for i, j := range order {
+		out[i] = int32(k.LowestFit(int(j)))
+	}
+	return nil
+}
+
+// ComponentBestFit is the shared RunComponent of the BestFit-driven family
+// (bestfit, bestfit-scan, online-bestfit): the kernel's pruned span-delta
+// argmin over the component's jobs.
+func ComponentBestFit(_ context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+	s := sc.NewSchedule(in)
+	s.EnableMachineIndex()
+	k := s.Placer()
+	for i, j := range order {
+		out[i] = int32(k.BestFit(int(j)))
+	}
+	return nil
 }
 
 var registry = map[string]Algorithm{}

@@ -19,12 +19,11 @@
 package baselines
 
 import (
-	"math/rand"
-
 	"busytime/internal/algo"
 	"busytime/internal/algo/firstfit"
 	"busytime/internal/core"
 	"busytime/internal/intgraph"
+	"busytime/internal/xrand"
 )
 
 func init() {
@@ -33,7 +32,14 @@ func init() {
 		Description: "FirstFit scanning jobs by start time (no length sort)",
 		Run:         FirstFitByStart,
 		RunScratch:  FirstFitByStartScratch,
+		Decompose: &algo.Decomposer{
+			Order:        func(in *core.Instance) []int32 { return in.StartOrder() },
+			RunComponent: algo.ComponentLowestFit,
+		},
 	})
+	// NextFit carries cross-component state — its single-open-machine cursor
+	// survives a component boundary, so splitting the run changes which
+	// machines get abandoned. Not decomposable.
 	algo.Register(algo.Algorithm{
 		Name:        "nextfit",
 		Description: "NextFit in start order (single open machine)",
@@ -45,13 +51,19 @@ func init() {
 		Description: "BestFit by minimal busy-time increase, longest job first (indexed kernel argmin)",
 		Run:         BestFit,
 		RunScratch:  BestFitScratch,
+		Decompose:   bestFitDecomposer(),
 	})
 	algo.Register(algo.Algorithm{
 		Name:        "bestfit-scan",
 		Description: "BestFit with the plain per-machine probe loop (no selection index; ablation)",
 		Run:         BestFitScan,
 		RunScratch:  BestFitScanScratch,
+		// The kernel argmin is byte-identical to the plain probe loop, so
+		// component runs route through the kernel here too.
+		Decompose: bestFitDecomposer(),
 	})
+	// MachineMin colors the whole interval graph at once; a component's
+	// color classes shift globally, so it is not decomposable as registered.
 	algo.Register(algo.Algorithm{
 		Name:        "machine-min",
 		Description: "⌈k/g⌉-machine schedule from optimal coloring (§1.1 remark)",
@@ -65,7 +77,27 @@ func init() {
 		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
 			return RandomFitScratch(in, 1, sc)
 		},
+		Decompose: &algo.Decomposer{
+			// The registered entry point fixes seed 1, so the decomposition
+			// order is the same permutation the sequential run draws (the
+			// permutation is derived per run either way).
+			Order:        func(in *core.Instance) []int32 { return randomOrder32(in, 1) },
+			RunComponent: algo.ComponentLowestFit,
+		},
 	})
+}
+
+// bestFitDecomposer declares BestFit safe for the decomposition layer: the
+// kernel argmin in length order, merged under the identity mapping. Machines
+// holding only other components' jobs are hull-disjoint from every candidate
+// job, so their delta is the full job length — the maximum — and they lose
+// every argmin tie to lower indices; the component-local argmin therefore
+// picks the same machine the sequential scan would.
+func bestFitDecomposer() *algo.Decomposer {
+	return &algo.Decomposer{
+		Order:        func(in *core.Instance) []int32 { return in.LengthOrder() },
+		RunComponent: algo.ComponentBestFit,
+	}
 }
 
 // FirstFitByStart runs FirstFit scanning jobs by (start, end, ID).
@@ -239,8 +271,26 @@ func randomOrder(in *core.Instance, seed int64) []int {
 	for i := range order {
 		order[i] = i
 	}
-	rand.New(rand.NewSource(seed)).Shuffle(len(order), func(i, j int) {
+	shuffle(order, seed)
+	return order
+}
+
+// randomOrder32 is randomOrder in the registry's order representation; seed
+// and n determine the permutation, so it matches randomOrder element for
+// element.
+func randomOrder32(in *core.Instance, seed int64) []int32 {
+	order := make([]int32, in.N())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	shuffle(order, seed)
+	return order
+}
+
+// shuffle permutes order with the library's splitmix64 generator
+// (deterministic in seed and platform-independent, unlike math/rand).
+func shuffle[T int | int32](order []T, seed int64) {
+	xrand.New(seed).Shuffle(len(order), func(i, j int) {
 		order[i], order[j] = order[j], order[i]
 	})
-	return order
 }

@@ -21,7 +21,7 @@ package boundedlength
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"busytime/internal/algo"
 	"busytime/internal/algo/exact"
@@ -95,7 +95,7 @@ func Segments(in *core.Instance, d float64) (buckets [][]int, segnum []int) {
 	for r := range byseg {
 		segnum = append(segnum, r)
 	}
-	sort.Ints(segnum)
+	slices.Sort(segnum)
 	for _, r := range segnum {
 		buckets = append(buckets, byseg[r])
 	}

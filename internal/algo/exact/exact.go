@@ -46,7 +46,43 @@ func init() {
 			return SolveWith(ctx, in, DefaultMaxJobs, sc)
 		},
 		Cancellation: algo.CancelMidRun,
+		Decompose:    Decomposer(DefaultMaxJobs),
 	})
+}
+
+// Decomposer declares the branch and bound safe for the decomposition layer
+// with the given per-component job limit: SolveWith already is a
+// decompose–solve–merge (it iterates Instance.Components sequentially), so
+// the layer merely runs the same per-component searches concurrently.
+// Stacked merging reproduces SolveWith's machineBase accumulation — each
+// component's machines offset by the counts of the components before it, in
+// component start order — and the position-order replay (Order nil)
+// reproduces FromAssignment's materialization bit for bit. solveComponent's
+// result is independent of its input job order (it canonicalizes to (start,
+// end, ID) internally), so the partition is the only thing that matters, and
+// both paths use the same reach sweep.
+func Decomposer(maxJobs int) *algo.Decomposer {
+	return &algo.Decomposer{
+		Stacked: true,
+		RunComponent: func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+			if len(order) > maxJobs {
+				return fmt.Errorf("exact: component with %d jobs exceeds limit %d", len(order), maxJobs)
+			}
+			jobs := make([]core.Job, len(order))
+			for i, j := range order {
+				jobs[i] = in.Jobs[j]
+			}
+			comp := &core.Instance{Name: in.Name + "/comp", G: in.G, Jobs: jobs}
+			sub, err := solveComponent(ctx, comp)
+			if err != nil {
+				return err
+			}
+			for i, m := range sub.assign {
+				out[i] = int32(m)
+			}
+			return nil
+		},
+	}
 }
 
 // DefaultMaxJobs is the largest component size Solve accepts by default.

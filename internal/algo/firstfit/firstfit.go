@@ -25,13 +25,31 @@ func init() {
 		Description: "FirstFit by non-increasing length (§2.1, 4-approximation), indexed machine selection",
 		Run:         Schedule,
 		RunScratch:  ScheduleScratch,
+		Decompose:   Decomposer(),
 	})
 	algo.Register(algo.Algorithm{
 		Name:        "firstfit-scan",
 		Description: "FirstFit with the linear machine scan (no selection index; ablation A6)",
 		Run:         ScheduleScan,
 		RunScratch:  ScheduleScanScratch,
+		// The scan body is the kernel LowestFit too (the index prunings are
+		// sound, so indexed component runs merge byte-identical to the
+		// sequential scan), hence one shared Decomposer.
+		Decompose: Decomposer(),
 	})
+}
+
+// Decomposer declares FirstFit safe for the component-decomposition layer:
+// LowestFit driven in the paper's length order, component by component,
+// merged under the identity machine mapping. The length order restricted to
+// a component is the component's length order, and a machine's jobs from
+// other (time-disjoint) components never change a probe's outcome, so the
+// merged run equals the sequential one exactly.
+func Decomposer() *algo.Decomposer {
+	return &algo.Decomposer{
+		Order:        func(in *core.Instance) []int32 { return in.LengthOrder() },
+		RunComponent: algo.ComponentLowestFit,
+	}
 }
 
 // Schedule runs FirstFit on a copy of the instance and returns a complete

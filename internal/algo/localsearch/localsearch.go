@@ -12,9 +12,36 @@
 package localsearch
 
 import (
+	"busytime/internal/algo"
+	"busytime/internal/algo/firstfit"
 	"busytime/internal/core"
 	"busytime/internal/interval"
 )
+
+func init() {
+	algo.Register(algo.Algorithm{
+		Name:        "firstfit+ls",
+		Description: "FirstFit (§2.1) followed by move/merge local search to a local optimum (ablation A3)",
+		Run: func(in *core.Instance) *core.Schedule {
+			s, err := Improve(firstfit.Schedule(in), Options{})
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
+		RunScratch: func(in *core.Instance, sc *core.Scratch) *core.Schedule {
+			s, err := ImproveScratch(firstfit.ScheduleScratch(in, sc), Options{}, sc)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
+		// The move pass shuffles member order as it relocates jobs, so the
+		// rebuilt machine job lists (and their float span accumulation) depend
+		// on cross-machine state; splitting the search per component would
+		// change intermediate orders. Not decomposable.
+	})
+}
 
 // Options bounds the search.
 type Options struct {
@@ -148,6 +175,26 @@ func Improve(s *core.Schedule, opts Options) (*core.Schedule, error) {
 	return a.build()
 }
 
+// ImproveScratch is Improve with the final schedule drawn from sc — the
+// kernel-routed batch path. The input schedule may itself live on sc: the
+// working state is copied out of it up front, so rebuilding over the same
+// arena is safe (the input is invalidated, like any schedule on a recycled
+// scratch).
+func ImproveScratch(s *core.Schedule, opts Options, sc *core.Scratch) (*core.Schedule, error) {
+	opts.fill()
+	a := fromSchedule(s)
+	for round := 0; round < opts.MaxRounds; round++ {
+		improved := a.movePass(opts.Tolerance)
+		if a.mergePass(opts.Tolerance) {
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return a.buildInto(core.NewScheduleFrom(a.in, sc))
+}
+
 // movePass relocates each job to its cheapest feasible machine.
 func (a *assignment) movePass(tol float64) bool {
 	improved := false
@@ -248,7 +295,10 @@ func (a *assignment) mergeFeasible(m1, m2 int) bool {
 
 // build materializes a compacted core.Schedule.
 func (a *assignment) build() (*core.Schedule, error) {
-	out := core.NewSchedule(a.in)
+	return a.buildInto(core.NewSchedule(a.in))
+}
+
+func (a *assignment) buildInto(out *core.Schedule) (*core.Schedule, error) {
 	for _, jobs := range a.member {
 		if len(jobs) == 0 {
 			continue

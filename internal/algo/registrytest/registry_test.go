@@ -11,6 +11,7 @@
 package registrytest
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,11 +25,12 @@ import (
 	_ "busytime/internal/algo/portfolio"
 	_ "busytime/internal/algo/properfit"
 	"busytime/internal/core"
+	"busytime/internal/decomp"
 	"busytime/internal/generator"
 	_ "busytime/internal/online"
 )
 
-// families enumerates the eight generator families of the differential
+// families enumerates the nine generator families of the differential
 // suite; sizes stay modest so the full registry sweep stays fast.
 func families(seed int64) []*core.Instance {
 	gen := generator.General(seed, 120, 3, 80, 20)
@@ -41,6 +43,7 @@ func families(seed int64) []*core.Instance {
 		generator.CloudBurst(seed, 150, 6, 200, 10, 4, 0.6),
 		generator.LightpathWave(seed, 5, 30, 4, 40, 15, 10),
 		generator.WithDemands(gen, seed+1, 3),
+		generator.Clustered(seed, 6, 12, 3, 9, 4),
 	}
 }
 
@@ -134,6 +137,59 @@ func all(t *testing.T) []algo.Algorithm {
 		t.Fatal("registry is empty")
 	}
 	return out
+}
+
+// TestRegistryDecomposedParity is the decomposition layer's registry-wide
+// differential: for every algorithm that declares a Decomposer, the
+// decompose–solve–merge path over spare arenas must be byte-identical to the
+// plain sequential run on every generator family — same assignment, same
+// per-machine slot order, bitwise-equal cost — and must fail symmetrically
+// where the sequential path fails (the exact solver's component limit).
+func TestRegistryDecomposedParity(t *testing.T) {
+	pool := make(chan *core.Scratch, 3)
+	for i := 0; i < 3; i++ {
+		pool <- new(core.Scratch)
+	}
+	runner := decomp.NewRunner()
+	seqScratch := new(core.Scratch)
+	decomposable := 0
+	for _, a := range all(t) {
+		if a.Decompose != nil {
+			decomposable++
+		}
+	}
+	if decomposable < 7 {
+		t.Fatalf("only %d registered algorithms declare a Decomposer; want ≥ 7", decomposable)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		for fi, in := range families(seed) {
+			for _, a := range all(t) {
+				if a.Decompose == nil {
+					continue
+				}
+				a := a
+				label := fmt.Sprintf("%s seed=%d family=%d", a.Name, seed, fi)
+				seq, seqErr := runSafely(func() *core.Schedule { return a.RunScratch(in, seqScratch) })
+				sc := new(core.Scratch)
+				dec, st, decErr := runner.Run(context.Background(), in, a.Decompose, sc, pool, 4)
+				if dec == nil && decErr == nil {
+					// The layer declined; the real callers fall back to the
+					// plain sequential path on the same arena.
+					if st.Components > 1 {
+						t.Fatalf("%s: layer declined on %d components with 3 spare arenas", label, st.Components)
+					}
+					dec, decErr = runSafely(func() *core.Schedule { return a.RunScratch(in, sc) })
+				}
+				if (seqErr == nil) != (decErr == nil) {
+					t.Fatalf("%s: sequential err=%v but decomposed err=%v", label, seqErr, decErr)
+				}
+				if seqErr != nil {
+					continue // failed symmetrically (component limits)
+				}
+				assertIdentical(t, label, seq, dec)
+			}
+		}
+	}
 }
 
 // TestRegistryScratchSizeLadder stresses the shared arena across shrinking

@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// Assembly builds a schedule whose placements are already known — the merge
+// step of the component-decomposition layer, where per-component runs have
+// decided every job's machine and only the global bookkeeping remains. It
+// replays placements through the same incremental accounting as the live
+// kernel (per-machine job list, busy hull, span union feeding totalBusy) but
+// skips every capacity structure: no interval trees, shards, profiles or
+// index, because feasibility was established by the runs being merged. The
+// result is sealed — mutating kernel entry points panic on it, since its
+// machines carry no oracle to answer them — while every read path (Cost,
+// Verify, Summary, Assignment, Detach-style re-derivation) stays valid.
+//
+// Replay order matters for bitwise equality: Σ busy time is accumulated by
+// interval.Spans.Add one placement at a time, so putting jobs in the same
+// order the sequential algorithm would have placed them reproduces its
+// floating-point accumulation exactly.
+type Assembly struct {
+	s *Schedule
+}
+
+// BeginAssembly starts assembling a schedule for inst with the given number
+// of pre-opened machines, drawn from sc (or fresh memory when sc is nil).
+func BeginAssembly(inst *Instance, sc *Scratch, machines int) Assembly {
+	s := NewScheduleFrom(inst, sc)
+	for m := 0; m < machines; m++ {
+		s.OpenMachine()
+	}
+	return Assembly{s: s}
+}
+
+// Put appends job index j to machine m. Placements on one machine must
+// arrive in the order the originating run placed them, so the machine's job
+// list and span union replay identically.
+func (a Assembly) Put(j, m int) {
+	s := a.s
+	if s.assign[j] != Unassigned {
+		panic(fmt.Sprintf("core: assembly placed job index %d twice", j))
+	}
+	st := &s.machines[m]
+	job := s.inst.Jobs[j]
+	if len(st.jobs) == 0 {
+		st.hull = job.Iv
+	} else {
+		st.hull = st.hull.Hull(job.Iv)
+	}
+	st.jobs = append(st.jobs, j)
+	s.totalBusy += st.spans.Add(job.Iv)
+	s.assign[j] = m
+}
+
+// Finish seals the assembled schedule and returns it.
+func (a Assembly) Finish() *Schedule {
+	a.s.sealed = true
+	return a.s
+}

@@ -45,6 +45,12 @@ type Schedule struct {
 	// opening. It lives on the schedule so recycled schedules reset it for
 	// free and the kernel view stays a stateless handle.
 	cursor int
+	// sealed marks a schedule assembled from precomputed placements (see
+	// Assembly): its machines carry no capacity oracle, so the mutating
+	// kernel entry points refuse to run rather than answer unsoundly. All
+	// read paths (Cost, Verify, Summary, Assignment, …) remain valid —
+	// Verify in particular re-derives loads independently of the oracles.
+	sealed bool
 }
 
 // hotspot is a saturation hint: the machine's load at time at is known to be
@@ -301,6 +307,9 @@ func (s *Schedule) probeProfile(st *machineState, w interval.Interval, d, g, lo,
 // to the oracle and get rejected record the rejection's witness point, so
 // repeated probing of a saturated machine converges to O(1).
 func (s *Schedule) CanAssign(j, m int) bool {
+	if s.sealed {
+		panic("core: capacity probe on a sealed schedule")
+	}
 	lo, hi := s.jobBuckets(j)
 	job := s.inst.Jobs[j]
 	st := &s.machines[m]
@@ -520,6 +529,9 @@ func (s *Schedule) FirstFitAssign(j int) int {
 // window before insertion (exact keeps peak exact; an upper bound keeps it
 // sound). lo/hi is the job's axis bucket range (empty without an index).
 func (s *Schedule) insert(st *machineState, j, m, used, lo, hi int) {
+	if s.sealed {
+		panic("core: placement on a sealed schedule")
+	}
 	if s.assign[j] != Unassigned {
 		panic(fmt.Sprintf("core: job index %d already assigned to machine %d", j, s.assign[j]))
 	}

@@ -1,0 +1,357 @@
+// Package decomp is the component-decomposition layer between the algorithm
+// registry and the placement kernel: it splits an instance into the connected
+// components of its interval graph (strictly time-disjoint sub-instances),
+// solves the components concurrently on worker-private core.Scratch arenas,
+// and merges the per-component schedules back into one.
+//
+// The merge is exact, not approximate. For the greedy family the mapping is
+// the identity (component-local machine j → global machine j): components
+// never overlap in time, so during the sequential whole-instance run the jobs
+// other components placed on a machine neither constrain a job's feasibility
+// nor change its span delta, and an inductive argument gives that the global
+// run restricted to one component is exactly the component-local run — down
+// to argmin ties, which other-component machines always lose (their delta is
+// the full job length, the maximum, and ties go to the lowest index). The
+// merged schedule is replayed through core.Assembly in the algorithm's global
+// processing order, so the floating-point busy-time accumulation is
+// reproduced bit for bit. The registry-wide differential suite pins
+// decomposed == sequential bitwise for every algorithm that declares a
+// Decomposer.
+//
+// Decomposition is purely opportunistic: Run declines (returning a nil
+// schedule) when the instance is a single component or when no spare arenas
+// are available, and the caller then takes the plain sequential path. Results
+// therefore never depend on worker count or pool pressure — only latency
+// does.
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"busytime/internal/algo"
+	"busytime/internal/core"
+)
+
+// Stats describes one decomposition attempt. The per-component slices are
+// owned by the Runner and only valid until its next Run; callers that retain
+// them must copy.
+type Stats struct {
+	// Components is the number of connected components the sweep found
+	// (reported even when Run declines).
+	Components int
+	// Workers is the number of goroutines that solved components: the
+	// calling goroutine plus the spare arenas leased from the pool.
+	Workers int
+	// Largest is the job count of the largest component.
+	Largest int
+	// Sweep, Solve and Merge are the wall times of the three phases:
+	// component labeling, the concurrent per-component runs (as a whole),
+	// and the ordered reassembly.
+	Sweep, Solve, Merge time.Duration
+	// Sizes[c] and Times[c] are component c's job count and solve wall
+	// time, components in start order.
+	Sizes []int32
+	Times []time.Duration
+}
+
+// Runner owns the recyclable state of the decomposition layer: component
+// labels, the scattered per-component processing orders, the local machine
+// assignments and the scheduling/merge bookkeeping. A warm Runner re-serving
+// an instance shape performs no allocations; like a core.Scratch it must not
+// be shared between goroutines (the worker goroutines it spawns internally
+// coordinate through it, but at most one Run is live at a time).
+type Runner struct {
+	labels   []int32 // job position → component id (start order)
+	offsets  []int32 // component id → start of its segment in suborder
+	cursor   []int32 // per-component scatter/replay cursors
+	sizes    []int32 // component id → job count
+	suborder []int32 // global order scattered component-major
+	localm   []int32 // component-local machine per suborder position
+	posOrder []int32 // identity order 0..n-1, for algorithms with nil Order
+	used     []int32 // component id → local machine count
+	base     []int32 // component id → global machine offset
+	keys     []int64 // (size<<32|id) keys for largest-first scheduling
+	times    []time.Duration
+	errs     []error
+
+	// Per-run shared state the worker goroutines coordinate through.
+	ctx    context.Context
+	in     *core.Instance
+	d      *algo.Decomposer
+	arenas []*core.Scratch
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// NewRunner returns an empty Runner.
+func NewRunner() *Runner { return &Runner{} }
+
+// NewRunnerPool builds a pool of the given width (min 1), mirroring
+// engine.NewScratchPool: one recyclable Runner per slot on a buffered
+// channel, shared across runs so the layer's buffers stay warm.
+func NewRunnerPool(workers int) chan *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	pool := make(chan *Runner, workers)
+	for i := 0; i < workers; i++ {
+		pool <- NewRunner()
+	}
+	return pool
+}
+
+// grow returns buf resized to n, reallocating only beyond retained capacity.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// Run decomposes in, solves the components on up to budget workers (the
+// calling goroutine plus spare arenas leased non-blockingly from pool), and
+// merges the component schedules into one schedule assembled on sc.
+//
+// A nil schedule with a nil error means Run declined — single component,
+// budget ≤ 1, or no spare arena free — and the caller must run the plain
+// sequential path; by the merge-identity argument the result is the same
+// either way. The returned Stats are filled as far as the attempt got.
+func (r *Runner) Run(ctx context.Context, in *core.Instance, d *algo.Decomposer, sc *core.Scratch, pool chan *core.Scratch, budget int) (*core.Schedule, Stats, error) {
+	var st Stats
+	n := in.N()
+	if n == 0 || budget <= 1 {
+		return nil, st, nil
+	}
+
+	t0 := time.Now()
+	ncomp := r.sweep(in)
+	st.Components = ncomp
+	st.Sweep = time.Since(t0)
+	if ncomp <= 1 {
+		return nil, st, nil
+	}
+
+	extras := r.lease(pool, budget-1)
+	if len(extras) == 0 {
+		return nil, st, nil
+	}
+	defer func() {
+		for _, a := range extras {
+			pool <- a
+		}
+	}()
+
+	// Scatter the algorithm's global processing order into contiguous
+	// per-component segments (stable: each segment preserves the global
+	// order restricted to its component).
+	ord := r.posOrder
+	if d.Order != nil {
+		ord = d.Order(in)
+	} else {
+		ord = grow(ord, n)
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		r.posOrder = ord
+	}
+	r.offsets = grow(r.offsets, ncomp+1)
+	clear(r.offsets[:ncomp+1])
+	for _, c := range r.labels[:n] {
+		r.offsets[c+1]++
+	}
+	r.sizes = grow(r.sizes, ncomp)
+	for c := 0; c < ncomp; c++ {
+		r.sizes[c] = r.offsets[c+1]
+		r.offsets[c+1] += r.offsets[c]
+		if int(r.sizes[c]) > st.Largest {
+			st.Largest = int(r.sizes[c])
+		}
+	}
+	st.Sizes = r.sizes[:ncomp]
+	r.cursor = grow(r.cursor, ncomp)
+	copy(r.cursor, r.offsets[:ncomp])
+	r.suborder = grow(r.suborder, n)
+	for _, j := range ord {
+		c := r.labels[j]
+		r.suborder[r.cursor[c]] = j
+		r.cursor[c]++
+	}
+	r.localm = grow(r.localm, n)
+
+	// Largest components first, so the tail of the run is small work: pack
+	// (size, id) into one int64 key and sort ascending (no comparator
+	// closure), then workers claim keys from the back.
+	r.keys = grow(r.keys, ncomp)
+	for c := 0; c < ncomp; c++ {
+		r.keys[c] = int64(r.sizes[c])<<32 | int64(c)
+	}
+	slices.Sort(r.keys[:ncomp])
+	r.times = grow(r.times, ncomp)
+	clear(r.times[:ncomp])
+	r.errs = grow(r.errs, ncomp)
+	clear(r.errs[:ncomp])
+	st.Times = r.times[:ncomp]
+
+	t0 = time.Now()
+	r.ctx, r.in, r.d = ctx, in, d
+	r.next.Store(0)
+	st.Workers = 1 + len(extras)
+	r.wg.Add(len(extras))
+	for w := range extras {
+		go r.work(w)
+	}
+	r.drain(sc)
+	r.wg.Wait()
+	r.ctx, r.in, r.d = nil, nil, nil
+	st.Solve = time.Since(t0)
+
+	// Deterministic error selection: the lowest component id, i.e. the
+	// earliest-starting failing component, independent of scheduling order.
+	for c := 0; c < ncomp; c++ {
+		if err := r.errs[c]; err != nil {
+			return nil, st, err
+		}
+	}
+
+	t0 = time.Now()
+	s := r.merge(in, d, sc, ord, ncomp)
+	st.Merge = time.Since(t0)
+	return s, st, nil
+}
+
+// SweepCount runs only the component sweep and returns the component count,
+// exposing the O(n) prefix of every decomposed run for benchmarks and
+// instance triage (a count of 1 means the layer would decline).
+func (r *Runner) SweepCount(in *core.Instance) int { return r.sweep(in) }
+
+// sweep labels every job with its connected component (components numbered
+// in start order) via a single reach sweep over the cached start order, and
+// returns the component count. Strict `>` against the running reach matches
+// closed interval semantics: touching intervals are connected, so
+// consecutive components are separated by gaps of positive length.
+func (r *Runner) sweep(in *core.Instance) int {
+	n := in.N()
+	r.labels = grow(r.labels, n)
+	ncomp := 0
+	reach := 0.0
+	for _, j := range in.StartOrder() {
+		iv := in.Jobs[j].Iv
+		if ncomp == 0 || iv.Start > reach {
+			ncomp++
+			reach = iv.End
+		} else if iv.End > reach {
+			reach = iv.End
+		}
+		r.labels[j] = int32(ncomp - 1)
+	}
+	return ncomp
+}
+
+// lease claims up to max spare arenas from pool without blocking: intra- and
+// inter-instance parallelism draw on the same pool, so total concurrency
+// never exceeds the configured worker budget and an empty pool simply means
+// no decomposition this run.
+func (r *Runner) lease(pool chan *core.Scratch, max int) []*core.Scratch {
+	r.arenas = r.arenas[:0]
+	for len(r.arenas) < max {
+		select {
+		case sc := <-pool:
+			r.arenas = append(r.arenas, sc)
+		default:
+			return r.arenas
+		}
+	}
+	return r.arenas
+}
+
+// work is the body of one spawned worker: drain components on arena w.
+func (r *Runner) work(w int) {
+	defer r.wg.Done()
+	r.drain(r.arenas[w])
+}
+
+// drain claims components largest-first off the shared counter and solves
+// each on sc until none remain.
+func (r *Runner) drain(sc *core.Scratch) {
+	nt := int64(len(r.keys))
+	for {
+		t := r.next.Add(1) - 1
+		if t >= nt {
+			return
+		}
+		r.solveOne(int(uint32(r.keys[nt-1-t])), sc)
+	}
+}
+
+// solveOne runs one component through the algorithm's RunComponent on the
+// worker's arena, recording its error and wall time. Panics — the legacy
+// error channel of registry algorithms — are converted to errors here, on
+// the worker goroutine, so they cannot take the process down.
+func (r *Runner) solveOne(c int, sc *core.Scratch) {
+	defer func() {
+		switch p := recover().(type) {
+		case nil:
+		case error:
+			r.errs[c] = fmt.Errorf("decomp: component %d: %w", c, p)
+		default:
+			r.errs[c] = fmt.Errorf("decomp: component %d: %v", c, p)
+		}
+	}()
+	if err := context.Cause(r.ctx); err != nil {
+		r.errs[c] = err
+		return
+	}
+	t0 := time.Now()
+	lo, hi := r.offsets[c], r.offsets[c+1]
+	r.errs[c] = r.d.RunComponent(r.ctx, r.in, r.suborder[lo:hi], sc, r.localm[lo:hi])
+	r.times[c] = time.Since(t0)
+}
+
+// merge reassembles the per-component machine assignments into one sealed
+// schedule on the caller's arena, replaying placements in the algorithm's
+// global processing order so span accumulation (and hence Cost) reproduces
+// the sequential run bit for bit. Identity merging overlays components on
+// the shared machine range; stacked merging (the exact solver) offsets each
+// component by the machine count of the components before it, in component
+// start order — exactly the sequential solver's machineBase accumulation.
+func (r *Runner) merge(in *core.Instance, d *algo.Decomposer, sc *core.Scratch, ord []int32, ncomp int) *core.Schedule {
+	r.used = grow(r.used, ncomp)
+	for c := 0; c < ncomp; c++ {
+		hi := int32(0)
+		for _, m := range r.localm[r.offsets[c]:r.offsets[c+1]] {
+			if m >= hi {
+				hi = m + 1
+			}
+		}
+		r.used[c] = hi
+	}
+	r.base = grow(r.base, ncomp)
+	machines := int32(0)
+	if d.Stacked {
+		for c := 0; c < ncomp; c++ {
+			r.base[c] = machines
+			machines += r.used[c]
+		}
+	} else {
+		clear(r.base[:ncomp])
+		for c := 0; c < ncomp; c++ {
+			if r.used[c] > machines {
+				machines = r.used[c]
+			}
+		}
+	}
+	copy(r.cursor, r.offsets[:ncomp])
+	asm := core.BeginAssembly(in, sc, int(machines))
+	for _, j := range ord {
+		c := r.labels[j]
+		p := r.cursor[c]
+		r.cursor[c] = p + 1
+		asm.Put(int(j), int(r.localm[p]+r.base[c]))
+	}
+	return asm.Finish()
+}

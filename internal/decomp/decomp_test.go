@@ -1,0 +1,364 @@
+package decomp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"busytime/internal/algo"
+	_ "busytime/internal/algo/baselines"
+	"busytime/internal/algo/exact"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+	_ "busytime/internal/online"
+)
+
+// newPool builds a scratch pool with the given number of spare arenas.
+func newPool(spares int) chan *core.Scratch {
+	pool := make(chan *core.Scratch, spares)
+	for i := 0; i < spares; i++ {
+		pool <- new(core.Scratch)
+	}
+	return pool
+}
+
+// unionFind is the quadratic reference partition: pairwise interval overlap
+// (closed semantics: touching intervals connect) folded through union-find.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// referenceLabels computes the union-find partition of in's interval graph
+// normalized like the sweep: components numbered by earliest start.
+func referenceLabels(in *core.Instance) []int32 {
+	n := in.N()
+	u := newUnionFind(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ia, ib := in.Jobs[a].Iv, in.Jobs[b].Iv
+			if ia.Start <= ib.End && ib.Start <= ia.End {
+				u.union(a, b)
+			}
+		}
+	}
+	labels := make([]int32, n)
+	next := int32(0)
+	id := map[int]int32{}
+	for _, j := range in.StartOrder() {
+		root := u.find(int(j))
+		c, ok := id[root]
+		if !ok {
+			c = next
+			next++
+			id[root] = c
+		}
+		labels[j] = c
+	}
+	return labels
+}
+
+// TestSweepMatchesUnionFind pins the O(n) reach sweep against the quadratic
+// pairwise-overlap union-find across generator families, including instances
+// engineered to have many components.
+func TestSweepMatchesUnionFind(t *testing.T) {
+	r := NewRunner()
+	for seed := int64(0); seed < 6; seed++ {
+		instances := []*core.Instance{
+			generator.General(seed, 80, 3, 60, 18),
+			generator.Clustered(seed, 7, 9, 3, 8, 3),
+			generator.Proper(seed, 50, 2, 40, 9),
+			generator.CloudBurst(seed, 90, 4, 120, 8, 3, 0.5),
+		}
+		for fi, in := range instances {
+			want := referenceLabels(in)
+			ncomp := r.sweep(in)
+			wantComps := 0
+			for _, c := range want {
+				if int(c)+1 > wantComps {
+					wantComps = int(c) + 1
+				}
+			}
+			if ncomp != wantComps {
+				t.Fatalf("seed=%d family=%d: sweep found %d components, union-find %d", seed, fi, ncomp, wantComps)
+			}
+			for j := 0; j < in.N(); j++ {
+				if r.labels[j] != want[j] {
+					t.Fatalf("seed=%d family=%d: job %d in component %d, union-find says %d", seed, fi, j, r.labels[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// FuzzSweepMatchesUnionFind fuzzes the reach sweep against union-find on
+// byte-derived instances, covering touching endpoints, points, duplicates and
+// containment chains that generators rarely emit.
+func FuzzSweepMatchesUnionFind(f *testing.F) {
+	f.Add([]byte{3, 9, 1, 4, 12, 2, 7, 7, 0})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 2, 2})
+	f.Add([]byte{255, 1, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		in := &core.Instance{Name: "fuzz", G: 2}
+		for i := 0; i+1 < len(data) && len(in.Jobs) < 64; i += 2 {
+			start := float64(data[i] % 32)
+			in.Jobs = append(in.Jobs, core.Job{
+				ID:     len(in.Jobs),
+				Iv:     interval.New(start, start+float64(data[i+1]%8)),
+				Demand: 1,
+			})
+		}
+		if len(in.Jobs) == 0 {
+			return
+		}
+		r := NewRunner()
+		want := referenceLabels(in)
+		r.sweep(in)
+		for j := range in.Jobs {
+			if r.labels[j] != want[j] {
+				t.Fatalf("job %d: sweep component %d, union-find %d", j, r.labels[j], want[j])
+			}
+		}
+	})
+}
+
+// TestRunMatchesSequential pins the whole decompose–solve–merge path against
+// the plain sequential run for the greedy identity-merge family, bitwise.
+func TestRunMatchesSequential(t *testing.T) {
+	names := []string{"firstfit", "bestfit", "firstfit-start", "online-firstfit"}
+	pool := newPool(3)
+	r := NewRunner()
+	for seed := int64(0); seed < 4; seed++ {
+		in := generator.Clustered(seed, 6, 20, 3, 10, 4)
+		for _, name := range names {
+			a, ok := algo.Lookup(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			if a.Decompose == nil {
+				t.Fatalf("%s has no Decomposer", name)
+			}
+			seq := a.Run(in)
+			sc := new(core.Scratch)
+			got, st, err := r.Run(context.Background(), in, a.Decompose, sc, pool, 4)
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+			if got == nil {
+				t.Fatalf("%s seed=%d: layer declined on a %d-component instance with spare arenas", name, seed, st.Components)
+			}
+			if st.Components < 2 || st.Workers < 2 {
+				t.Fatalf("%s seed=%d: components=%d workers=%d, want ≥ 2 each", name, seed, st.Components, st.Workers)
+			}
+			assertSame(t, fmt.Sprintf("%s seed=%d", name, seed), seq, got)
+			if err := got.Verify(); err != nil {
+				t.Fatalf("%s seed=%d: merged schedule infeasible: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestStackedMergeMatchesExact pins the stacked merge against the exact
+// solver's own sequential component iteration.
+func TestStackedMergeMatchesExact(t *testing.T) {
+	pool := newPool(2)
+	r := NewRunner()
+	for seed := int64(0); seed < 3; seed++ {
+		in := generator.Clustered(seed, 5, 7, 2, 6, 2)
+		seq, err := exact.Solve(in)
+		if err != nil {
+			t.Fatalf("seed=%d: sequential exact: %v", seed, err)
+		}
+		sc := new(core.Scratch)
+		got, st, runErr := r.Run(context.Background(), in, exact.Decomposer(exact.DefaultMaxJobs), sc, pool, 3)
+		if runErr != nil {
+			t.Fatalf("seed=%d: decomposed exact: %v", seed, runErr)
+		}
+		if got == nil {
+			t.Fatalf("seed=%d: layer declined (components=%d)", seed, st.Components)
+		}
+		assertSame(t, fmt.Sprintf("exact seed=%d", seed), seq, got)
+	}
+}
+
+// TestRunDeclines pins the decline contract: nil schedule, nil error, and a
+// caller that can always fall back to the sequential path.
+func TestRunDeclines(t *testing.T) {
+	r := NewRunner()
+	d := firstfit.Decomposer()
+	ctx := context.Background()
+	multi := generator.Clustered(1, 4, 10, 2, 8, 3)
+
+	if s, _, err := r.Run(ctx, &core.Instance{Name: "empty", G: 2}, d, new(core.Scratch), newPool(2), 4); s != nil || err != nil {
+		t.Fatalf("empty instance: got schedule=%v err=%v, want decline", s, err)
+	}
+	if s, _, err := r.Run(ctx, multi, d, new(core.Scratch), newPool(2), 1); s != nil || err != nil {
+		t.Fatalf("budget 1: got schedule=%v err=%v, want decline", s, err)
+	}
+	single := &core.Instance{Name: "chain", G: 2} // one overlapping chain: one component
+	for i := 0; i < 20; i++ {
+		single.Jobs = append(single.Jobs, core.Job{ID: i, Iv: interval.New(float64(i), float64(i)+1.5), Demand: 1})
+	}
+	if s, st, err := r.Run(ctx, single, d, new(core.Scratch), newPool(2), 4); s != nil || err != nil {
+		t.Fatalf("single component: got schedule=%v err=%v, want decline", s, err)
+	} else if st.Components != 1 {
+		t.Fatalf("single component: sweep reported %d components", st.Components)
+	}
+	if s, st, err := r.Run(ctx, multi, d, new(core.Scratch), newPool(0), 4); s != nil || err != nil {
+		t.Fatalf("empty pool: got schedule=%v err=%v, want decline", s, err)
+	} else if st.Components < 2 {
+		t.Fatalf("empty pool: expected a multi-component instance, sweep saw %d", st.Components)
+	}
+}
+
+// TestRunPoolRestored pins the lease contract: every spare arena goes back to
+// the pool whether the run merges, declines or errors.
+func TestRunPoolRestored(t *testing.T) {
+	pool := newPool(3)
+	r := NewRunner()
+	in := generator.Clustered(3, 5, 12, 3, 9, 4)
+	for i := 0; i < 4; i++ {
+		if _, _, err := r.Run(context.Background(), in, firstfit.Decomposer(), new(core.Scratch), pool, 4); err != nil {
+			t.Fatal(err)
+		}
+		if len(pool) != 3 {
+			t.Fatalf("round %d: pool holds %d arenas, want 3", i, len(pool))
+		}
+	}
+}
+
+// TestErrorSelection pins deterministic error reporting: the lowest
+// (earliest-starting) failing component wins regardless of solve order, and
+// panics inside a component are converted to errors.
+func TestErrorSelection(t *testing.T) {
+	in := generator.Clustered(4, 6, 8, 2, 6, 2)
+	sentinel := errors.New("component rejected")
+	d := &algo.Decomposer{
+		RunComponent: func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+			return sentinel // every component fails; component 0 must win
+		},
+	}
+	r := NewRunner()
+	s, _, err := r.Run(context.Background(), in, d, new(core.Scratch), newPool(2), 3)
+	if s != nil || !errors.Is(err, sentinel) {
+		t.Fatalf("got schedule=%v err=%v, want wrapped sentinel", s, err)
+	}
+
+	dPanic := &algo.Decomposer{
+		RunComponent: func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+			panic("component blew up")
+		},
+	}
+	s, _, err = r.Run(context.Background(), in, dPanic, new(core.Scratch), newPool(2), 3)
+	if s != nil || err == nil {
+		t.Fatalf("got schedule=%v err=%v, want converted panic", s, err)
+	}
+	want := "decomp: component 0: component blew up"
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q (lowest component id)", err, want)
+	}
+}
+
+// TestWarmRunnerArenaSteadyState is the decomposition layer's alloc gate:
+// once the runner and every arena have served the instance shape, repeated
+// decomposed runs perform zero arena setup allocations on the caller's and
+// every leased worker's scratch.
+func TestWarmRunnerArenaSteadyState(t *testing.T) {
+	in := generator.Clustered(5, 6, 25, 3, 10, 4)
+	d, ok := algo.Lookup("bestfit")
+	if !ok || d.Decompose == nil {
+		t.Fatal("bestfit decomposer missing")
+	}
+	pool := newPool(3)
+	sc := new(core.Scratch)
+	r := NewRunner()
+	run := func() {
+		s, st, err := r.Run(context.Background(), in, d.Decompose, sc, pool, 4)
+		if err != nil || s == nil {
+			t.Fatalf("decomposed run failed: schedule=%v err=%v components=%d", s, err, st.Components)
+		}
+	}
+	run() // cold: runner buffers grow
+	// Component→arena pairing is racy under real parallelism, so warming by
+	// repetition alone cannot guarantee a given arena has seen the largest
+	// component. Instead warm every arena on the full instance shape, which
+	// dominates every component's job count and machine count.
+	arenas := []*core.Scratch{sc}
+	for i := 0; i < 3; i++ {
+		a := <-pool
+		arenas = append(arenas, a)
+		pool <- a
+	}
+	order := make([]int32, in.N())
+	localm := make([]int32, in.N())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for _, a := range arenas {
+		if err := d.Decompose.RunComponent(context.Background(), in, order, a, localm); err != nil {
+			t.Fatalf("warming arena: %v", err)
+		}
+	}
+	run() // warm the runner's merge path on the now-sized caller arena
+	before := make([]int, len(arenas))
+	for i, a := range arenas {
+		before[i] = a.Stats().SetupAllocs
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	for i, a := range arenas {
+		if got := a.Stats().SetupAllocs - before[i]; got != 0 {
+			t.Errorf("arena %d performed %d setup allocations across 5 warm decomposed runs; want 0", i, got)
+		}
+	}
+}
+
+// assertSame fails unless the two schedules are byte-identical (machine
+// count, assignment, per-machine slot order, bitwise cost).
+func assertSame(t *testing.T, label string, a, b *core.Schedule) {
+	t.Helper()
+	if a.NumMachines() != b.NumMachines() {
+		t.Fatalf("%s: %d machines vs %d", label, a.NumMachines(), b.NumMachines())
+	}
+	for j := 0; j < a.Instance().N(); j++ {
+		if a.MachineOf(j) != b.MachineOf(j) {
+			t.Fatalf("%s: job %d on machine %d vs %d", label, j, a.MachineOf(j), b.MachineOf(j))
+		}
+	}
+	for m := 0; m < a.NumMachines(); m++ {
+		ja, jb := a.MachineJobs(m), b.MachineJobs(m)
+		if len(ja) != len(jb) {
+			t.Fatalf("%s: machine %d holds %d vs %d jobs", label, m, len(ja), len(jb))
+		}
+		for i := range ja {
+			if ja[i] != jb[i] {
+				t.Fatalf("%s: machine %d slot %d: job %d vs %d", label, m, i, ja[i], jb[i])
+			}
+		}
+	}
+	if a.Cost() != b.Cost() {
+		t.Fatalf("%s: cost %v vs %v", label, a.Cost(), b.Cost())
+	}
+}

@@ -21,8 +21,13 @@ import (
 
 	"busytime/internal/algo"
 	"busytime/internal/core"
+	"busytime/internal/decomp"
 	"busytime/internal/parallel"
 )
+
+// IntraAuto selects automatic intra-instance parallelism: a decomposable
+// run may draw every momentarily idle arena of the pool.
+const IntraAuto = -1
 
 // Options configures a batch run.
 type Options struct {
@@ -49,6 +54,19 @@ type Options struct {
 	// configuration (exact limits, lookahead buffers, segment bounds) and
 	// is guaranteed to agree with single Solve calls.
 	Custom *algo.Algorithm
+	// IntraWorkers caps the intra-instance parallelism of the
+	// component-decomposition layer: a decomposable algorithm (see
+	// algo.Decomposer) solves an instance's connected components on up to
+	// this many workers — the instance's own worker plus spare arenas
+	// leased non-blockingly from the shared pool, so instance-level fan-out
+	// and component-level fan-out draw on one worker budget instead of
+	// multiplying. 0 (the default) disables decomposition; IntraAuto means
+	// the full worker budget. Results never depend on it.
+	IntraWorkers int
+	// Runners optionally supplies the decomposition-layer runner pool so a
+	// caller running many batches keeps the layer's buffers warm across
+	// calls; nil means a run-private pool.
+	Runners chan *decomp.Runner
 }
 
 func (o Options) shardSize() int {
@@ -87,6 +105,14 @@ type Result struct {
 	// keep CSV/JSON output deterministic; Summarize aggregates them.
 	Warm        bool `json:"-"`
 	SetupAllocs int  `json:"-"`
+	// Components is the connected-component count the decomposition layer
+	// observed, and IntraWorkers how many workers solved them; both are 0
+	// when the run never consulted the layer (IntraWorkers off, a
+	// non-decomposable algorithm) and Components alone is set when the
+	// layer declined (single component, no spare arena). Like Warm they
+	// depend on pool pressure, so they are excluded from serialization.
+	Components   int `json:"-"`
+	IntraWorkers int `json:"-"`
 }
 
 // Run schedules every instance with the named algorithm and returns one
@@ -103,7 +129,7 @@ func Run(ctx context.Context, instances []*core.Instance, opt Options) ([]Result
 	if err != nil {
 		return nil, err
 	}
-	out := runShard(ctx, a, instances, 0, opt, opt.pool())
+	out := runShard(ctx, a, instances, 0, opt, opt.pool(), opt.runnerPool())
 	if err := context.Cause(ctx); err != nil {
 		return nil, err
 	}
@@ -125,6 +151,7 @@ func RunStream(ctx context.Context, next func() (*core.Instance, bool), opt Opti
 	// later shards with warm arenas and stream processing stops allocating
 	// schedule state once the largest instance shape has been seen.
 	pool := opt.pool()
+	runners := opt.runnerPool()
 	var out []Result
 	shard := make([]*core.Instance, 0, opt.shardSize())
 	for {
@@ -142,7 +169,7 @@ func RunStream(ctx context.Context, next func() (*core.Instance, bool), opt Opti
 		if len(shard) == 0 {
 			return out, nil
 		}
-		out = append(out, runShard(ctx, a, shard, len(out), opt, pool)...)
+		out = append(out, runShard(ctx, a, shard, len(out), opt, pool, runners)...)
 		if err := context.Cause(ctx); err != nil {
 			return nil, err
 		}
@@ -181,6 +208,28 @@ func (o Options) pool() chan *core.Scratch {
 	return NewScratchPool(o.maxWorkers())
 }
 
+// intra resolves the intra-instance worker budget: IntraAuto means the full
+// fan-out width, anything below 2 disables the decomposition layer.
+func (o Options) intra() int {
+	if o.IntraWorkers < 0 {
+		return o.maxWorkers()
+	}
+	return o.IntraWorkers
+}
+
+// runnerPool resolves the decomposition-runner pool of the run: the
+// caller-supplied one when set, a fresh one-per-worker pool when the run can
+// decompose, nil (never consulted) when decomposition is off.
+func (o Options) runnerPool() chan *decomp.Runner {
+	if o.Runners != nil {
+		return o.Runners
+	}
+	if o.intra() <= 1 {
+		return nil
+	}
+	return decomp.NewRunnerPool(o.maxWorkers())
+}
+
 // NewScratchPool builds an arena pool of the given width (min 1): a buffered
 // channel holding one recyclable core.Scratch per slot. Sharing one pool
 // across runs keeps arenas warm from run to run.
@@ -202,7 +251,7 @@ func NewScratchPool(workers int) chan *core.Scratch {
 // cancelled ctx makes the remaining workers claim-and-skip their indices
 // (zero Results, overwritten by the callers' error return), so the fan-out
 // always drains completely and never leaks a goroutine.
-func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance, base int, opt Options, pool chan *core.Scratch) []Result {
+func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance, base int, opt Options, pool chan *core.Scratch, runners chan *decomp.Runner) []Result {
 	workers := opt.maxWorkers()
 	if workers > len(instances) {
 		workers = len(instances)
@@ -210,13 +259,14 @@ func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance,
 	if workers < 1 {
 		workers = 1
 	}
+	intra := opt.intra()
 	return parallel.Map(len(instances), workers, func(i int) Result {
 		if ctx.Err() != nil {
 			return Result{Index: base + i}
 		}
 		sc := <-pool
 		defer func() { pool <- sc }()
-		return runOne(ctx, a, instances[i], base+i, sc, opt.Verify)
+		return runOne(ctx, a, instances[i], base+i, sc, opt.Verify, intra, pool, runners)
 	})
 }
 
@@ -225,7 +275,14 @@ func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance,
 // algorithms run through their ctx entry point; for the rest ctx is observed
 // by the shard loop only. The scratch's arena counters are snapshotted
 // around the run to report per-run reuse.
-func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool) (res Result) {
+//
+// When the algorithm declares a Decomposer and the intra budget allows it,
+// the instance is first offered to the decomposition layer, which solves its
+// connected components on this worker plus any pool arenas that are idle
+// right now. A declined offer (single component, no spare arena) falls
+// through to the ordinary sequential entry points; either way the schedule
+// is identical, so intra-parallelism is purely a latency knob.
+func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool, intra int, pool chan *core.Scratch, runners chan *decomp.Runner) (res Result) {
 	before := sc.Stats()
 	warm := before.Schedules > 0
 	res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Warm: warm}
@@ -236,18 +293,32 @@ func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int,
 		res.SetupAllocs = sc.Stats().SetupAllocs - before.SetupAllocs
 	}()
 	var s *core.Schedule
-	switch {
-	case a.RunScratchCtx != nil:
-		var err error
-		s, err = a.RunScratchCtx(ctx, in, sc)
-		if err != nil {
-			res.Err = err.Error()
+	if intra > 1 && a.Decompose != nil && runners != nil {
+		r := <-runners
+		ds, stats, derr := r.Run(ctx, in, a.Decompose, sc, pool, intra)
+		runners <- r
+		res.Components = stats.Components
+		res.IntraWorkers = stats.Workers
+		if derr != nil {
+			res.Err = derr.Error()
 			return res
 		}
-	case a.RunScratch != nil:
-		s = a.RunScratch(in, sc)
-	default:
-		s = a.Run(in)
+		s = ds // nil when the layer declined: fall through to the plain path
+	}
+	if s == nil {
+		switch {
+		case a.RunScratchCtx != nil:
+			var err error
+			s, err = a.RunScratchCtx(ctx, in, sc)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+		case a.RunScratch != nil:
+			s = a.RunScratch(in, sc)
+		default:
+			s = a.Run(in)
+		}
 	}
 	if verify {
 		if err := s.Verify(); err != nil {

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"busytime/internal/core"
+	"busytime/internal/generator"
+)
+
+// TestIntraWorkersMatchesPlain is the engine-level determinism contract of
+// the decomposition layer: a batch run with intra-instance parallelism
+// enabled must produce results identical to the plain run — decomposition is
+// a latency knob, never an algorithm change — while actually decomposing the
+// multi-component instances. A single-instance batch with a wide pool
+// guarantees spare arenas, so the layer cannot silently decline.
+func TestIntraWorkersMatchesPlain(t *testing.T) {
+	for _, name := range []string{"firstfit", "bestfit"} {
+		for seed := int64(0); seed < 3; seed++ {
+			in := []*core.Instance{generator.Clustered(seed, 8, 40, 3, 12, 5)}
+			plain, err := Run(context.Background(), in, Options{Algorithm: name, Workers: 4, Verify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			intra, err := Run(context.Background(), in, Options{Algorithm: name, Workers: 4, IntraWorkers: IntraAuto, Verify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, q := plain[0], intra[0]
+			if p.Err != "" || q.Err != "" {
+				t.Fatalf("%s seed=%d: errs %q / %q", name, seed, p.Err, q.Err)
+			}
+			if q.Components < 2 || q.IntraWorkers < 2 {
+				t.Fatalf("%s seed=%d: decomposition did not engage: components=%d intraWorkers=%d",
+					name, seed, q.Components, q.IntraWorkers)
+			}
+			if p.Machines != q.Machines || p.Cost != q.Cost || p.LowerBound != q.LowerBound {
+				t.Fatalf("%s seed=%d: plain (m=%d cost=%v) vs intra (m=%d cost=%v)",
+					name, seed, p.Machines, p.Cost, q.Machines, q.Cost)
+			}
+			if p.Components != 0 || p.IntraWorkers != 0 {
+				t.Fatalf("%s seed=%d: plain run reports decomposition telemetry (components=%d)",
+					name, seed, p.Components)
+			}
+		}
+	}
+}
+
+// TestIntraWorkersInertForUndecomposable pins that enabling the layer for an
+// algorithm without a Decomposer changes nothing.
+func TestIntraWorkersInertForUndecomposable(t *testing.T) {
+	in := []*core.Instance{generator.Clustered(1, 6, 30, 3, 10, 4)}
+	plain, err := Run(context.Background(), in, Options{Algorithm: "nextfit", Workers: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := Run(context.Background(), in, Options{Algorithm: "nextfit", Workers: 4, IntraWorkers: IntraAuto, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := plain[0], intra[0]
+	if p.Err != "" || q.Err != "" || p.Cost != q.Cost || p.Machines != q.Machines {
+		t.Fatalf("nextfit diverged under IntraWorkers: %+v vs %+v", p, q)
+	}
+	if q.Components != 0 {
+		t.Fatalf("nextfit consulted the decomposition layer: components=%d", q.Components)
+	}
+}
+
+// TestIntraStreamMatchesBatch pins the stream path's decomposition routing:
+// RunStream with intra workers equals Run with intra workers.
+func TestIntraStreamMatchesBatch(t *testing.T) {
+	var batch []*core.Instance
+	for seed := int64(0); seed < 6; seed++ {
+		batch = append(batch, generator.Clustered(seed, 5, 25, 3, 10, 4))
+	}
+	opt := Options{Algorithm: "firstfit", Workers: 2, IntraWorkers: 2, ShardSize: 2, Verify: true}
+	fromBatch, err := Run(context.Background(), batch, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	next := func() (*core.Instance, bool) {
+		if i >= len(batch) {
+			return nil, false
+		}
+		in := batch[i]
+		i++
+		return in, true
+	}
+	fromStream, err := RunStream(context.Background(), next, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromStream) != len(fromBatch) {
+		t.Fatalf("stream returned %d results, batch %d", len(fromStream), len(fromBatch))
+	}
+	for k := range fromBatch {
+		if fromBatch[k].Cost != fromStream[k].Cost || fromBatch[k].Machines != fromStream[k].Machines {
+			t.Fatalf("index %d: batch (m=%d cost=%v) vs stream (m=%d cost=%v)", k,
+				fromBatch[k].Machines, fromBatch[k].Cost, fromStream[k].Machines, fromStream[k].Cost)
+		}
+	}
+}

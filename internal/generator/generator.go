@@ -92,6 +92,44 @@ func BoundedLength(seed int64, n, g, segments int, d float64) *core.Instance {
 	return in
 }
 
+// Clustered returns a multi-component instance with a controlled component
+// structure: `clusters` time windows of width clusterLen separated by unit
+// gaps, each holding `per` jobs whose starts are uniform in the window and
+// whose lengths are uniform in (0, maxLen], clipped so no job escapes its
+// window. Every window is one connected component of the interval graph (the
+// windows are gap-separated and each window's jobs share a common core once
+// per ≥ 2 — and even sparse windows can only split into smaller components,
+// never merge across windows), which makes component count and size directly
+// steerable: the knob the decomposition-layer benchmarks need.
+func Clustered(seed int64, clusters, per, g int, clusterLen, maxLen float64) *core.Instance {
+	if clusters < 1 || per < 1 {
+		panic("generator: Clustered requires clusters ≥ 1 and per ≥ 1")
+	}
+	if clusterLen <= 0 || maxLen <= 0 {
+		panic("generator: Clustered requires positive clusterLen and maxLen")
+	}
+	if maxLen > clusterLen {
+		maxLen = clusterLen
+	}
+	r := newRNG(seed)
+	ivs := make([]interval.Interval, 0, clusters*per)
+	for c := 0; c < clusters; c++ {
+		winStart := float64(c) * (clusterLen + 1)
+		winEnd := winStart + clusterLen
+		for k := 0; k < per; k++ {
+			s := winStart + r.Float64()*(clusterLen-maxLen)
+			e := s + r.Float64()*maxLen
+			if e > winEnd {
+				e = winEnd
+			}
+			ivs = append(ivs, interval.New(s, e))
+		}
+	}
+	in := core.NewInstance(g, ivs...)
+	in.Name = fmt.Sprintf("clustered(seed=%d,k=%d,per=%d,g=%d)", seed, clusters, per, g)
+	return in
+}
+
 // WithDemands returns a copy of in with pseudo-random demands in
 // [1, maxDemand] (clamped to g).
 func WithDemands(in *core.Instance, seed int64, maxDemand int) *core.Instance {

@@ -1,51 +1,14 @@
 package generator
 
-import (
-	"math"
-	"math/bits"
-)
+import "busytime/internal/xrand"
 
-// rng is a seedable splitmix64 generator (Steele, Lea & Flood, "Fast
-// splittable pseudorandom number generators", OOPSLA 2014). It replaces
-// math/rand sources in the workload generators: a state step is one add and
-// three xor-shift-multiplies, the value lives on the stack (no allocation,
-// no lock), and the same seed yields the same instance on every platform —
-// the per-instance seed convention of internal/experiments/rand.go. Suite
-// generation stops dominating small-instance batch benchmarks.
-type rng struct{ state uint64 }
+// rng aliases the shared splitmix64 generator (internal/xrand): a state step
+// is one add and three xor-shift-multiplies, the value lives on the stack (no
+// allocation, no lock), and the same seed yields the same instance on every
+// platform — the per-instance seed convention of internal/experiments/rand.go.
+// Suite generation stops dominating small-instance batch benchmarks.
+type rng = xrand.RNG
 
 // newRNG returns a generator for the given seed; distinct seeds (including
 // 0 and negatives) land in distinct, well-mixed sequences.
-func newRNG(seed int64) *rng { return &rng{state: uint64(seed)} }
-
-// next advances the state and returns the next 64 uniformly random bits.
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
-func (r *rng) Float64() float64 {
-	return float64(r.next()>>11) / (1 << 53)
-}
-
-// Intn returns a uniform int in [0, n); it panics if n <= 0. The value is
-// derived by fixed-point scaling (Lemire reduction without the rejection
-// step); the residual bias of at most n/2⁶⁴ is irrelevant for workload
-// synthesis and keeps the generator branch-free and deterministic.
-func (r *rng) Intn(n int) int {
-	if n <= 0 {
-		panic("generator: Intn argument must be positive")
-	}
-	hi, _ := bits.Mul64(r.next(), uint64(n))
-	return int(hi)
-}
-
-// ExpFloat64 returns an exponentially distributed float64 with rate 1 via
-// inversion sampling.
-func (r *rng) ExpFloat64() float64 {
-	return -math.Log(1 - r.Float64())
-}
+func newRNG(seed int64) *rng { return xrand.New(seed) }

@@ -8,7 +8,7 @@ import (
 func TestRNGDeterministicPerSeed(t *testing.T) {
 	a, b := newRNG(42), newRNG(42)
 	for i := 0; i < 1000; i++ {
-		if a.next() != b.next() {
+		if a.Uint64() != b.Uint64() {
 			t.Fatal("same seed diverged")
 		}
 	}
@@ -16,7 +16,7 @@ func TestRNGDeterministicPerSeed(t *testing.T) {
 	same := 0
 	a = newRNG(42)
 	for i := 0; i < 64; i++ {
-		if a.next() == c.next() {
+		if a.Uint64() == c.Uint64() {
 			same++
 		}
 	}

@@ -8,8 +8,9 @@
 package intgraph
 
 import (
+	"cmp"
 	"container/heap"
-	"sort"
+	"slices"
 
 	"busytime/internal/interval"
 )
@@ -28,12 +29,12 @@ func New(ivs interval.Set) *Graph {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := ivs[order[a]], ivs[order[b]]
-		if ia.Start != ib.Start {
-			return ia.Start < ib.Start
+	slices.SortFunc(order, func(a, b int) int {
+		ia, ib := ivs[a], ivs[b]
+		if c := cmp.Compare(ia.Start, ib.Start); c != 0 {
+			return c
 		}
-		return ia.End < ib.End
+		return cmp.Compare(ia.End, ib.End)
 	})
 	// Active vertices kept in a min-heap by end time; a new interval is
 	// adjacent to every active vertex whose end ≥ its start.
@@ -50,7 +51,7 @@ func New(ivs interval.Set) *Graph {
 		heap.Push(active, endVertex{end: iv.End, v: v})
 	}
 	for i := range g.adj {
-		sort.Ints(g.adj[i])
+		slices.Sort(g.adj[i])
 	}
 	return g
 }
@@ -110,8 +111,18 @@ func (g *Graph) Edges() int {
 // ConnectedComponents returns the vertex sets of the connected components,
 // each sorted, ordered by their earliest interval start. For interval graphs
 // components are exactly the maximal groups whose union is contiguous.
-func (g *Graph) ConnectedComponents() [][]int {
-	n := g.N()
+func (g *Graph) ConnectedComponents() [][]int { return Components(g.ivs) }
+
+// Components returns the connected components of the intersection graph of
+// ivs without building the graph: a single reach sweep over the intervals in
+// (start, end) order, O(n log n) for the sort and O(n) after. Each component
+// is its sorted vertex indices; components are ordered by earliest start.
+// With closed semantics touching intervals are connected, so a component
+// break happens exactly where the next start strictly exceeds the running
+// reach — consecutive components are separated by time gaps of positive
+// length.
+func Components(ivs interval.Set) [][]int {
+	n := len(ivs)
 	if n == 0 {
 		return nil
 	}
@@ -119,20 +130,20 @@ func (g *Graph) ConnectedComponents() [][]int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := g.ivs[order[a]], g.ivs[order[b]]
-		if ia.Start != ib.Start {
-			return ia.Start < ib.Start
+	slices.SortFunc(order, func(a, b int) int {
+		ia, ib := ivs[a], ivs[b]
+		if c := cmp.Compare(ia.Start, ib.Start); c != 0 {
+			return c
 		}
-		return ia.End < ib.End
+		return cmp.Compare(ia.End, ib.End)
 	})
 	var comps [][]int
 	var cur []int
-	reach := g.ivs[order[0]].End
+	reach := ivs[order[0]].End
 	for _, v := range order {
-		iv := g.ivs[v]
+		iv := ivs[v]
 		if len(cur) > 0 && iv.Start > reach {
-			sort.Ints(cur)
+			slices.Sort(cur)
 			comps = append(comps, cur)
 			cur = nil
 			reach = iv.End
@@ -142,7 +153,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 			reach = iv.End
 		}
 	}
-	sort.Ints(cur)
+	slices.Sort(cur)
 	return append(comps, cur)
 }
 
@@ -162,11 +173,11 @@ func (g *Graph) MaxClique() (size int, members []int) {
 	for _, iv := range g.ivs {
 		evs = append(evs, ev{iv.Start, +1}, ev{iv.End, -1})
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
-			return evs[i].t < evs[j].t
+	slices.SortFunc(evs, func(a, b ev) int {
+		if c := cmp.Compare(a.t, b.t); c != 0 {
+			return c
 		}
-		return evs[i].delta > evs[j].delta
+		return cmp.Compare(b.delta, a.delta)
 	})
 	depth, best, bestT := 0, 0, 0.0
 	for _, e := range evs {
@@ -209,15 +220,15 @@ func (g *Graph) MinColoring() []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := g.ivs[order[a]], g.ivs[order[b]]
-		if ia.Start != ib.Start {
-			return ia.Start < ib.Start
+	slices.SortFunc(order, func(a, b int) int {
+		ia, ib := g.ivs[a], g.ivs[b]
+		if c := cmp.Compare(ia.Start, ib.Start); c != 0 {
+			return c
 		}
-		if ia.End != ib.End {
-			return ia.End < ib.End
+		if c := cmp.Compare(ia.End, ib.End); c != 0 {
+			return c
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 	active := &endColorHeap{}
 	var free []int // colors released by expired intervals, reused smallest-first
@@ -231,7 +242,7 @@ func (g *Graph) MinColoring() []int {
 		var c int
 		if len(free) > 0 {
 			// Smallest free color keeps the coloring canonical.
-			sort.Ints(free)
+			slices.Sort(free)
 			c, free = free[0], free[1:]
 		} else {
 			c = next

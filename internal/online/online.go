@@ -45,7 +45,27 @@ func init() {
 				}
 				return s
 			},
+			Decompose: decomposer(pol),
 		})
+	}
+}
+
+// decomposer maps a policy to its decomposition contract: the arrival-order
+// replays of the memoryless FirstFit and BestFit rules decompose under the
+// identity merge (arrival order restricted to a component is the component's
+// arrival order, and time-disjoint components never change a placement).
+// NextFit's cursor survives component boundaries, so it does not decompose.
+// Lookahead replays (k > 1) carry a dynamic buffer and never route through
+// the registry's Decompose; the Solver gates them off explicitly.
+func decomposer(p Policy) *algo.Decomposer {
+	startOrder := func(in *core.Instance) []int32 { return in.StartOrder() }
+	switch p.(type) {
+	case FirstFit:
+		return &algo.Decomposer{Order: startOrder, RunComponent: algo.ComponentLowestFit}
+	case BestFit:
+		return &algo.Decomposer{Order: startOrder, RunComponent: algo.ComponentBestFit}
+	default:
+		return nil
 	}
 }
 

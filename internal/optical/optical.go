@@ -16,8 +16,9 @@ package optical
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
+	"slices"
+
+	"busytime/internal/xrand"
 
 	"busytime/internal/core"
 	"busytime/internal/interval"
@@ -198,7 +199,7 @@ func (c *Coloring) Breakdown() []WavelengthLoad {
 	for w := range paths {
 		ws = append(ws, w)
 	}
-	sort.Ints(ws)
+	slices.Sort(ws)
 	out := make([]WavelengthLoad, len(ws))
 	for i, w := range ws {
 		out[i] = WavelengthLoad{Wavelength: w, Lightpaths: paths[w], Regenerators: len(regen[w])}
@@ -209,7 +210,7 @@ func (c *Coloring) Breakdown() []WavelengthLoad {
 // RandomTraffic generates n lightpaths with endpoints uniform over the path,
 // hop counts in [1, maxHops]. Deterministic in seed.
 func RandomTraffic(seed int64, nodes, n, maxHops, g int) *Network {
-	r := rand.New(rand.NewSource(seed))
+	r := xrand.New(seed)
 	if maxHops < 1 {
 		maxHops = 1
 	}

@@ -16,9 +16,11 @@ package optical
 // rings unchanged.
 
 import (
+	"cmp"
 	"fmt"
-	"math/rand"
-	"sort"
+	"slices"
+
+	"busytime/internal/xrand"
 
 	"busytime/internal/interval"
 )
@@ -189,11 +191,14 @@ func (r *RingNetwork) ColorRing(cut int) (*RingColoring, error) {
 		gr.length = gr.pieces.TotalLen()
 		groups = append(groups, gr)
 	}
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].length != groups[j].length {
-			return groups[i].length > groups[j].length
+	slices.SortFunc(groups, func(a, b group) int {
+		if a.length != b.length {
+			if a.length > b.length {
+				return -1
+			}
+			return 1
 		}
-		return groups[i].id < groups[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 
 	type machine struct {
@@ -242,7 +247,7 @@ func (r *RingNetwork) ColorRing(cut int) (*RingColoring, error) {
 // RandomRingTraffic generates n random arcs on a ring with hop counts in
 // [1, maxHops]. Deterministic in seed.
 func RandomRingTraffic(seed int64, nodes, n, maxHops, g int) *RingNetwork {
-	r := rand.New(rand.NewSource(seed))
+	r := xrand.New(seed)
 	if maxHops < 1 {
 		maxHops = 1
 	}

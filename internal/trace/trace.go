@@ -10,11 +10,11 @@
 package trace
 
 import (
+	"busytime/internal/xrand"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"strconv"
 
 	"busytime/internal/core"
@@ -116,7 +116,7 @@ func Poisson(seed int64, g int, rate, horizon, meanLen float64) *core.Instance {
 	if rate <= 0 || horizon <= 0 || meanLen <= 0 {
 		panic("trace: Poisson requires positive rate, horizon and mean length")
 	}
-	r := rand.New(rand.NewSource(seed))
+	r := xrand.New(seed)
 	in := &core.Instance{
 		Name: fmt.Sprintf("poisson(seed=%d,rate=%g)", seed, rate),
 		G:    g,
@@ -144,7 +144,7 @@ func Diurnal(seed int64, g, days int, baseRate, peakRate, meanLen float64) *core
 	if days < 1 || baseRate < 0 || peakRate < baseRate || peakRate <= 0 || meanLen <= 0 {
 		panic("trace: Diurnal requires days ≥ 1, 0 ≤ baseRate ≤ peakRate, peakRate > 0, meanLen > 0")
 	}
-	r := rand.New(rand.NewSource(seed))
+	r := xrand.New(seed)
 	in := &core.Instance{
 		Name: fmt.Sprintf("diurnal(seed=%d,days=%d)", seed, days),
 		G:    g,

@@ -19,6 +19,7 @@ type config struct {
 	algorithm  string
 	verify     bool
 	workers    int
+	intra      int // 0 off (default), -1 auto, n ≥ 1 explicit cap
 	lookahead  int
 	exactLimit int
 	lengthD    float64
@@ -66,6 +67,43 @@ func WithWorkers(n int) Option {
 		}
 		c.workers = n
 	}
+}
+
+// WithIntraWorkers enables intra-instance parallelism: when the session's
+// algorithm declares itself decomposable, each Solve (and each batch worker)
+// splits its instance into the connected components of the interval graph and
+// solves them on up to n workers — its own plus spare arenas borrowed, only
+// while they are idle, from the same WithWorkers pool, so batch fan-out and
+// component fan-out share one core budget instead of multiplying.
+//
+// n = 0 means automatic (the full WithWorkers budget); n = 1 disables the
+// layer (the default); n ≥ 2 caps the per-instance fan-out. The produced
+// schedules are bitwise-identical at every setting — decomposition is a
+// latency knob, not an algorithm change — so the option is silently inert for
+// algorithms that do not decompose (their cursor, coloring or search state
+// spans components). New rejects the combination with WithFreshSchedules:
+// borrowed arenas only exist in arena mode.
+func WithIntraWorkers(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("WithIntraWorkers: %d workers, want ≥ 0", n)
+			return
+		}
+		if n == 0 {
+			c.intra = -1 // auto
+			return
+		}
+		c.intra = n
+	}
+}
+
+// intraWorkers resolves the intra-instance worker budget; ≤ 1 means the
+// decomposition layer is off.
+func (c *config) intraWorkers() int {
+	if c.intra < 0 {
+		return c.maxWorkers()
+	}
+	return c.intra
 }
 
 // WithLookahead sets the semi-online buffer size k for the online-*
@@ -139,6 +177,11 @@ type AlgorithmInfo struct {
 	// checkpoint ctx inside a single run (exact), "run-boundary" for the
 	// fast polynomial algorithms that drivers cancel between runs.
 	Cancellation string
+	// Decomposes reports whether the algorithm participates in the
+	// component-decomposition layer: true means WithIntraWorkers can solve
+	// its time-disjoint components concurrently with a bitwise-identical
+	// result; false means the option leaves the algorithm untouched.
+	Decomposes bool
 }
 
 // Algorithms lists every registered algorithm sorted by name; each entry's
@@ -151,6 +194,7 @@ func Algorithms() []AlgorithmInfo {
 			Name:         a.Name,
 			Description:  a.Description,
 			Cancellation: a.Cancellation.String(),
+			Decomposes:   a.Decompose != nil,
 		}
 	}
 	return out

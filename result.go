@@ -1,6 +1,11 @@
 package busytime
 
-import "busytime/internal/core"
+import (
+	"time"
+
+	"busytime/internal/core"
+	"busytime/internal/decomp"
+)
 
 // ArenaStats reports the scratch-arena traffic of one Solve: whether the
 // call was served by a warm arena (one that had already scheduled an
@@ -11,6 +16,67 @@ import "busytime/internal/core"
 type ArenaStats struct {
 	Warm        bool
 	SetupAllocs int
+}
+
+// ComponentStat describes one connected component of a decomposed solve.
+type ComponentStat struct {
+	// Jobs is the component's job count.
+	Jobs int
+	// Solve is the component's solve wall time; zero when this component was
+	// never solved individually (the layer declined before solving).
+	Solve time.Duration
+}
+
+// DecompStats reports what the component-decomposition layer did during one
+// Solve (see WithIntraWorkers). The zero value means the layer was never
+// consulted — it is off, or the algorithm does not decompose. Components
+// alone set (Workers == 0) means the layer swept the instance but declined —
+// a single component, or no arena was idle — and the ordinary sequential path
+// produced the schedule; by the layer's merge-identity guarantee the schedule
+// is the same either way.
+type DecompStats struct {
+	// Components is the number of connected components of the instance's
+	// interval graph (strictly time-disjoint job groups).
+	Components int
+	// Workers is how many workers solved components concurrently: this
+	// Solve's own arena plus the spare ones borrowed from the pool.
+	Workers int
+	// LargestComponent is the job count of the largest component — the lower
+	// bound on the critical path of the parallel solve.
+	LargestComponent int
+	// SweepTime, SolveTime and MergeTime are the wall times of the three
+	// phases: component labeling, the concurrent per-component solves as a
+	// whole, and the ordered reassembly.
+	SweepTime, SolveTime, MergeTime time.Duration
+	// PerComponent lists the components in start order; caller-owned.
+	PerComponent []ComponentStat
+}
+
+// Decomposed reports whether the schedule was actually produced by the
+// decompose–solve–merge path.
+func (d DecompStats) Decomposed() bool { return d.Workers > 0 }
+
+// newDecompStats copies the layer's runner-owned telemetry into the
+// caller-owned public form.
+func newDecompStats(st decomp.Stats) DecompStats {
+	d := DecompStats{
+		Components:       st.Components,
+		Workers:          st.Workers,
+		LargestComponent: st.Largest,
+		SweepTime:        st.Sweep,
+		SolveTime:        st.Solve,
+		MergeTime:        st.Merge,
+	}
+	if len(st.Sizes) > 0 {
+		d.PerComponent = make([]ComponentStat, len(st.Sizes))
+		for i, sz := range st.Sizes {
+			d.PerComponent[i].Jobs = int(sz)
+			if i < len(st.Times) {
+				d.PerComponent[i].Solve = st.Times[i]
+			}
+		}
+	}
+	return d
 }
 
 // Result is the outcome of one Solve: the schedule plus the metrics every
@@ -34,6 +100,9 @@ type Result struct {
 	Bounds Bounds
 	// Arena reports scratch reuse for this call; zero in fresh mode.
 	Arena ArenaStats
+	// Decomp reports the component-decomposition layer's work for this call;
+	// zero unless the session enables WithIntraWorkers.
+	Decomp DecompStats
 }
 
 // LowerBound returns the strongest lower bound on OPT (the fractional

@@ -8,6 +8,7 @@ import (
 	"busytime/internal/algo/boundedlength"
 	"busytime/internal/algo/exact"
 	"busytime/internal/core"
+	"busytime/internal/decomp"
 	"busytime/internal/engine"
 	"busytime/internal/online"
 
@@ -47,6 +48,11 @@ type Solver struct {
 	alg    algo.Algorithm
 	policy online.Policy // non-nil exactly for the online-* algorithms
 	pool   chan *core.Scratch
+	// decomp is the session's resolved decomposition contract (nil unless
+	// WithIntraWorkers enabled the layer and the algorithm declares one) and
+	// runners the recycled decomposition state, one Runner per worker.
+	decomp  *algo.Decomposer
+	runners chan *decomp.Runner
 }
 
 // New builds a Solver from functional options, validating the configuration
@@ -82,10 +88,36 @@ func New(opts ...Option) (*Solver, error) {
 	if cfg.lengthD != 0 && cfg.algorithm != "boundedlength" {
 		return nil, fmt.Errorf("busytime: WithLengthBound applies to \"boundedlength\", not %q", cfg.algorithm)
 	}
+	// Machine-independent check: auto (-1) or an explicit cap ≥ 2 asked for
+	// the layer, whatever the worker budget resolves to on this host.
+	if (cfg.intra < 0 || cfg.intra > 1) && cfg.fresh {
+		return nil, fmt.Errorf("busytime: WithIntraWorkers needs the recycled arena pool; drop WithFreshSchedules")
+	}
 	if !cfg.fresh {
 		s.pool = engine.NewScratchPool(cfg.maxWorkers())
 	}
+	if cfg.intraWorkers() > 1 {
+		if d := s.decomposer(); d != nil {
+			s.decomp = d
+			s.runners = decomp.NewRunnerPool(cfg.maxWorkers())
+		}
+	}
 	return s, nil
+}
+
+// decomposer resolves the session's decomposition contract: the registered
+// Decomposer for most algorithms, the exact solver's rebuilt with the
+// session's WithExactLimit, and nil for lookahead replays (the shared buffer
+// spans components).
+func (s *Solver) decomposer() *algo.Decomposer {
+	switch {
+	case s.cfg.algorithm == "exact":
+		return exact.Decomposer(s.exactLimit())
+	case s.cfg.lookahead > 1:
+		return nil
+	default:
+		return s.alg.Decompose
+	}
 }
 
 // Algorithm returns the session's registered algorithm name.
@@ -126,14 +158,42 @@ func (s *Solver) Solve(ctx context.Context, in *Instance) (Result, error) {
 	// arena-backed — see Result.Detach for the retention contract.
 	defer s.release(sc)
 	before := sc.Stats()
-	sched, err := s.run(ctx, in, sc)
+	sched, dstats, err := s.solveOn(ctx, in, sc)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.summarize(in, sched, ArenaStats{
+	res, err := s.summarize(in, sched, ArenaStats{
 		Warm:        before.Schedules > 0,
 		SetupAllocs: sc.Stats().SetupAllocs - before.SetupAllocs,
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Decomp = dstats
+	return res, nil
+}
+
+// solveOn schedules one instance on the leased arena, offering it to the
+// decomposition layer first when the session enables one. A declined offer
+// (single component, no spare arena idle) falls through to the ordinary
+// sequential dispatch; the schedule is identical either way.
+func (s *Solver) solveOn(ctx context.Context, in *Instance, sc *core.Scratch) (*core.Schedule, DecompStats, error) {
+	if s.decomp == nil {
+		sched, err := s.run(ctx, in, sc)
+		return sched, DecompStats{}, err
+	}
+	r := <-s.runners
+	sched, st, err := r.Run(ctx, in, s.decomp, sc, s.pool, s.cfg.intraWorkers())
+	dstats := newDecompStats(st) // copies the runner-owned slices before release
+	s.runners <- r
+	if err != nil {
+		return nil, dstats, fmt.Errorf("busytime: %s: %w", s.cfg.algorithm, err)
+	}
+	if sched != nil {
+		return sched, dstats, nil
+	}
+	sched, err = s.run(ctx, in, sc)
+	return sched, dstats, err
 }
 
 // summarize verifies (when configured) and folds one schedule into a Result.
