@@ -48,6 +48,9 @@ type BatchResult struct {
 	// so they are excluded from serialization.
 	Components   int `json:"-"`
 	IntraWorkers int `json:"-"`
+	// Shards is the time-shard count when the decomposition layer took the
+	// opt-in sharding path for this instance (WithTimeSharding), 0 otherwise.
+	Shards int `json:"-"`
 }
 
 // SolveBatch schedules every instance with the session's algorithm, fanned
@@ -108,6 +111,7 @@ func (s *Solver) engineOptions() engine.Options {
 	}
 	if s.decomp != nil {
 		opt.IntraWorkers = s.cfg.intraWorkers()
+		opt.TimeShards = s.cfg.timeShards()
 		opt.Runners = s.runners
 	}
 	return opt
@@ -125,10 +129,23 @@ func convertBatch(results []engine.Result) []BatchResult {
 // runs found their worker's arena warm, and how many backing allocations
 // the arenas performed in total. In steady state (a warm pool re-serving
 // seen instance shapes) SetupAllocs stays flat while WarmRuns tracks Runs.
+//
+// The decomposition fields summarize the intra-instance layer: Components
+// is the total component count the sweeps observed (0 when the layer never
+// ran — see WithIntraWorkers and WithTimeSharding), DecomposedRuns and
+// ShardedRuns count the instances actually solved component-parallel or
+// time-sharded, and MaxIntraWorkers/MaxShards the widest fan-out any single
+// instance achieved.
 type BatchSummary struct {
 	Runs        int
 	WarmRuns    int
 	SetupAllocs int
+
+	Components      int
+	DecomposedRuns  int
+	ShardedRuns     int
+	MaxIntraWorkers int
+	MaxShards       int
 }
 
 // HitRate returns the fraction of runs served by a warm arena, 0 when the
@@ -150,6 +167,19 @@ func SummarizeBatch(results []BatchResult) BatchSummary {
 			b.WarmRuns++
 		}
 		b.SetupAllocs += r.SetupAllocs
+		b.Components += r.Components
+		if r.IntraWorkers > 0 {
+			b.DecomposedRuns++
+		}
+		if r.IntraWorkers > b.MaxIntraWorkers {
+			b.MaxIntraWorkers = r.IntraWorkers
+		}
+		if r.Shards > 0 {
+			b.ShardedRuns++
+		}
+		if r.Shards > b.MaxShards {
+			b.MaxShards = r.Shards
+		}
 	}
 	return b
 }

@@ -319,11 +319,16 @@ func BenchmarkDecompClustered100kIntra2(b *testing.B) { benchDecompClustered(b, 
 func BenchmarkDecompClustered100kIntra4(b *testing.B) { benchDecompClustered(b, 4, 4) }
 
 // The sweep alone: component labeling over the cached start order, the O(n)
-// prefix of every decomposed run.
+// prefix of every decomposed run. The warm-up call before ResetTimer sizes
+// the runner's label buffer, so the steady-state figure is 0 B/op — the
+// recycled-buffer contract of the layer, not an amortized average.
 func BenchmarkDecompSweep100k(b *testing.B) {
 	in := generator.Clustered(7, 16, 6250, 4, 5000, 40)
 	in.CachedValidate()
 	r := decomp.NewRunner()
+	if n := r.SweepCount(in); n != 16 { // warm: grow labels once
+		b.Fatalf("sweep found %d components, want 16", n)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -332,3 +337,53 @@ func BenchmarkDecompSweep100k(b *testing.B) {
 		}
 	}
 }
+
+// The time-sharding ladder: one warm Solver session re-solving a dense
+// single-component instance (100k jobs, no positive-length gap anywhere) —
+// the regime where component decomposition starves and WithTimeSharding is
+// the only parallel path. Seq is the plain sequential solve; the Shard
+// variants opt in with k shards on k workers. Sharded results are feasible
+// but not bitwise-identical (see WithTimeSharding), so the bench checks
+// machine count only; TestShardedSolveValidAndBounded pins validity and the
+// cost envelope. BENCH_7.json records measured numbers with the host core
+// count — on a single-core host the ladder shows the sharding overhead
+// (cut selection + reconcile + merge), not a speedup.
+func benchShardDense(b *testing.B, workers, shards int) {
+	in := generator.General(7, 100000, 4, 10000, 30)
+	opts := []busytime.Option{busytime.WithWorkers(workers)}
+	if shards != 1 {
+		opts = append(opts, busytime.WithTimeSharding(shards))
+	}
+	s, err := busytime.New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm every arena: shard↔arena pairing rotates through the pool between
+	// Solves, so each arena must see both the largest shard and the merged
+	// whole before steady state is reached.
+	for w := 0; w < 2*workers+2; w++ {
+		res, err := s.Solve(ctx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if shards > 1 && res.Decomp.Shards < 2 {
+			b.Fatalf("sharding did not engage: %+v", res.Decomp)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(ctx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Machines == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkShardDense100kSeq(b *testing.B)    { benchShardDense(b, 1, 1) }
+func BenchmarkShardDense100kShard2(b *testing.B) { benchShardDense(b, 2, 2) }
+func BenchmarkShardDense100kShard4(b *testing.B) { benchShardDense(b, 4, 4) }

@@ -104,7 +104,42 @@ type Decomposer struct {
 	// true stacks components onto disjoint machine ranges in component
 	// order (the exact solver, which opens fresh machines per component).
 	Stacked bool
+	// Stitch declares that RunComponent materializes its result as the live
+	// schedule on the arena it was handed — one kernel placement per order
+	// entry, in order (the ComponentLowestFit/ComponentBestFit family). The
+	// decomposition layer then merges by adopting each component's machine
+	// records and span pieces wholesale (core.Assembly.Graft/PutDelta)
+	// instead of replaying every placement's span merge, still bitwise
+	// identical to sequential. Decomposers that compute assignments out of
+	// band (the exact search builds a sub-instance) leave it false and get
+	// the ordinary Put replay.
+	Stitch bool
+	// Shard, when not ShardNone, additionally declares the algorithm safe
+	// for opt-in time-axis sharding: the dominant (or only) component's time
+	// axis is cut at low-crossing boundaries, the shards run through
+	// RunComponent independently (its contract never assumed connectivity),
+	// and the named rule places the withheld crossing jobs into the live
+	// shard schedules during the sequential reconciliation pass. Sharded
+	// results are valid but not bitwise-identical to sequential, so the
+	// layer only takes this path when the caller opted in. Requires Stitch.
+	Shard ShardRule
 }
+
+// ShardRule names the reconciliation rule of the time-sharding layer: how
+// withheld crossing jobs are placed into the merged shard schedules.
+type ShardRule int
+
+const (
+	// ShardNone marks an algorithm that does not support time-axis sharding.
+	ShardNone ShardRule = iota
+	// ShardLowestFit reconciles crossing jobs onto the lowest machine that
+	// fits, scanning shards in time order (the FirstFit family's rule).
+	ShardLowestFit
+	// ShardBestFit reconciles crossing jobs onto the feasible machine with
+	// the smallest busy-time increase across all shards, ties to the
+	// earliest shard and lowest machine (the BestFit family's rule).
+	ShardBestFit
+)
 
 // ComponentLowestFit is the shared RunComponent of the LowestFit-driven
 // family (firstfit, firstfit-scan, firstfit-start, randomfit,

@@ -35,6 +35,8 @@ func init() {
 		Decompose: &algo.Decomposer{
 			Order:        func(in *core.Instance) []int32 { return in.StartOrder() },
 			RunComponent: algo.ComponentLowestFit,
+			Stitch:       true,
+			Shard:        algo.ShardLowestFit,
 		},
 	})
 	// NextFit carries cross-component state — its single-open-machine cursor
@@ -83,6 +85,8 @@ func init() {
 			// permutation is derived per run either way).
 			Order:        func(in *core.Instance) []int32 { return randomOrder32(in, 1) },
 			RunComponent: algo.ComponentLowestFit,
+			Stitch:       true,
+			Shard:        algo.ShardLowestFit,
 		},
 	})
 }
@@ -97,6 +101,8 @@ func bestFitDecomposer() *algo.Decomposer {
 	return &algo.Decomposer{
 		Order:        func(in *core.Instance) []int32 { return in.LengthOrder() },
 		RunComponent: algo.ComponentBestFit,
+		Stitch:       true,
+		Shard:        algo.ShardBestFit,
 	}
 }
 

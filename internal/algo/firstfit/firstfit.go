@@ -49,6 +49,8 @@ func Decomposer() *algo.Decomposer {
 	return &algo.Decomposer{
 		Order:        func(in *core.Instance) []int32 { return in.LengthOrder() },
 		RunComponent: algo.ComponentLowestFit,
+		Stitch:       true,
+		Shard:        algo.ShardLowestFit,
 	}
 }
 

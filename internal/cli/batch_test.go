@@ -64,6 +64,32 @@ func TestBatchFromFilesJSON(t *testing.T) {
 	}
 }
 
+// TestBatchDecompSummary pins the decomposition stderr line: a batch run
+// with -intra and -shards reports components, component-parallel runs and
+// time-sharded runs, while the CSV stream on stdout stays untouched. The
+// clustered "waves" suite decomposes; whether any instance also shards
+// depends on pool pressure, so only the component side is asserted.
+func TestBatchDecompSummary(t *testing.T) {
+	code, out, errOut := run("batch",
+		"-algo", "firstfit", "-kind", "waves", "-count", "4", "-n", "400", "-seed", "3",
+		"-workers", "4", "-intra", "0", "-shards", "0")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "decomposition: ") ||
+		!strings.Contains(errOut, "intra-workers") || !strings.Contains(errOut, "shards") {
+		t.Errorf("stderr missing decomposition summary:\n%s", errOut)
+	}
+	if strings.Contains(out, "decomposition") {
+		t.Errorf("decomposition telemetry leaked into the output stream:\n%s", out)
+	}
+	// Without the layer the line must stay absent.
+	_, _, plain := run("batch", "-algo", "firstfit", "-kind", "waves", "-count", "4", "-n", "400", "-seed", "3")
+	if strings.Contains(plain, "decomposition") {
+		t.Errorf("plain batch printed decomposition telemetry:\n%s", plain)
+	}
+}
+
 func TestBatchBadFormatAndKind(t *testing.T) {
 	if code, _, errOut := run("batch", "-format", "xml"); code != 1 || !strings.Contains(errOut, "unknown format") {
 		t.Errorf("format: code=%d err=%q", code, errOut)

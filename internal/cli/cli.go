@@ -384,6 +384,8 @@ func (c *CLI) cmdBatch(ctx context.Context, args []string) error {
 	fs := newFlagSet(c, "batch")
 	name := fs.String("algo", "firstfit", "algorithm name (see busysched help)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	intra := fs.Int("intra", 1, "intra-instance workers: split each instance's components across this many workers (0 = all cores, 1 = off)")
+	shards := fs.Int("shards", 1, "time shards: cut dominant components across the time axis (0 = all cores, 1 = off; results may differ — see WithTimeSharding)")
 	format := fs.String("format", "csv", "output format: csv or json")
 	out := fs.String("out", "", "output file (default stdout)")
 	verify := fs.Bool("verify", false, "re-verify every schedule's feasibility")
@@ -400,8 +402,14 @@ func (c *CLI) cmdBatch(ctx context.Context, args []string) error {
 	if *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want csv or json)", *format)
 	}
-	solver, err := newSolver(*name,
-		busytime.WithWorkers(*workers), busytime.WithVerify(*verify))
+	opts := []busytime.Option{busytime.WithWorkers(*workers), busytime.WithVerify(*verify)}
+	if *intra != 1 {
+		opts = append(opts, busytime.WithIntraWorkers(*intra))
+	}
+	if *shards != 1 {
+		opts = append(opts, busytime.WithTimeSharding(*shards))
+	}
+	solver, err := newSolver(*name, opts...)
 	if err != nil {
 		return err
 	}
@@ -447,9 +455,16 @@ func (c *CLI) cmdBatch(ctx context.Context, args []string) error {
 	// deterministic across worker counts. Algorithms without a scratch path
 	// never advance the counters; stay quiet rather than report a
 	// meaningless 0% hit rate.
-	if pool := busytime.SummarizeBatch(results); pool.WarmRuns > 0 || pool.SetupAllocs > 0 {
+	pool := busytime.SummarizeBatch(results)
+	if pool.WarmRuns > 0 || pool.SetupAllocs > 0 {
 		fmt.Fprintf(c.Err, "arena pool: %d/%d warm runs (%.0f%% hit rate), %d setup allocations\n",
 			pool.WarmRuns, pool.Runs, 100*pool.HitRate(), pool.SetupAllocs)
+	}
+	// Decomposition telemetry follows the same convention: only printed when
+	// the layer actually swept instances, so plain batches stay quiet.
+	if pool.Components > 0 {
+		fmt.Fprintf(c.Err, "decomposition: %d components across %d runs, %d solved component-parallel (max %d intra-workers), %d time-sharded (max %d shards)\n",
+			pool.Components, pool.Runs, pool.DecomposedRuns, pool.MaxIntraWorkers, pool.ShardedRuns, pool.MaxShards)
 	}
 
 	w := io.Writer(c.Out)

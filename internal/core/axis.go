@@ -66,6 +66,13 @@ func (ia *instanceAxis) shardEnd(k int) float64 {
 	return ia.ax.Boundary(b)
 }
 
+// TimeAxis returns the instance's cached compressed time axis (built on
+// first use). The returned value shares its backing arrays with the cache
+// and must be treated as read-only; a degenerate workload (no or point-only
+// hull) yields an axis with NB() == 0. The time-sharding layer scans its
+// boundaries to pick low-crossing cut points in O(n + buckets).
+func (in *Instance) TimeAxis() interval.Axis { return in.timeAxis().ax }
+
 // timeAxis returns the instance's cached axis, building it on first use.
 // The boundaries depend only on the multiset of job endpoints, but the
 // jobLo/jobHi caches are keyed by job position, so the reordering methods

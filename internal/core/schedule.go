@@ -51,6 +51,13 @@ type Schedule struct {
 	// read paths (Cost, Verify, Summary, Assignment, …) remain valid —
 	// Verify in particular re-derives loads independently of the oracles.
 	sealed bool
+	// spanLog, when armed via Scratch.ArmSpanLog, records every placement's
+	// span-union delta in placement order. The decomposition layer's stitch
+	// merge replays these deltas in the global processing order so the merged
+	// schedule's busy-time accumulation reproduces the sequential run bit for
+	// bit without re-running any span merge. logSpans gates the hot path.
+	spanLog  []float64
+	logSpans bool
 }
 
 // hotspot is a saturation hint: the machine's load at time at is known to be
@@ -523,6 +530,71 @@ func (s *Schedule) FirstFitAssign(j int) int {
 	return s.AssignNew(j)
 }
 
+// FirstFitProbe returns the machine FirstFitAssign would choose among the
+// already-open machines — the lowest-indexed one that fits — or Unassigned
+// when none fits, without placing the job or opening a machine. It reuses the
+// machine-selection index prunings (trivial-fit bound, saturation bitmap), so
+// the probe is as sublinear as the placement path; the reconciliation pass of
+// the time-sharding layer drives it against live shard schedules.
+func (s *Schedule) FirstFitProbe(j int) int {
+	ix := s.index
+	if ix == nil {
+		for m := range s.machines {
+			if s.CanAssign(j, m) {
+				return m
+			}
+		}
+		return Unassigned
+	}
+	job := s.inst.Jobs[j]
+	lo, hi := s.jobBuckets(j)
+	g := s.inst.G
+	stop := len(s.machines)
+	trivial := -1
+	if job.Demand <= g {
+		if t := ix.firstTrivial(job.Iv, int32(g-job.Demand)); t >= 0 {
+			trivial, stop = t, t
+		}
+	}
+	if stop > 0 {
+		bl := ix.blockedMask(lo, hi)
+		for wi := 0; wi*64 < stop && wi < len(bl); wi++ {
+			free := ^bl[wi]
+			for free != 0 {
+				m := wi*64 + bits.TrailingZeros64(free)
+				if m >= stop {
+					break
+				}
+				if s.CanAssign(j, m) {
+					return m
+				}
+				free &= free - 1
+			}
+		}
+		for m := 64 * len(bl); m < stop; m++ {
+			if s.CanAssign(j, m) {
+				return m
+			}
+		}
+	}
+	return trivial
+}
+
+// SpanLog returns the per-placement span deltas recorded since the schedule
+// was created with an armed log (Scratch.ArmSpanLog); nil when no log was
+// armed. Entry i is the busy-time contribution of the i-th placement, in
+// placement order — the values insert folded into Cost.
+func (s *Schedule) SpanLog() []float64 { return s.spanLog }
+
+// AppendMachineSpans appends machine m's busy-span pieces (the disjoint,
+// ascending union of its job intervals) to dst and returns the extended
+// slice. It is the capture half of the decomposition layer's stitch merge:
+// the pieces are copied out of the live per-machine span union so a sealed
+// assembly can adopt them wholesale instead of re-merging every job.
+func (s *Schedule) AppendMachineSpans(m int, dst interval.Set) interval.Set {
+	return s.machines[m].spans.AppendTo(dst)
+}
+
 // insert performs the bookkeeping of placing job index j on machine state st
 // (machine index m): capacity-oracle copies, assignment map, and the hint
 // update. used must be at least the machine's maximum load within the job's
@@ -561,7 +633,11 @@ func (s *Schedule) insert(st *machineState, j, m, used, lo, hi int) {
 			st.hot[i].depth += job.Demand
 		}
 	}
-	s.totalBusy += st.spans.Add(job.Iv)
+	d := st.spans.Add(job.Iv)
+	s.totalBusy += d
+	if s.logSpans {
+		s.spanLog = append(s.spanLog, d)
+	}
 	if s.index != nil {
 		s.index.update(m, st.hull, st.peak)
 		if len(st.floor) > 0 && lo <= hi {

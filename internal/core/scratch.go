@@ -28,6 +28,11 @@ type Scratch struct {
 	// index and pool keep their own counters. See Stats.
 	allocs    int
 	schedules int
+	// pendingLog is a one-shot span-delta log armed by ArmSpanLog: the next
+	// NewSchedule attaches it and clears the arming, so exactly one run's
+	// placements land in the caller-provided buffer.
+	pendingLog []float64
+	armed      bool
 }
 
 // ScratchStats summarizes the arena traffic of a Scratch.
@@ -78,6 +83,33 @@ func (sc *Scratch) NewSchedule(inst *Instance) *Schedule {
 		assign[i] = Unassigned
 	}
 	*s = Schedule{inst: inst, assign: assign, machines: machines, scratch: sc, cursor: Unassigned}
+	if sc.armed {
+		s.spanLog, s.logSpans = sc.pendingLog, true
+		sc.pendingLog, sc.armed = nil, false
+	}
 	sc.schedules++
 	return s
+}
+
+// ArmSpanLog arms a one-shot span-delta log: the next schedule drawn from
+// this scratch records every placement's span-union delta by appending to
+// buf (normally length 0 with capacity for the expected placement count, so
+// a well-behaved run stays inside the caller's backing array). Read the
+// result back with Schedule.SpanLog. The decomposition layer arms a
+// per-component segment before each component solve, giving the stitch merge
+// the exact floating-point deltas to replay in global order.
+func (sc *Scratch) ArmSpanLog(buf []float64) {
+	sc.pendingLog, sc.armed = buf, true
+}
+
+// LiveSchedule returns the schedule most recently drawn from this scratch
+// (nil before the first NewSchedule). Per the arena contract at most one
+// schedule per Scratch is live; this accessor lets a coordinator capture
+// worker results — span pieces, machine counts, the span log — after worker
+// goroutines finish without threading the pointer through their results.
+func (sc *Scratch) LiveSchedule() *Schedule {
+	if sc.schedules == 0 {
+		return nil
+	}
+	return &sc.sched
 }

@@ -90,7 +90,7 @@ func TestSweepMatchesUnionFind(t *testing.T) {
 		}
 		for fi, in := range instances {
 			want := referenceLabels(in)
-			ncomp := r.sweep(in)
+			ncomp, _ := r.sweep(in)
 			wantComps := 0
 			for _, c := range want {
 				if int(c)+1 > wantComps {
@@ -332,6 +332,13 @@ func TestWarmRunnerArenaSteadyState(t *testing.T) {
 		if got := a.Stats().SetupAllocs - before[i]; got != 0 {
 			t.Errorf("arena %d performed %d setup allocations across 5 warm decomposed runs; want 0", i, got)
 		}
+	}
+	// The Go-heap side of the same gate: with resident workers and recycled
+	// stitch buffers a warm decomposed run performs (almost) no allocations
+	// at all — the budget of 2 tolerates runtime jitter (stack growth,
+	// timer churn), not a regression back to per-run spawning.
+	if got := testing.AllocsPerRun(20, run); got > 2 {
+		t.Errorf("warm decomposed run allocates %v objects/op; want ≤ 2", got)
 	}
 }
 

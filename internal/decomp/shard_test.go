@@ -1,0 +1,331 @@
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"busytime/internal/algo"
+	"busytime/internal/algo/exact"
+	"busytime/internal/algo/firstfit"
+	"busytime/internal/core"
+	"busytime/internal/generator"
+	"busytime/internal/interval"
+)
+
+// shardCostBound is the documented empirical ceiling on sharded cost versus
+// the sequential run of the same algorithm: cuts are picked at low-crossing
+// boundaries and crossing jobs are re-placed by the algorithm's own rule, so
+// on every generator family tested the overhead stays in the low single-digit
+// percent; 1.25 leaves generous slack without letting a broken merge pass.
+const shardCostBound = 1.25
+
+// denseInstance is the sharding regime: one giant connected component that
+// starves component decomposition. General at this density (n jobs over a
+// horizon of n/10 units) has no positive-length gap anywhere.
+func denseInstance(seed int64) *core.Instance {
+	return generator.General(seed, 2000, 3, 200, 10)
+}
+
+// TestShardedSolveValidAndBounded is the differential gate of the sharding
+// path: across algorithms (both reconcile rules), seeds and generator
+// families, a sharded solve must engage, produce a Verify-clean schedule, and
+// stay within shardCostBound of the sequential cost.
+func TestShardedSolveValidAndBounded(t *testing.T) {
+	names := []string{"firstfit", "bestfit", "firstfit-start", "online-firstfit"}
+	pool := newPool(3)
+	r := NewRunner()
+	for seed := int64(0); seed < 4; seed++ {
+		instances := []*core.Instance{
+			denseInstance(seed),
+			generator.CloudBurst(seed, 3000, 4, 400, 8, 5, 0.4),
+			generator.Clustered(seed, 1, 1500, 3, 150, 6),
+		}
+		for fi, in := range instances {
+			for _, name := range names {
+				a, ok := algo.Lookup(name)
+				if !ok {
+					t.Fatalf("%s not registered", name)
+				}
+				d := a.Decompose
+				if d == nil || d.Shard == algo.ShardNone {
+					t.Fatalf("%s declares no shard rule", name)
+				}
+				label := fmt.Sprintf("%s seed=%d family=%d", name, seed, fi)
+				seq := a.Run(in)
+				sc := new(core.Scratch)
+				got, st, err := r.Solve(context.Background(), in, d, sc, pool, 1, 4)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if got == nil || st.Shards < 2 {
+					t.Fatalf("%s: sharding did not engage (schedule=%v shards=%d components=%d largest=%d)",
+						label, got, st.Shards, st.Components, st.Largest)
+				}
+				if err := got.Verify(); err != nil {
+					t.Fatalf("%s: sharded schedule infeasible: %v", label, err)
+				}
+				if got.Cost() > seq.Cost()*shardCostBound {
+					t.Fatalf("%s: sharded cost %v exceeds sequential %v × %v",
+						label, got.Cost(), seq.Cost(), shardCostBound)
+				}
+				if st.Workers != st.Shards {
+					t.Fatalf("%s: workers=%d, want one per shard (%d)", label, st.Workers, st.Shards)
+				}
+				total := st.Crossing
+				for _, sz := range st.Sizes {
+					total += int(sz)
+				}
+				if total != in.N() {
+					t.Fatalf("%s: shard sizes %v + crossing %d cover %d jobs, want %d",
+						label, st.Sizes, st.Crossing, total, in.N())
+				}
+				if st.Crossing*4 > in.N() {
+					t.Fatalf("%s: crossing=%d exceeds the n/4 gate (n=%d)", label, st.Crossing, in.N())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedOffIsUnsharded pins shards ≤ 1 to the exact unsharded behavior:
+// on a single-component instance the layer declines (nil, nil), identically
+// to Run.
+func TestShardedOffIsUnsharded(t *testing.T) {
+	in := denseInstance(1)
+	d := firstfit.Decomposer()
+	r := NewRunner()
+	pool := newPool(3)
+	for _, shards := range []int{0, 1} {
+		got, st, err := r.Solve(context.Background(), in, d, new(core.Scratch), pool, 4, shards)
+		if got != nil || err != nil {
+			t.Fatalf("shards=%d: got schedule=%v err=%v, want decline (single component, sharding off)", shards, got, err)
+		}
+		if st.Shards != 0 {
+			t.Fatalf("shards=%d: stats report %d shards on the unsharded path", shards, st.Shards)
+		}
+		if st.Components != 1 {
+			t.Fatalf("shards=%d: dense instance swept into %d components, want 1", shards, st.Components)
+		}
+	}
+}
+
+// TestShardedDeclines pins every fall-back edge of the sharding gate: the
+// layer must return (nil, nil) — or take the component path — rather than
+// shard when sharding cannot pay or is not declared.
+func TestShardedDeclines(t *testing.T) {
+	ctx := context.Background()
+	r := NewRunner()
+	ff := firstfit.Decomposer()
+
+	// Too few jobs: n/minShardJobs < 2 caps the shard count below 2.
+	tiny := &core.Instance{Name: "tiny-chain", G: 2}
+	for i := 0; i < 2*minShardJobs-2; i++ {
+		tiny.Jobs = append(tiny.Jobs, core.Job{ID: i, Iv: interval.New(float64(i), float64(i)+1.5), Demand: 1})
+	}
+	if s, st, err := r.Solve(ctx, tiny, ff, new(core.Scratch), newPool(3), 1, 4); s != nil || err != nil || st.Shards != 0 {
+		t.Fatalf("tiny: got schedule=%v err=%v shards=%d, want decline", s, err, st.Shards)
+	}
+
+	// Stacked decomposers (the exact solver) never shard: their component
+	// runs compute assignments off-arena, so there is no live schedule to
+	// reconcile against.
+	if s, st, err := r.Solve(ctx, tiny, exact.Decomposer(exact.DefaultMaxJobs), new(core.Scratch), newPool(3), 1, 4); s != nil || err != nil || st.Shards != 0 {
+		t.Fatalf("stacked: got schedule=%v err=%v shards=%d, want decline", s, err, st.Shards)
+	}
+
+	// No declared shard rule: the gate requires Decomposer.Shard.
+	noRule := *ff
+	noRule.Shard = algo.ShardNone
+	if s, st, err := r.Solve(ctx, denseInstance(2), &noRule, new(core.Scratch), newPool(3), 1, 4); s != nil || err != nil || st.Shards != 0 {
+		t.Fatalf("no rule: got schedule=%v err=%v shards=%d, want decline", s, err, st.Shards)
+	}
+
+	// Crossing-heavy: a laminar nest of intervals sharing one core — every
+	// candidate cut is crossed by most of the instance, so crossing·4 > n
+	// rejects the split.
+	nest := &core.Instance{Name: "nest", G: 2}
+	for i := 0; i < 100; i++ {
+		nest.Jobs = append(nest.Jobs, core.Job{ID: i, Iv: interval.New(0.5*float64(i), 100-0.5*float64(i)), Demand: 1})
+	}
+	if s, st, err := r.Solve(ctx, nest, ff, new(core.Scratch), newPool(3), 1, 4); s != nil || err != nil || st.Shards != 0 {
+		t.Fatalf("crossing-heavy: got schedule=%v err=%v shards=%d, want decline", s, err, st.Shards)
+	}
+
+	// Empty pool: no leased arena, no shard workers.
+	if s, st, err := r.Solve(ctx, denseInstance(2), ff, new(core.Scratch), newPool(0), 1, 4); s != nil || err != nil || st.Shards != 0 {
+		t.Fatalf("empty pool: got schedule=%v err=%v shards=%d, want decline", s, err, st.Shards)
+	}
+
+	// Multi-component instance without a dominant component: sharding defers
+	// to component parallelism (which here is off via budget 1).
+	multi := generator.Clustered(2, 6, 100, 3, 10, 4)
+	if s, st, err := r.Solve(ctx, multi, ff, new(core.Scratch), newPool(3), 1, 4); s != nil || err != nil || st.Shards != 0 {
+		t.Fatalf("multi-component: got schedule=%v err=%v shards=%d, want decline (components=%d)", s, err, st.Shards, st.Components)
+	}
+}
+
+// TestShardedPoolRestored pins the lease contract on the sharding path: every
+// spare arena returns to the pool whether the run shards, declines or errors.
+func TestShardedPoolRestored(t *testing.T) {
+	pool := newPool(3)
+	r := NewRunner()
+	ctx := context.Background()
+	in := denseInstance(3)
+	for i := 0; i < 3; i++ {
+		s, st, err := r.Solve(ctx, in, firstfit.Decomposer(), new(core.Scratch), pool, 1, 4)
+		if err != nil || s == nil || st.Shards < 2 {
+			t.Fatalf("round %d: sharded run failed: schedule=%v err=%v shards=%d", i, s, err, st.Shards)
+		}
+		if len(pool) != 3 {
+			t.Fatalf("round %d: pool holds %d arenas after success, want 3", i, len(pool))
+		}
+	}
+	boom := &algo.Decomposer{
+		RunComponent: func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+			panic("shard blew up")
+		},
+		Stitch: true,
+		Shard:  algo.ShardLowestFit,
+	}
+	if s, _, err := r.Solve(ctx, in, boom, new(core.Scratch), pool, 1, 4); s != nil || err == nil {
+		t.Fatalf("got schedule=%v err=%v, want converted shard panic", s, err)
+	}
+	if len(pool) != 3 {
+		t.Fatalf("pool holds %d arenas after shard error, want 3", len(pool))
+	}
+}
+
+// TestShardedErrorSelection pins deterministic error reporting on the shard
+// path: the lowest (earliest) failing shard wins, panics become errors, and
+// the message names the shard.
+func TestShardedErrorSelection(t *testing.T) {
+	boom := &algo.Decomposer{
+		RunComponent: func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+			panic("shard blew up")
+		},
+		Stitch: true,
+		Shard:  algo.ShardLowestFit,
+	}
+	r := NewRunner()
+	s, st, err := r.Solve(context.Background(), denseInstance(4), boom, new(core.Scratch), newPool(3), 1, 4)
+	if s != nil || err == nil {
+		t.Fatalf("got schedule=%v err=%v, want converted panic", s, err)
+	}
+	if st.Shards < 2 {
+		t.Fatalf("sharding did not engage (shards=%d)", st.Shards)
+	}
+	want := "decomp: shard 0: shard blew up"
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q (lowest shard id)", err, want)
+	}
+}
+
+// TestStitchMatchesPutReplay pins the stitch merge directly against the
+// original Put-replay merge on the same decomposed runs: adopting span pieces
+// wholesale and replaying only the recorded scalar deltas must reproduce the
+// full re-merge bit for bit.
+func TestStitchMatchesPutReplay(t *testing.T) {
+	pool := newPool(3)
+	r := NewRunner()
+	for seed := int64(0); seed < 4; seed++ {
+		in := generator.Clustered(seed, 6, 20, 3, 10, 4)
+		stitch := firstfit.Decomposer()
+		replay := *stitch
+		replay.Stitch = false
+		sc := new(core.Scratch)
+		a, _, err := r.Run(context.Background(), in, stitch, sc, pool, 4)
+		if err != nil || a == nil {
+			t.Fatalf("seed=%d: stitch run: schedule=%v err=%v", seed, a, err)
+		}
+		// The stitch schedule lives on sc; extract before the replay run
+		// recycles anything by assembling on a second arena.
+		b, _, err := r.Run(context.Background(), in, &replay, new(core.Scratch), pool, 4)
+		if err != nil || b == nil {
+			t.Fatalf("seed=%d: replay run: schedule=%v err=%v", seed, b, err)
+		}
+		assertSame(t, fmt.Sprintf("stitch vs replay seed=%d", seed), a, b)
+	}
+}
+
+// TestStitchContractViolation pins the guard on the stitch contract: a
+// Decomposer that declares Stitch but whose RunComponent does not record one
+// span delta per placement must fail loudly, not merge garbage.
+func TestStitchContractViolation(t *testing.T) {
+	lying := &algo.Decomposer{
+		RunComponent: func(ctx context.Context, in *core.Instance, order []int32, sc *core.Scratch, out []int32) error {
+			_ = sc.NewSchedule(in) // picks up the armed log, then places nothing
+			for i := range order {
+				out[i] = 0 // fabricate assignments without kernel placements
+			}
+			return nil
+		},
+		Stitch: true,
+	}
+	in := generator.Clustered(5, 3, 10, 2, 8, 3)
+	r := NewRunner()
+	s, _, err := r.Run(context.Background(), in, lying, new(core.Scratch), newPool(2), 3)
+	if s != nil || err == nil {
+		t.Fatalf("got schedule=%v err=%v, want stitch-contract error", s, err)
+	}
+	if !strings.Contains(err.Error(), "span log") {
+		t.Fatalf("error %q does not name the span-log contract", err)
+	}
+}
+
+// FuzzShardedSolve fuzzes the sharding path on byte-derived instances:
+// whenever the layer shards, the schedule must be feasible; whenever it does
+// not (under budget 1), it must decline to nil exactly like the unsharded
+// path.
+func FuzzShardedSolve(f *testing.F) {
+	f.Add([]byte{3, 9, 1, 4, 12, 2, 7, 7, 0})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 2, 2})
+	f.Add([]byte{255, 1, 128, 64, 32, 16, 8, 4, 2, 1, 200, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		// Derive ~2 jobs per input byte so instances clear the minShardJobs
+		// floor; starts drift forward to build one long, dense component with
+		// byte-controlled irregularities.
+		in := &core.Instance{Name: "fuzz", G: 3}
+		n := 4 * minShardJobs
+		for i := 0; i < n; i++ {
+			b0 := data[(2*i)%len(data)]
+			b1 := data[(2*i+1)%len(data)]
+			start := float64(i)/2 + float64(b0%16)
+			in.Jobs = append(in.Jobs, core.Job{
+				ID:     i,
+				Iv:     interval.New(start, start+0.5+float64(b1%12)),
+				Demand: 1,
+			})
+		}
+		d := firstfit.Decomposer()
+		r := NewRunner()
+		pool := newPool(3)
+		seq := firstfit.Schedule(in)
+		got, st, err := r.Solve(context.Background(), in, d, new(core.Scratch), pool, 1, 4)
+		if err != nil {
+			t.Fatalf("sharded solve: %v", err)
+		}
+		if len(pool) != 3 {
+			t.Fatalf("pool holds %d arenas, want 3", len(pool))
+		}
+		if got == nil {
+			if st.Shards != 0 {
+				t.Fatalf("declined but stats report %d shards", st.Shards)
+			}
+			return
+		}
+		if st.Shards < 2 {
+			t.Fatalf("schedule produced without sharding under budget 1 (shards=%d)", st.Shards)
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatalf("sharded schedule infeasible: %v", err)
+		}
+		if got.Cost() > seq.Cost()*2 {
+			t.Fatalf("sharded cost %v more than doubles sequential %v", got.Cost(), seq.Cost())
+		}
+	})
+}

@@ -67,6 +67,16 @@ type Options struct {
 	// caller running many batches keeps the layer's buffers warm across
 	// calls; nil means a run-private pool.
 	Runners chan *decomp.Runner
+	// TimeShards opts into the decomposition layer's time-axis sharding for
+	// algorithms that declare a ShardRule: an instance whose component
+	// structure starves intra-parallelism (one dominant component) is cut
+	// into up to this many time shards solved concurrently, with crossing
+	// jobs reconciled sequentially. 0 (the default) disables sharding;
+	// IntraAuto means the full worker budget. Unlike IntraWorkers this knob
+	// CAN change results: sharded schedules are feasible and near-identical
+	// in cost but not bitwise-equal to sequential ones, which is why it is a
+	// separate opt-in.
+	TimeShards int
 }
 
 func (o Options) shardSize() int {
@@ -113,6 +123,9 @@ type Result struct {
 	// depend on pool pressure, so they are excluded from serialization.
 	Components   int `json:"-"`
 	IntraWorkers int `json:"-"`
+	// Shards is the time-shard count when the decomposition layer took the
+	// sharding path for this instance (Options.TimeShards), 0 otherwise.
+	Shards int `json:"-"`
 }
 
 // Run schedules every instance with the named algorithm and returns one
@@ -217,6 +230,15 @@ func (o Options) intra() int {
 	return o.IntraWorkers
 }
 
+// timeShards resolves the time-shard budget: IntraAuto means the full
+// fan-out width, anything below 2 disables sharding.
+func (o Options) timeShards() int {
+	if o.TimeShards < 0 {
+		return o.maxWorkers()
+	}
+	return o.TimeShards
+}
+
 // runnerPool resolves the decomposition-runner pool of the run: the
 // caller-supplied one when set, a fresh one-per-worker pool when the run can
 // decompose, nil (never consulted) when decomposition is off.
@@ -224,7 +246,7 @@ func (o Options) runnerPool() chan *decomp.Runner {
 	if o.Runners != nil {
 		return o.Runners
 	}
-	if o.intra() <= 1 {
+	if o.intra() <= 1 && o.timeShards() <= 1 {
 		return nil
 	}
 	return decomp.NewRunnerPool(o.maxWorkers())
@@ -259,14 +281,14 @@ func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance,
 	if workers < 1 {
 		workers = 1
 	}
-	intra := opt.intra()
+	intra, tshards := opt.intra(), opt.timeShards()
 	return parallel.Map(len(instances), workers, func(i int) Result {
 		if ctx.Err() != nil {
 			return Result{Index: base + i}
 		}
 		sc := <-pool
 		defer func() { pool <- sc }()
-		return runOne(ctx, a, instances[i], base+i, sc, opt.Verify, intra, pool, runners)
+		return runOne(ctx, a, instances[i], base+i, sc, opt.Verify, intra, tshards, pool, runners)
 	})
 }
 
@@ -282,7 +304,7 @@ func runShard(ctx context.Context, a algo.Algorithm, instances []*core.Instance,
 // right now. A declined offer (single component, no spare arena) falls
 // through to the ordinary sequential entry points; either way the schedule
 // is identical, so intra-parallelism is purely a latency knob.
-func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool, intra int, pool chan *core.Scratch, runners chan *decomp.Runner) (res Result) {
+func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int, sc *core.Scratch, verify bool, intra, tshards int, pool chan *core.Scratch, runners chan *decomp.Runner) (res Result) {
 	before := sc.Stats()
 	warm := before.Schedules > 0
 	res = Result{Index: index, Name: in.Name, N: in.N(), G: in.G, Warm: warm}
@@ -293,12 +315,13 @@ func runOne(ctx context.Context, a algo.Algorithm, in *core.Instance, index int,
 		res.SetupAllocs = sc.Stats().SetupAllocs - before.SetupAllocs
 	}()
 	var s *core.Schedule
-	if intra > 1 && a.Decompose != nil && runners != nil {
+	if (intra > 1 || tshards > 1) && a.Decompose != nil && runners != nil {
 		r := <-runners
-		ds, stats, derr := r.Run(ctx, in, a.Decompose, sc, pool, intra)
+		ds, stats, derr := r.Solve(ctx, in, a.Decompose, sc, pool, intra, tshards)
 		runners <- r
 		res.Components = stats.Components
 		res.IntraWorkers = stats.Workers
+		res.Shards = stats.Shards
 		if derr != nil {
 			res.Err = derr.Error()
 			return res

@@ -171,6 +171,30 @@ func (ax Axis) OverlapRange(iv Interval) (lo, hi int) {
 	return lo, hi
 }
 
+// Interior returns the inclusive range of boundary indices strictly inside
+// the closed interval iv: every returned index i satisfies
+// iv.Start < Boundary(i) < iv.End. lo > hi means no boundary is interior.
+// Cutting the time axis at an interior boundary of a job splits that job's
+// window across the cut, so Interior is exactly the "which cuts would this
+// job cross" query of the time-sharding layer.
+func (ax Axis) Interior(iv Interval) (lo, hi int) {
+	if ax.NB() == 0 {
+		return 0, -1
+	}
+	lo = ax.pos(iv.Start)
+	if lo < len(ax.bounds) && ax.bounds[lo] == iv.Start {
+		lo++
+	}
+	hi = ax.pos(iv.End) - 1
+	if last := len(ax.bounds) - 1; hi > last {
+		hi = last
+	}
+	if lo > hi {
+		return 0, -1
+	}
+	return lo, hi
+}
+
 // WithinRange returns the inclusive range of buckets entirely contained in
 // the closed interval iv; lo > hi means none. Every returned bucket
 // satisfies iv.Start <= Boundary(b) and Boundary(b+1) <= iv.End, so marking

@@ -63,6 +63,30 @@ func (sp *Spans) Delta(iv Interval) float64 {
 	return (hi - lo) - removed
 }
 
+// Graft appends already-merged pieces to the spans without touching the
+// running total. The pieces must be disjoint, non-touching, ascending, and lie
+// strictly after every piece already present — the shape produced by adopting
+// another Spans' run from a later time range, which is exactly the
+// decomposition layer's stitch merge (components are separated by gaps of
+// positive length). Totals are accounted separately via AddMeasure so the
+// caller can replay the originating run's floating-point accumulation order
+// bit for bit instead of summing per-piece measures in graft order.
+func (sp *Spans) Graft(pieces []Interval) {
+	if len(pieces) == 0 {
+		return
+	}
+	if n := len(sp.pieces); n > 0 && pieces[0].Start <= sp.pieces[n-1].End {
+		panic("interval: Graft pieces must lie strictly after the existing spans")
+	}
+	sp.pieces = append(sp.pieces, pieces...)
+}
+
+// AddMeasure folds an externally computed measure contribution into the
+// running total, the accounting half of Graft: the caller replays the
+// originating run's per-placement span deltas in its placement order, so
+// Total reproduces that run's accumulation bitwise.
+func (sp *Spans) AddMeasure(d float64) { sp.total += d }
+
 // Add merges iv into the spans and returns the measure it contributed (the
 // increase of Total).
 func (sp *Spans) Add(iv Interval) float64 {

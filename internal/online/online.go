@@ -61,9 +61,15 @@ func decomposer(p Policy) *algo.Decomposer {
 	startOrder := func(in *core.Instance) []int32 { return in.StartOrder() }
 	switch p.(type) {
 	case FirstFit:
-		return &algo.Decomposer{Order: startOrder, RunComponent: algo.ComponentLowestFit}
+		return &algo.Decomposer{
+			Order: startOrder, RunComponent: algo.ComponentLowestFit,
+			Stitch: true, Shard: algo.ShardLowestFit,
+		}
 	case BestFit:
-		return &algo.Decomposer{Order: startOrder, RunComponent: algo.ComponentBestFit}
+		return &algo.Decomposer{
+			Order: startOrder, RunComponent: algo.ComponentBestFit,
+			Stitch: true, Shard: algo.ShardBestFit,
+		}
 	default:
 		return nil
 	}

@@ -20,6 +20,7 @@ type config struct {
 	verify     bool
 	workers    int
 	intra      int // 0 off (default), -1 auto, n ≥ 1 explicit cap
+	shards     int // 0 off (default), -1 auto, n ≥ 2 explicit shard count
 	lookahead  int
 	exactLimit int
 	lengthD    float64
@@ -106,6 +107,52 @@ func (c *config) intraWorkers() int {
 	return c.intra
 }
 
+// WithTimeSharding opts into time-axis sharding for instances whose
+// component structure starves WithIntraWorkers — a single (or dominant)
+// connected component. When the session's algorithm declares a shard rule
+// (see AlgorithmInfo.Shards), such an instance's time axis is cut at up to
+// k−1 low-crossing bucket boundaries, the resulting shards are solved
+// concurrently on idle arenas from the WithWorkers pool, and the jobs
+// crossing a cut are placed afterwards by a sequential reconciliation pass
+// driven by the algorithm's own placement rule against the live shard
+// schedules.
+//
+// Unlike every other parallelism knob in this package, sharding CAN change
+// results: the sharded schedule is always feasible (WithVerify-clean) and
+// empirically within a few percent of the sequential cost, but it is not
+// bitwise-identical — which is exactly why it is a separate opt-in rather
+// than part of WithIntraWorkers. Result.Decomp reports the shard count,
+// the crossing-job count and the reconcile time, so callers can audit what
+// the option did.
+//
+// k = 0 means automatic (the full WithWorkers budget); k = 1 disables the
+// layer (the default); k ≥ 2 fixes the shard count. The layer declines
+// silently — falling back to the ordinary bitwise paths — whenever sharding
+// cannot pay: too few jobs, a degenerate time axis, too many crossing jobs,
+// or no idle arenas. New rejects the combination with WithFreshSchedules:
+// shard arenas only exist in arena mode.
+func WithTimeSharding(k int) Option {
+	return func(c *config) {
+		if k < 0 {
+			c.fail("WithTimeSharding: %d shards, want ≥ 0", k)
+			return
+		}
+		if k == 0 {
+			c.shards = -1 // auto
+			return
+		}
+		c.shards = k
+	}
+}
+
+// timeShards resolves the time-shard budget; ≤ 1 means sharding is off.
+func (c *config) timeShards() int {
+	if c.shards < 0 {
+		return c.maxWorkers()
+	}
+	return c.shards
+}
+
 // WithLookahead sets the semi-online buffer size k for the online-*
 // algorithms: the scheduler sees the next k arrivals and always places the
 // longest buffered job first. k = 1 (the default) is pure arrival order;
@@ -182,6 +229,12 @@ type AlgorithmInfo struct {
 	// its time-disjoint components concurrently with a bitwise-identical
 	// result; false means the option leaves the algorithm untouched.
 	Decomposes bool
+	// Shards reports whether the algorithm additionally declares a
+	// time-sharding reconciliation rule: true means WithTimeSharding can cut
+	// a dominant component across the time axis (feasible but not bitwise —
+	// see WithTimeSharding); false means that option leaves the algorithm
+	// untouched.
+	Shards bool
 }
 
 // Algorithms lists every registered algorithm sorted by name; each entry's
@@ -195,6 +248,7 @@ func Algorithms() []AlgorithmInfo {
 			Description:  a.Description,
 			Cancellation: a.Cancellation.String(),
 			Decomposes:   a.Decompose != nil,
+			Shards:       a.Decompose != nil && a.Decompose.Shard != algo.ShardNone,
 		}
 	}
 	return out

@@ -44,37 +44,66 @@ type DecompStats struct {
 	// LargestComponent is the job count of the largest component — the lower
 	// bound on the critical path of the parallel solve.
 	LargestComponent int
+	// Shards is the time-shard count when this Solve took the opt-in
+	// time-sharding path (WithTimeSharding), 0 otherwise; CrossingJobs is
+	// the number of jobs that crossed a shard cut and were placed by the
+	// sequential reconciliation pass.
+	Shards, CrossingJobs int
 	// SweepTime, SolveTime and MergeTime are the wall times of the three
-	// phases: component labeling, the concurrent per-component solves as a
-	// whole, and the ordered reassembly.
-	SweepTime, SolveTime, MergeTime time.Duration
-	// PerComponent lists the components in start order; caller-owned.
+	// phases: component labeling (plus shard-cut selection when sharding),
+	// the concurrent per-component or per-shard solves as a whole, and the
+	// ordered reassembly. ReconcileTime is the sequential crossing-job
+	// placement pass between solve and merge (0 unless Shards > 0).
+	SweepTime, SolveTime, MergeTime, ReconcileTime time.Duration
+	// PerComponent lists the components (or, when Shards > 0, the shards)
+	// in start order. The slice rides the session's recycled solver state:
+	// it is valid until a later Solve on this Solver reuses the same
+	// internal runner — the same window as an arena-mode Schedule. Callers
+	// that retain it must copy.
 	PerComponent []ComponentStat
 }
 
 // Decomposed reports whether the schedule was actually produced by the
-// decompose–solve–merge path.
+// decompose–solve–merge path (component-parallel or time-sharded).
 func (d DecompStats) Decomposed() bool { return d.Workers > 0 }
 
-// newDecompStats copies the layer's runner-owned telemetry into the
-// caller-owned public form.
-func newDecompStats(st decomp.Stats) DecompStats {
+// Sharded reports whether the schedule was produced by the opt-in
+// time-sharding path; such a schedule is feasible but not bitwise-identical
+// to the sequential run (see WithTimeSharding).
+func (d DecompStats) Sharded() bool { return d.Shards > 0 }
+
+// newDecompStatsInto converts the layer's runner-owned telemetry into the
+// public form, drawing the PerComponent backing array from slot — a
+// per-runner stash that rides the pooled runner between leases — so warm
+// Solves stop allocating stats. The caller must finish with the returned
+// value's PerComponent before the same runner serves another Solve.
+func newDecompStatsInto(st decomp.Stats, slot *any) DecompStats {
 	d := DecompStats{
 		Components:       st.Components,
 		Workers:          st.Workers,
 		LargestComponent: st.Largest,
+		Shards:           st.Shards,
+		CrossingJobs:     st.Crossing,
 		SweepTime:        st.Sweep,
 		SolveTime:        st.Solve,
 		MergeTime:        st.Merge,
+		ReconcileTime:    st.Reconcile,
 	}
 	if len(st.Sizes) > 0 {
-		d.PerComponent = make([]ComponentStat, len(st.Sizes))
+		buf, _ := (*slot).([]ComponentStat)
+		if cap(buf) < len(st.Sizes) {
+			buf = make([]ComponentStat, len(st.Sizes))
+			*slot = buf
+		}
+		buf = buf[:len(st.Sizes)]
 		for i, sz := range st.Sizes {
-			d.PerComponent[i].Jobs = int(sz)
+			buf[i].Jobs = int(sz)
+			buf[i].Solve = 0
 			if i < len(st.Times) {
-				d.PerComponent[i].Solve = st.Times[i]
+				buf[i].Solve = st.Times[i]
 			}
 		}
+		d.PerComponent = buf
 	}
 	return d
 }

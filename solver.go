@@ -93,10 +93,13 @@ func New(opts ...Option) (*Solver, error) {
 	if (cfg.intra < 0 || cfg.intra > 1) && cfg.fresh {
 		return nil, fmt.Errorf("busytime: WithIntraWorkers needs the recycled arena pool; drop WithFreshSchedules")
 	}
+	if (cfg.shards < 0 || cfg.shards > 1) && cfg.fresh {
+		return nil, fmt.Errorf("busytime: WithTimeSharding needs the recycled arena pool; drop WithFreshSchedules")
+	}
 	if !cfg.fresh {
 		s.pool = engine.NewScratchPool(cfg.maxWorkers())
 	}
-	if cfg.intraWorkers() > 1 {
+	if cfg.intraWorkers() > 1 || cfg.timeShards() > 1 {
 		if d := s.decomposer(); d != nil {
 			s.decomp = d
 			s.runners = decomp.NewRunnerPool(cfg.maxWorkers())
@@ -183,8 +186,11 @@ func (s *Solver) solveOn(ctx context.Context, in *Instance, sc *core.Scratch) (*
 		return sched, DecompStats{}, err
 	}
 	r := <-s.runners
-	sched, st, err := r.Run(ctx, in, s.decomp, sc, s.pool, s.cfg.intraWorkers())
-	dstats := newDecompStats(st) // copies the runner-owned slices before release
+	sched, st, err := r.Solve(ctx, in, s.decomp, sc, s.pool, s.cfg.intraWorkers(), s.cfg.timeShards())
+	// Converted before release: the stats buffer rides the runner (r.Pub)
+	// and the per-component slices are runner-owned, so both must be read
+	// out while this Solve still holds the lease.
+	dstats := newDecompStatsInto(st, &r.Pub)
 	s.runners <- r
 	if err != nil {
 		return nil, dstats, fmt.Errorf("busytime: %s: %w", s.cfg.algorithm, err)
