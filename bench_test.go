@@ -387,3 +387,37 @@ func benchShardDense(b *testing.B, workers, shards int) {
 func BenchmarkShardDense100kSeq(b *testing.B)    { benchShardDense(b, 1, 1) }
 func BenchmarkShardDense100kShard2(b *testing.B) { benchShardDense(b, 2, 2) }
 func BenchmarkShardDense100kShard4(b *testing.B) { benchShardDense(b, 4, 4) }
+
+// The rolling-horizon session under an unbounded arrival stream: one op is
+// one public PlaceDemand (demand ≤ 4 on g = 8, ~1k live jobs), with one in
+// eight arrivals followed by an early Release of a recent job — the
+// steady-state mix of arrivals, departures and window compactions. The
+// stream (1e6 pre-generated arrivals) wraps by shifting the clock, so any
+// -benchtime keeps arrival order legal; the warm-up before the timer takes
+// the session past its growth phase, and the CI gate pins allocs/op to the
+// checked-in budget of zero (ci/alloc-budget-online-stream.txt).
+func BenchmarkOnlineStream1e6(b *testing.B) {
+	const live = 1024
+	s, err := busytime.New(busytime.WithWindow(live))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := s.Online(8, "firstfit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := newStreamDriver(sess, generator.Stream(7, 1<<20, live, 4), 42, live)
+	for i := 0; i < 16*live; i++ { // warm: ring, heaps and machines at steady size
+		if err := d.step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -11,6 +11,7 @@
 //	eval      run every registered algorithm on an instance and compare
 //	bounds    print the lower bounds of an instance
 //	batch     run one algorithm over many instances in parallel (CSV/JSON)
+//	online    drive a rolling-horizon session over a synthetic arrival stream
 //
 // Example:
 //
@@ -36,6 +37,7 @@ import (
 	"busytime/internal/stats"
 	"busytime/internal/trace"
 	"busytime/internal/viz"
+	"busytime/internal/xrand"
 )
 
 // CLI bundles the output streams of one invocation.
@@ -78,6 +80,8 @@ func RunContext(ctx context.Context, args []string, stdout, stderr io.Writer) in
 		err = c.cmdConvert(args[1:])
 	case "batch":
 		err = c.cmdBatch(ctx, args[1:])
+	case "online":
+		err = c.cmdOnline(ctx, args[1:])
 	case "help", "-h", "--help":
 		c.usage()
 	default:
@@ -107,6 +111,9 @@ commands:
   batch     -algo NAME [-workers W] [-format csv|json] [-out FILE] [-verify]
             FILE...                            schedule instance files, or
             -kind ... -count K -n N -g G -seed S   a generated suite
+  online    -policy firstfit|bestfit|nextfit -n N -g G -live L
+            [-maxdemand D] [-release P] [-window W] [-seed S]
+            rolling-horizon stream with arrivals and departures
 
 registered algorithms:`)
 	for _, a := range busytime.Algorithms() {
@@ -480,6 +487,63 @@ func (c *CLI) cmdBatch(ctx context.Context, args []string) error {
 		return busytime.WriteBatchJSON(w, results)
 	}
 	return busytime.WriteBatchCSV(w, results)
+}
+
+// cmdOnline drives a rolling-horizon session over a synthetic arrival
+// stream (generator.Stream: Poisson arrivals, bounded uniform durations)
+// with a tunable fraction of early releases, and reports the session's
+// telemetry — the live demonstration that memory follows the live window,
+// not the stream length. Like every other subcommand it goes through the
+// public API: busytime.New(WithWindow) + Solver.Online.
+func (c *CLI) cmdOnline(ctx context.Context, args []string) error {
+	fs := newFlagSet(c, "online")
+	policy := fs.String("policy", "firstfit", "arrival policy: firstfit, bestfit or nextfit")
+	n := fs.Int("n", 100000, "stream length (arrivals)")
+	g := fs.Int("g", 4, "parallelism parameter")
+	live := fs.Int("live", 1000, "target live-job population")
+	maxDemand := fs.Int("maxdemand", 1, "maximum per-job demand")
+	release := fs.Float64("release", 0.1, "fraction of arrivals followed by a random early release")
+	window := fs.Int("window", 0, "pre-size the session for this many live jobs (0 = grow on demand)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *release < 0 || *release > 1 {
+		return fmt.Errorf("-release %v out of [0, 1]", *release)
+	}
+	solver, err := busytime.New(busytime.WithWindow(*window))
+	if err != nil {
+		return err
+	}
+	sess, err := solver.Online(*g, *policy)
+	if err != nil {
+		return err
+	}
+	jobs := generator.Stream(*seed, *n, *live, *maxDemand)
+	rng := xrand.New(*seed ^ 0x5eed)
+	for i, j := range jobs {
+		if i&4095 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if _, err := sess.PlaceDemand(j.Iv, j.Demand); err != nil {
+			return err
+		}
+		if rng.Float64() < *release {
+			// Aim at a recent job; already-departed targets report false.
+			if _, err := sess.Release(i - rng.Intn(min(i+1, 2**live))); err != nil {
+				return err
+			}
+		}
+	}
+	st := sess.Stats()
+	fmt.Fprintf(c.Out, "stream    : n=%d live≈%d g=%d policy=%s seed=%d\n", *n, *live, *g, *policy, *seed)
+	fmt.Fprintf(c.Out, "placed    : %d  (released %d, expired %d, live %d)\n", st.Placed, st.Released, st.Expired, st.Live)
+	fmt.Fprintf(c.Out, "machines  : %d open, %d idle  (peak %d)\n", st.Machines, st.IdleMachines, st.PeakMachines)
+	fmt.Fprintf(c.Out, "window    : %d records retained, capacity %d  (peak live %d, peak window %d, %d compactions)\n",
+		st.Window, st.WindowCap, st.PeakLive, st.PeakWindow, st.Compactions)
+	fmt.Fprintf(c.Out, "cost      : %.4f\n", st.Cost)
+	fmt.Fprintf(c.Out, "LB(frac)  : %.4f  (cost/LB = %.4f)\n", st.LowerBound, st.Ratio)
+	return nil
 }
 
 // generateInstance builds one instance of the named class; it is the single

@@ -232,3 +232,31 @@ func TestGenerateAllKinds(t *testing.T) {
 		})
 	}
 }
+
+func TestOnlineStream(t *testing.T) {
+	code, out, errOut := run("online", "-n", "5000", "-live", "100", "-g", "3",
+		"-maxdemand", "2", "-release", "0.25", "-window", "128", "-seed", "11")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"placed    : 5000", "released", "compactions", "cost/LB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnlineBadFlags(t *testing.T) {
+	if code, _, errOut := run("online", "-policy", "nonsense"); code != 1 ||
+		!strings.Contains(errOut, "unknown online policy") {
+		t.Errorf("bad policy: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run("online", "-release", "1.5"); code != 1 ||
+		!strings.Contains(errOut, "out of [0, 1]") {
+		t.Errorf("bad release fraction: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run("online", "-window", "-1"); code != 1 ||
+		!strings.Contains(errOut, "WithWindow") {
+		t.Errorf("bad window: code=%d err=%q", code, errOut)
+	}
+}

@@ -2,10 +2,24 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"unsafe"
 )
+
+// cmpCoord is the three-way comparator of finite time coordinates used by
+// the slices.SortFunc orders in this package; NaN endpoints are rejected at
+// instance validation, so the IEEE comparison is a total order.
+func cmpCoord(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
 
 // SpanBound returns the span lower bound of Observation 1.1:
 // OPT ≥ span(J), since at any covered instant at least one machine is busy.
@@ -39,11 +53,11 @@ func FractionalBound(in *Instance) float64 {
 	if len(evs) == 0 {
 		return 0
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
-			return evs[i].t < evs[j].t
+	slices.SortFunc(evs, func(a, b ev) int {
+		if a.t != b.t {
+			return cmpCoord(a.t, b.t)
 		}
-		return evs[i].delta < evs[j].delta // ends before starts: open-interior depth
+		return a.delta - b.delta // ends before starts: open-interior depth
 	})
 	g := float64(in.G)
 	var total float64

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"sync/atomic"
 	"unsafe"
 
@@ -288,12 +287,15 @@ func (in *Instance) Components() []*Instance {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := in.Jobs[order[a]].Iv, in.Jobs[order[b]].Iv
+	slices.SortFunc(order, func(a, b int) int {
+		ia, ib := in.Jobs[a].Iv, in.Jobs[b].Iv
 		if ia.Start != ib.Start {
-			return ia.Start < ib.Start
+			return cmpCoord(ia.Start, ib.Start)
 		}
-		return ia.End < ib.End
+		if ia.End != ib.End {
+			return cmpCoord(ia.End, ib.End)
+		}
+		return a - b // index tiebreak: total order, deterministic components
 	})
 	var out []*Instance
 	var cur []Job

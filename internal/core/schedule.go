@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"busytime/internal/interval"
 	"busytime/internal/itree"
@@ -758,11 +758,11 @@ func maxWeightedDepth(inst *Instance, jobs []int) int {
 		job := inst.Jobs[j]
 		evs = append(evs, ev{job.Iv.Start, job.Demand}, ev{job.Iv.End, -job.Demand})
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
-			return evs[i].t < evs[j].t
+	slices.SortFunc(evs, func(a, b ev) int {
+		if a.t != b.t {
+			return cmpCoord(a.t, b.t)
 		}
-		return evs[i].delta > evs[j].delta
+		return b.delta - a.delta // starts before ends: closed depth
 	})
 	depth, best := 0, 0
 	for _, e := range evs {
@@ -802,7 +802,7 @@ func (s *Schedule) Summary() []MachineSummary {
 		for i, j := range st.jobs {
 			ids[i] = s.inst.Jobs[j].ID
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		out[m] = MachineSummary{
 			Machine: m,
 			JobIDs:  ids,
@@ -837,7 +837,7 @@ func fromAssignmentInto(inst *Instance, byID map[int]int, s *Schedule) (*Schedul
 			machines = append(machines, m)
 		}
 	}
-	sort.Ints(machines)
+	slices.Sort(machines)
 	remap := make(map[int]int, len(machines))
 	for dense, m := range machines {
 		remap[m] = dense

@@ -1,7 +1,10 @@
 package experiments
 
-import "math/rand"
+import "busytime/internal/xrand"
 
 // newRand returns a seeded PRNG; isolated so every experiment draws from an
-// explicitly seeded source and nothing depends on the global generator.
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// explicitly seeded source and nothing depends on the global generator. The
+// splitmix64 xrand generator matches the rest of the tree, so experiment
+// workloads are reproducible across Go releases (math/rand's stream is not
+// pinned by the compatibility promise).
+func newRand(seed int64) *xrand.RNG { return xrand.New(seed) }

@@ -11,8 +11,22 @@ package interval
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
+
+// cmpFloat is the three-way comparator of finite float64 coordinates used by
+// the slices.SortFunc orders in this package. NaN never reaches a sort (New
+// and the generators reject it), so the IEEE comparison is a total order.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
 
 // Interval is a closed interval [Start, End] on the real line.
 // The zero value is the degenerate interval [0, 0].
@@ -131,26 +145,26 @@ func (s Set) Hull() (hull Interval, ok bool) {
 
 // SortByStart sorts the set in place by start time, breaking ties by end time.
 func (s Set) SortByStart() {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].Start != s[j].Start {
-			return s[i].Start < s[j].Start
+	slices.SortFunc(s, func(a, b Interval) int {
+		if a.Start != b.Start {
+			return cmpFloat(a.Start, b.Start)
 		}
-		return s[i].End < s[j].End
+		return cmpFloat(a.End, b.End)
 	})
 }
 
 // SortByLenDesc sorts the set in place by non-increasing length, breaking
 // ties by start then end so that the order is deterministic.
 func (s Set) SortByLenDesc() {
-	sort.Slice(s, func(i, j int) bool {
-		li, lj := s[i].Len(), s[j].Len()
-		if li != lj {
-			return li > lj
+	slices.SortFunc(s, func(a, b Interval) int {
+		la, lb := a.Len(), b.Len()
+		if la != lb {
+			return cmpFloat(lb, la)
 		}
-		if s[i].Start != s[j].Start {
-			return s[i].Start < s[j].Start
+		if a.Start != b.Start {
+			return cmpFloat(a.Start, b.Start)
 		}
-		return s[i].End < s[j].End
+		return cmpFloat(a.End, b.End)
 	})
 }
 

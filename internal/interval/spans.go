@@ -9,8 +9,12 @@ import "sort"
 // count are O(1) reads. Schedules use one Spans per machine so busy time is
 // accounted incrementally instead of re-deriving interval sets per query.
 //
-// Spans only grows: intervals cannot be removed, mirroring the fact that
-// schedulers never unassign jobs.
+// Batch schedulers only grow their spans — they never unassign jobs — but
+// the rolling-horizon online engine additionally shrinks them at the edges:
+// TruncateAfter removes coverage past a point when a job releases early, and
+// RetireBefore drops fully-settled pieces behind the stream clock during
+// window compaction. Both keep total equal to the measure of the remaining
+// pieces; the online session accounts accrued (retired) busy time itself.
 type Spans struct {
 	pieces []Interval
 	total  float64
@@ -86,6 +90,55 @@ func (sp *Spans) Graft(pieces []Interval) {
 // originating run's per-placement span deltas in its placement order, so
 // Total reproduces that run's accumulation bitwise.
 func (sp *Spans) AddMeasure(d float64) { sp.total += d }
+
+// TruncateAfter removes all coverage strictly after t and returns the measure
+// removed (the decrease of Total). A piece straddling t is clipped to end at
+// t; pieces beginning at or after t are dropped (a leftover point at t would
+// carry no measure). The piece slice's capacity is retained. Used by Release:
+// when the last job covering a machine's busy tail departs early, the tail
+// beyond the remaining jobs' coverage is un-billed.
+func (sp *Spans) TruncateAfter(t float64) float64 {
+	n := len(sp.pieces)
+	// First piece with End > t: everything before it is untouched.
+	i := sort.Search(n, func(k int) bool { return sp.pieces[k].End > t })
+	if i == n {
+		return 0
+	}
+	removed := 0.0
+	if p := &sp.pieces[i]; p.Start < t {
+		removed += p.End - t
+		p.End = t
+		i++
+	}
+	for k := i; k < n; k++ {
+		removed += sp.pieces[k].Len()
+	}
+	sp.pieces = sp.pieces[:i]
+	sp.total -= removed
+	return removed
+}
+
+// RetireBefore drops every piece ending strictly before t from the front of
+// the spans and returns how many were retired. Remaining pieces shift down in
+// the same backing array, so repeated retirement on a warm machine reuses
+// capacity instead of allocating. Total decreases by the retired measure; the
+// caller banks that measure in its own accrued-cost accumulator first (see
+// the online session's compaction), keeping the invariant Total == measure of
+// the pieces still held.
+func (sp *Spans) RetireBefore(t float64) int {
+	n := len(sp.pieces)
+	i := 0
+	for i < n && sp.pieces[i].End < t {
+		sp.total -= sp.pieces[i].Len()
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	copy(sp.pieces, sp.pieces[i:])
+	sp.pieces = sp.pieces[:n-i]
+	return i
+}
 
 // Add merges iv into the spans and returns the measure it contributed (the
 // increase of Total).

@@ -53,6 +53,114 @@ func TestSpansDeltaIsReadOnlyAndExact(t *testing.T) {
 	}
 }
 
+func TestSpansTruncateAfter(t *testing.T) {
+	build := func() *Spans {
+		var sp Spans
+		sp.Add(Interval{0, 2})
+		sp.Add(Interval{3, 5})
+		sp.Add(Interval{6, 8})
+		return &sp
+	}
+	cases := []struct {
+		t       float64
+		removed float64
+		count   int
+		total   float64
+	}{
+		{9, 0, 3, 6},   // past everything: no-op
+		{8, 0, 3, 6},   // exactly the last end: closed pieces keep [6,8]
+		{7, 1, 3, 5},   // clips the straddling piece to [6,7]
+		{6, 2, 2, 4},   // piece starting at t is dropped (no zero-measure stub)
+		{5.5, 2, 2, 4}, // drops the third piece entirely
+		{4, 3, 2, 3},   // clips the middle piece to [3,4], drops the third
+		{0, 6, 0, 0},   // piece starting at 0 dropped: empty
+		{-1, 6, 0, 0},  // before everything: empty
+	}
+	for _, c := range cases {
+		sp := build()
+		if got := sp.TruncateAfter(c.t); math.Abs(got-c.removed) > 1e-12 {
+			t.Fatalf("TruncateAfter(%v) removed %v, want %v", c.t, got, c.removed)
+		}
+		if sp.Count() != c.count || math.Abs(sp.Total()-c.total) > 1e-12 {
+			t.Fatalf("TruncateAfter(%v): count=%d total=%v, want %d/%v",
+				c.t, sp.Count(), sp.Total(), c.count, c.total)
+		}
+		// Invariant: total equals the measure of the remaining pieces.
+		var m float64
+		for _, p := range sp.AppendTo(nil) {
+			m += p.Len()
+		}
+		if math.Abs(m-sp.Total()) > 1e-12 {
+			t.Fatalf("TruncateAfter(%v): pieces measure %v != total %v", c.t, m, sp.Total())
+		}
+	}
+}
+
+func TestSpansRetireBefore(t *testing.T) {
+	var sp Spans
+	sp.Add(Interval{0, 2})
+	sp.Add(Interval{3, 5})
+	sp.Add(Interval{6, 8})
+	if n := sp.RetireBefore(0); n != 0 {
+		t.Fatalf("RetireBefore(0) retired %d, want 0", n)
+	}
+	if n := sp.RetireBefore(2); n != 0 { // End == t is not strictly before
+		t.Fatalf("RetireBefore(2) retired %d, want 0", n)
+	}
+	if n := sp.RetireBefore(5.5); n != 2 {
+		t.Fatalf("RetireBefore(5.5) retired %d, want 2", n)
+	}
+	if sp.Count() != 1 || math.Abs(sp.Total()-2) > 1e-12 {
+		t.Fatalf("after retire: count=%d total=%v, want 1/2", sp.Count(), sp.Total())
+	}
+	// The backing array is reused: a later add within capacity must not move
+	// the slice header's base (capacity preserved by the copy-down).
+	if got := sp.AppendTo(nil); got[0] != (Interval{6, 8}) {
+		t.Fatalf("surviving piece = %v, want [6,8]", got[0])
+	}
+	if n := sp.RetireBefore(100); n != 1 || sp.Count() != 0 || sp.Total() != 0 {
+		t.Fatalf("final retire: n=%d count=%d total=%v", n, sp.Count(), sp.Total())
+	}
+}
+
+func TestSpansTruncateRetireRandomized(t *testing.T) {
+	// Differential: Spans under random Add/TruncateAfter/RetireBefore always
+	// has total == measure of pieces and pieces sorted/disjoint.
+	r := rand.New(rand.NewSource(11))
+	var sp Spans
+	retired := 0.0
+	for k := 0; k < 2000; k++ {
+		switch r.Intn(4) {
+		case 0, 1:
+			s := math.Round(r.Float64()*60) / 2
+			sp.Add(Interval{Start: s, End: s + math.Round(r.Float64()*10)/2})
+		case 2:
+			sp.TruncateAfter(math.Round(r.Float64() * 140 / 2))
+		default:
+			retired += sp.Total()
+			sp.RetireBefore(math.Round(r.Float64() * 60))
+			retired -= sp.Total()
+		}
+		pieces := sp.AppendTo(nil)
+		var m float64
+		for i, p := range pieces {
+			if p.End < p.Start {
+				t.Fatalf("step %d: reversed piece %v", k, p)
+			}
+			if i > 0 && pieces[i-1].End >= p.Start {
+				t.Fatalf("step %d: pieces %v, %v not disjoint-sorted", k, pieces[i-1], p)
+			}
+			m += p.Len()
+		}
+		if math.Abs(m-sp.Total()) > 1e-9 {
+			t.Fatalf("step %d: measure %v != total %v", k, m, sp.Total())
+		}
+	}
+	if retired < 0 {
+		t.Fatalf("retired measure went negative: %v", retired)
+	}
+}
+
 func TestSpansTouchingMerges(t *testing.T) {
 	var sp Spans
 	sp.Add(Interval{0, 1})

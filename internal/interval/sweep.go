@@ -1,6 +1,6 @@
 package interval
 
-import "sort"
+import "slices"
 
 // Event is a sweep-line event: Delta is +1 at an interval start and -1 at an
 // interval end.
@@ -18,11 +18,11 @@ func (s Set) Events() []Event {
 	for _, iv := range s {
 		ev = append(ev, Event{T: iv.Start, Delta: +1}, Event{T: iv.End, Delta: -1})
 	}
-	sort.Slice(ev, func(i, j int) bool {
-		if ev[i].T != ev[j].T {
-			return ev[i].T < ev[j].T
+	slices.SortFunc(ev, func(a, b Event) int {
+		if a.T != b.T {
+			return cmpFloat(a.T, b.T)
 		}
-		return ev[i].Delta > ev[j].Delta // starts before ends
+		return b.Delta - a.Delta // starts before ends
 	})
 	return ev
 }
@@ -88,11 +88,11 @@ func (s Set) DepthProfile() []DepthSegment {
 	for _, iv := range s {
 		ev = append(ev, Event{T: iv.Start, Delta: +1}, Event{T: iv.End, Delta: -1})
 	}
-	sort.Slice(ev, func(i, j int) bool {
-		if ev[i].T != ev[j].T {
-			return ev[i].T < ev[j].T
+	slices.SortFunc(ev, func(a, b Event) int {
+		if a.T != b.T {
+			return cmpFloat(a.T, b.T)
 		}
-		return ev[i].Delta < ev[j].Delta // ends before starts
+		return a.Delta - b.Delta // ends before starts
 	})
 	var segs []DepthSegment
 	depth := 0

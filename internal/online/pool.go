@@ -1,0 +1,198 @@
+package online
+
+import (
+	"fmt"
+	"sync"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+)
+
+// Pool is sharded multi-tenant session state: one rolling-horizon Session
+// per tenant key, distributed over power-of-two lock shards so concurrent
+// tenants contend only when they hash together. Sessions are created on
+// first placement with the pool's parallelism, policy and window hint; all
+// per-tenant operations run under the owning shard's lock, so a Pool is safe
+// for concurrent use while each underlying Session stays single-threaded.
+//
+// The optional scratch channel — the same recycled-arena pool the batch
+// engine leases from — powers Offline: an on-demand replay of a tenant's
+// retained window through the offline kernel on a leased arena, yielding the
+// exact competitive comparison (online cost vs. offline cost vs. the
+// window's CachedBounds) without allocating schedule state per call.
+type Pool struct {
+	g       int
+	policy  Policy
+	window  int
+	mask    uint32
+	shards  []poolShard
+	scratch chan *core.Scratch // nil: Offline unavailable
+}
+
+type poolShard struct {
+	mu      sync.Mutex
+	tenants map[string]*Session
+}
+
+// NewPool returns an empty pool of rolling-horizon sessions with parallelism
+// g placing through policy p. shards is rounded up to a power of two (≤ 1
+// means a single shard); window is the per-session live-window presize hint
+// (see NewSessionSized). scratch may be nil, disabling Offline.
+func NewPool(g int, p Policy, shards, window int, scratch chan *core.Scratch) (*Pool, error) {
+	if _, err := NewSessionSized(g, p, 0); err != nil {
+		return nil, err // validates g and the policy once up front
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	pool := &Pool{
+		g:       g,
+		policy:  p,
+		window:  window,
+		mask:    uint32(n - 1),
+		shards:  make([]poolShard, n),
+		scratch: scratch,
+	}
+	for i := range pool.shards {
+		pool.shards[i].tenants = make(map[string]*Session)
+	}
+	return pool, nil
+}
+
+// shard hashes the tenant key with FNV-1a onto a lock shard.
+func (p *Pool) shard(tenant string) *poolShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= prime64
+	}
+	return &p.shards[uint32(h)&p.mask]
+}
+
+// session returns the tenant's session, creating it on first use. Callers
+// hold sh.mu.
+func (p *Pool) session(sh *poolShard, tenant string) *Session {
+	s := sh.tenants[tenant]
+	if s == nil {
+		s, _ = NewSessionSized(p.g, p.policy, p.window) // args validated in NewPool
+		sh.tenants[tenant] = s
+	}
+	return s
+}
+
+// Place feeds the tenant's next arrival; see Session.Place. The returned
+// feed index (the tenant's Jobs() before the call) is the Release handle.
+func (p *Pool) Place(tenant string, iv interval.Interval, demand int) (machine, job int, err error) {
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := p.session(sh, tenant)
+	job = s.Jobs()
+	machine, err = s.Place(iv, demand)
+	if err != nil {
+		return -1, -1, err
+	}
+	return machine, job, nil
+}
+
+// Release departs the tenant's job early; see Session.Release. A tenant with
+// no session reports (false, nil) like an already-departed job.
+func (p *Pool) Release(tenant string, job int) (bool, error) {
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.tenants[tenant]
+	if s == nil {
+		return false, nil
+	}
+	return s.Release(job)
+}
+
+// Stats snapshots the tenant's session telemetry; ok is false for a tenant
+// that never placed.
+func (p *Pool) Stats(tenant string) (Stats, bool) {
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.tenants[tenant]
+	if s == nil {
+		return Stats{}, false
+	}
+	return s.Stats(), true
+}
+
+// Drop discards the tenant's session and reports whether one existed.
+func (p *Pool) Drop(tenant string) bool {
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.tenants[tenant]
+	delete(sh.tenants, tenant)
+	return ok
+}
+
+// Tenants returns every tenant key currently holding a session, in no
+// particular order.
+func (p *Pool) Tenants() []string {
+	var out []string
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for k := range sh.tenants {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Comparison is Offline's verdict on one tenant's retained window.
+type Comparison struct {
+	OnlineCost float64     // the session's total accrued busy time
+	WindowCost float64     // the policy's replay cost of the retained window alone
+	Bounds     core.Bounds // offline lower bounds of the retained-window instance
+	Ratio      float64     // WindowCost / Bounds.Fractional: the window's competitive ratio
+}
+
+// Offline replays the tenant's retained window through the pool's policy on
+// an arena leased from the shared scratch pool and reports the competitive
+// comparison. The window instance is snapshotted under the shard lock; the
+// replay itself runs unlocked, so a slow comparison never stalls the
+// tenant's placement path. Errors: no scratch pool configured, unknown
+// tenant, or an infeasible replay (a bug).
+func (p *Pool) Offline(tenant string) (Comparison, error) {
+	if p.scratch == nil {
+		return Comparison{}, fmt.Errorf("online: pool has no scratch arenas; Offline unavailable")
+	}
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	s := sh.tenants[tenant]
+	if s == nil {
+		sh.mu.Unlock()
+		return Comparison{}, fmt.Errorf("online: unknown tenant %q", tenant)
+	}
+	in := s.Instance() // fresh copy: safe to release the lock
+	online := s.Cost()
+	sh.mu.Unlock()
+
+	sc := <-p.scratch
+	defer func() { p.scratch <- sc }()
+	sched, err := RunScratch(in, sc, p.policy)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{
+		OnlineCost: online,
+		WindowCost: sched.Cost(),
+		Bounds:     in.CachedBounds(),
+	}
+	if cmp.Bounds.Fractional > 0 {
+		cmp.Ratio = cmp.WindowCost / cmp.Bounds.Fractional
+	}
+	return cmp, nil
+}

@@ -3,6 +3,7 @@ package online
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"busytime/internal/core"
 	"busytime/internal/interval"
@@ -17,21 +18,55 @@ import (
 // union maintained exactly like the exact solver's incremental machines
 // (amortized O(active jobs) per arrival).
 //
+// Sessions are rolling-horizon: a job departs either naturally, when the
+// stream clock (the latest arrival start) passes its end, or early via
+// Release. Departure removes its load from its machine, returns a fully-idle
+// machine to a free pool that FirstFit probes before opening new machines,
+// and eventually reclaims its record during window compaction, so
+// steady-state memory is proportional to the live window — not to every job
+// ever seen — and a warm session places, releases and compacts at zero heap
+// allocations per operation.
+//
 // Sessions support the built-in policies only (FirstFit, BestFit, NextFit):
 // a bespoke Policy places through a core.Placer, which requires the full
 // instance up front. The per-policy differential tests pin a Session fed in
 // arrival order byte-identical (assignment, cost, machine count) to the
 // corresponding kernel replay of the completed instance.
 type Session struct {
-	g         int
-	rule      sessionRule
-	name      string
-	machines  []sessionMachine
-	cursor    int // NextFit's single open machine, -1 when closed
-	jobs      []core.Job
-	assign    []int
-	lastStart float64
-	cost      float64
+	g    int
+	rule sessionRule
+	name string
+
+	machines []sessionMachine
+	cursor   int // NextFit's single open machine, -1 when closed
+
+	// recs is the retained window of job records in feed order; the record
+	// of job j lives at recs[j-base]. A negative demand marks a departed
+	// job (its absolute value is the original demand). Records are
+	// reclaimed by compaction once they form a departed prefix.
+	recs []jobRec
+	base int // feed index of recs[0]
+
+	endHeap  []endEntry // min-heap of (end, job): pending natural departures
+	idleHeap []int32    // min-heap of fully-idle machine indices
+
+	clock float64 // latest arrival start; -Inf before the first
+	cost  float64 // total busy time accrued, including retired coverage
+
+	// Incremental fractional lower bound ∫⌈D_t/g⌉dt of the effective
+	// stream (early-released jobs clipped at their release clock),
+	// integrated up to lbClock with lbDemand demand currently live.
+	lbClock  float64
+	lbDemand int
+	cumLB    float64
+
+	live int // jobs currently holding capacity
+
+	placed, released, expired, compactions uint64
+
+	peakLive, peakWindow, peakMachines int
+
+	tailBuf []tailEnt // reusable Stats projection scratch
 }
 
 type sessionRule int
@@ -42,28 +77,56 @@ const (
 	ruleNextFit
 )
 
-// sessionMachine mirrors the exact solver's incremental machine: busy pieces
-// stay sorted and disjoint because arrivals come in non-decreasing start
-// order, and capacity at a new job's window is maximized at its start, so a
-// demand sum over the still-active loads is a complete feasibility check.
-type sessionMachine struct {
-	pieces []interval.Interval
-	load   []sessionLoad
+// jobRec is one retained arrival. 32 bytes: a 1e4-job live window retains
+// well under a megabyte.
+type jobRec struct {
+	iv       interval.Interval // effective interval (End clipped on early release)
+	machine  int32
+	demand   int32 // > 0 holding capacity; < 0 departed with original demand -demand
+	released bool  // departed early; departure counters and the bound skip it
 }
 
-type sessionLoad struct {
+type endEntry struct {
+	end float64
+	job int
+}
+
+type tailEnt struct {
 	end    float64
-	demand int
+	demand int32
+}
+
+// sessionMachine mirrors the exact solver's incremental machine: busy pieces
+// stay sorted and disjoint because arrivals come in non-decreasing start
+// order, and capacity at a new job's window is maximized at its start, so
+// the demand sum over the live loads is a complete feasibility check.
+type sessionMachine struct {
+	busy   interval.Spans
+	loads  []loadRec
+	used   int32
+	inIdle bool // present in the idle heap (entries are unique)
+}
+
+type loadRec struct {
+	job    int
+	end    float64
+	demand int32
 }
 
 // NewSession returns an empty session with parallelism g placing through the
 // built-in policy p. Custom policies are rejected: they require the kernel's
 // full-instance view.
-func NewSession(g int, p Policy) (*Session, error) {
+func NewSession(g int, p Policy) (*Session, error) { return NewSessionSized(g, p, 0) }
+
+// NewSessionSized is NewSession with the retained-window structures
+// pre-sized for about `window` simultaneously live jobs, so a stream that
+// stays under the hint reaches the zero-allocation steady state without any
+// growth reallocations. window ≤ 0 starts empty and grows on demand.
+func NewSessionSized(g int, p Policy, window int) (*Session, error) {
 	if g < 1 {
 		return nil, fmt.Errorf("online: session parallelism g = %d, want ≥ 1", g)
 	}
-	s := &Session{g: g, cursor: -1, lastStart: math.Inf(-1)}
+	s := &Session{g: g, cursor: -1, clock: math.Inf(-1), lbClock: math.Inf(-1)}
 	switch p.(type) {
 	case FirstFit:
 		s.rule = ruleLowestFit
@@ -75,6 +138,11 @@ func NewSession(g int, p Policy) (*Session, error) {
 		return nil, fmt.Errorf("online: policy %s is not supported by incremental sessions (built-in policies only)", p.Name())
 	}
 	s.name = p.Name()
+	if window > 0 {
+		s.recs = make([]jobRec, 0, window)
+		s.endHeap = make([]endEntry, 0, window)
+		s.tailBuf = make([]tailEnt, 0, window)
+	}
 	return s, nil
 }
 
@@ -86,6 +154,11 @@ func (s *Session) Policy() string { return s.name }
 // Arrivals must come in non-decreasing start order (jobs are revealed at
 // their start times); an out-of-order start, an invalid interval, or a
 // demand outside [1, g] is rejected without changing the session.
+//
+// Advancing the clock to iv.Start first retires every job whose end it
+// passed (their departure is automatic), so placement only ever scans live
+// state. The job's feed index — the handle Release and MachineOf take — is
+// Jobs() just before the call.
 func (s *Session) Place(iv interval.Interval, demand int) (int, error) {
 	if math.IsNaN(iv.Start) || math.IsNaN(iv.End) {
 		return -1, fmt.Errorf("online: NaN endpoint in %v", iv)
@@ -96,46 +169,177 @@ func (s *Session) Place(iv interval.Interval, demand int) (int, error) {
 	if demand < 1 || demand > s.g {
 		return -1, fmt.Errorf("online: demand %d outside [1, %d]", demand, s.g)
 	}
-	if iv.Start < s.lastStart {
-		return -1, fmt.Errorf("online: out-of-order arrival %v (previous start %v): online jobs are revealed at their start times", iv, s.lastStart)
+	if iv.Start < s.clock {
+		return -1, fmt.Errorf("online: out-of-order arrival %v (previous start %v): online jobs are revealed at their start times", iv, s.clock)
 	}
+	s.advance(iv.Start)
+
 	var m int
 	switch s.rule {
 	case ruleLowestFit:
-		m = s.lowestFit(iv, demand)
+		m = s.lowestFit(demand)
 	case ruleBestFit:
 		m = s.bestFit(iv, demand)
 	default:
-		m = s.nextFit(iv, demand)
+		m = s.nextFit(demand)
 	}
-	s.cost += s.machines[m].add(iv, demand)
-	s.jobs = append(s.jobs, core.Job{ID: len(s.jobs), Iv: iv, Demand: demand})
-	s.assign = append(s.assign, m)
-	s.lastStart = iv.Start
+
+	id := s.base + len(s.recs)
+	mc := &s.machines[m]
+	mc.busy.RetireBefore(iv.Start) // settled pieces can never merge again
+	s.cost += mc.busy.Add(iv)
+	mc.loads = append(mc.loads, loadRec{job: id, end: iv.End, demand: int32(demand)})
+	mc.used += int32(demand)
+	s.appendRec(jobRec{iv: iv, machine: int32(m), demand: int32(demand)})
+	s.endPush(endEntry{end: iv.End, job: id})
+
+	s.lbDemand += demand
+	s.live++
+	s.placed++
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
+	s.clock = iv.Start
 	return m, nil
 }
 
-// lowestFit returns the lowest-indexed machine that fits, opening a fresh
-// one when none does (the FirstFit rule).
-func (s *Session) lowestFit(iv interval.Interval, demand int) int {
-	for m := range s.machines {
-		if s.machines[m].fits(iv.Start, demand, s.g) {
+// Release departs the job with the given feed index before its natural end:
+// its effective interval is clipped to end at the current clock, and its
+// machine's busy span is clipped back to the coverage of the jobs still
+// running there (the un-billed tail leaves Cost immediately). Closed-interval
+// semantics are preserved exactly: the job still occupies its capacity slot
+// at the release instant itself — an arrival at the very same clock cannot
+// re-use it, just as two intervals touching at a point both hold a slot —
+// and the slot frees (returning a fully-idle machine to the free pool) when
+// the clock next advances strictly past, through the same retirement path a
+// natural departure takes. Releasing a job that already departed returns
+// (false, nil); an index that was never placed is an error. Release is
+// O(live jobs on the machine).
+func (s *Session) Release(job int) (bool, error) {
+	if job < 0 || job >= s.base+len(s.recs) {
+		return false, fmt.Errorf("online: Release(%d): no such job (placed %d)", job, s.base+len(s.recs))
+	}
+	if job < s.base {
+		return false, nil // departed and already compacted away
+	}
+	rec := &s.recs[job-s.base]
+	if rec.demand <= 0 || rec.released {
+		return false, nil
+	}
+	m := int(rec.machine)
+	mc := &s.machines[m]
+	for i := range mc.loads {
+		if mc.loads[i].job == job {
+			mc.loads[i].end = s.clock
+			break
+		}
+	}
+
+	// The busy tail beyond the remaining effective coverage belonged solely
+	// to the released job: every load's effective interval contains the
+	// clock (placed at start ≤ clock, end not yet passed), so coverage is
+	// one contiguous run [≤clock, newTail] and everything past newTail is
+	// un-billed exactly.
+	newTail := s.clock
+	for _, ld := range mc.loads {
+		if ld.end > newTail {
+			newTail = ld.end
+		}
+	}
+	s.cost -= mc.busy.TruncateAfter(newTail)
+
+	if rec.iv.End > s.clock {
+		rec.iv.End = s.clock // effective interval for snapshots and bounds
+	}
+	rec.released = true
+	s.released++
+	// The fractional bound integrates the effective stream with open
+	// interiors (ends before starts), so the clipped job carries no demand
+	// past the clock; lbClock == clock already, nothing to integrate.
+	s.lbDemand -= int(rec.demand)
+	// Schedule the retirement at the clipped end; the original-end heap
+	// entry outlives the job and is skipped lazily.
+	s.endPush(endEntry{end: s.clock, job: job})
+	return true, nil
+}
+
+// advance moves the stream clock to c: every pending end strictly before c
+// departs naturally (in end order, so the running lower bound integrates
+// each constant-demand segment exactly), then the bound integrates the
+// remaining segment up to c.
+func (s *Session) advance(c float64) {
+	for len(s.endHeap) > 0 && s.endHeap[0].end < c {
+		e := s.endPop()
+		if e.job < s.base {
+			continue // released early and compacted; nothing left to do
+		}
+		rec := &s.recs[e.job-s.base]
+		if rec.demand <= 0 {
+			continue // released early; its lazy heap entry survives it
+		}
+		s.integrateLB(e.end)
+		d := rec.demand
+		m := int(rec.machine)
+		mc := &s.machines[m]
+		mc.removeLoad(e.job)
+		mc.used -= d
+		rec.demand = -d
+		s.live--
+		if !rec.released {
+			s.expired++
+			s.lbDemand -= int(d) // a released job's demand left the bound at Release
+		}
+		if mc.used == 0 {
+			s.markIdle(m)
+		}
+	}
+	s.integrateLB(c)
+}
+
+// integrateLB extends the fractional lower bound to time t with the current
+// live demand. Demand zero advances the origin without integrating, which
+// also absorbs the -Inf origin before the first arrival.
+func (s *Session) integrateLB(t float64) {
+	if s.lbDemand > 0 && t > s.lbClock {
+		s.cumLB += math.Ceil(float64(s.lbDemand)/float64(s.g)) * (t - s.lbClock)
+	}
+	s.lbClock = t
+}
+
+// lowestFit returns the lowest-indexed machine that fits, preferring a
+// fully-idle machine over opening a fresh one (the FirstFit rule). An idle
+// machine always fits, so the scan for a lower-indexed busy fit stops at the
+// lowest idle index — the free pool caps the probe length.
+func (s *Session) lowestFit(demand int) int {
+	limit := len(s.machines)
+	idle := s.idleMin()
+	if idle >= 0 {
+		limit = idle
+	}
+	for m := 0; m < limit; m++ {
+		if int(s.machines[m].used)+demand <= s.g {
 			return m
 		}
+	}
+	if idle >= 0 {
+		return idle
 	}
 	return s.open()
 }
 
 // bestFit returns the feasible machine whose busy time grows the least, ties
 // to the lowest index, opening a fresh one when none fits — the same argmin
-// the kernel's pruned BestFit computes over a completed instance.
+// the kernel's pruned BestFit computes over a completed instance. All slots
+// are scanned: an idle machine whose clipped span still touches the arrival
+// can have a smaller delta than a fresh one, so idleness is not a shortcut.
 func (s *Session) bestFit(iv interval.Interval, demand int) int {
 	best, bestDelta := -1, 0.0
 	for m := range s.machines {
-		if !s.machines[m].fits(iv.Start, demand, s.g) {
+		mc := &s.machines[m]
+		if int(mc.used)+demand > s.g {
 			continue
 		}
-		delta := s.machines[m].delta(iv)
+		delta := mc.busy.Delta(iv)
 		if best < 0 || delta < bestDelta {
 			best, bestDelta = m, delta
 		}
@@ -146,9 +350,12 @@ func (s *Session) bestFit(iv interval.Interval, demand int) int {
 	return best
 }
 
-// nextFit keeps one open machine and abandons it permanently on overflow.
-func (s *Session) nextFit(iv interval.Interval, demand int) int {
-	if s.cursor >= 0 && s.machines[s.cursor].fits(iv.Start, demand, s.g) {
+// nextFit keeps one open machine and abandons it permanently on overflow;
+// it never returns to the free pool, preserving the replay differential.
+// On unbounded streams NextFit's abandoned machines therefore accumulate —
+// the rolling-horizon policies of choice are FirstFit and BestFit.
+func (s *Session) nextFit(demand int) int {
+	if s.cursor >= 0 && int(s.machines[s.cursor].used)+demand <= s.g {
 		return s.cursor
 	}
 	s.cursor = s.open()
@@ -157,55 +364,152 @@ func (s *Session) nextFit(iv interval.Interval, demand int) int {
 
 func (s *Session) open() int {
 	s.machines = append(s.machines, sessionMachine{})
+	if len(s.machines) > s.peakMachines {
+		s.peakMachines = len(s.machines)
+	}
 	return len(s.machines) - 1
 }
 
-// fits reports whether a job starting at start with the given demand joins
-// the machine without exceeding capacity g. Loads that ended before start
-// can never constrain a future arrival (starts are non-decreasing), so they
-// are compacted away during the scan.
-func (mc *sessionMachine) fits(start float64, demand, g int) bool {
-	used, keep := 0, mc.load[:0]
-	for _, r := range mc.load {
-		if r.end < start {
-			continue // expired: end < every future start
+// removeLoad drops the load of the given job; order is irrelevant to every
+// decision (capacity is a sum, the tail a max), so swap-remove suffices.
+func (mc *sessionMachine) removeLoad(job int) {
+	for i := range mc.loads {
+		if mc.loads[i].job == job {
+			last := len(mc.loads) - 1
+			mc.loads[i] = mc.loads[last]
+			mc.loads = mc.loads[:last]
+			return
 		}
-		keep = append(keep, r)
-		used += r.demand
 	}
-	mc.load = keep
-	return used+demand <= g
 }
 
-// delta returns the busy-time increase iv would cause. Every existing piece
-// starts at or before iv.Start, so only the last piece can absorb it.
-func (mc *sessionMachine) delta(iv interval.Interval) float64 {
-	if n := len(mc.pieces); n > 0 && iv.Start <= mc.pieces[n-1].End {
-		if iv.End <= mc.pieces[n-1].End {
-			return 0
+// appendRec retains a new arrival, compacting the departed prefix in place
+// before growing: records are reclaimed (base advances, survivors shift
+// down in the same backing array) whenever they would otherwise force a
+// reallocation and at least half the array is reclaimable, so the backing
+// capacity tracks the live-window high-water mark instead of the stream
+// length, and steady-state appends never allocate.
+func (s *Session) appendRec(r jobRec) {
+	if len(s.recs) == cap(s.recs) {
+		k := 0
+		for k < len(s.recs) && s.recs[k].demand < 0 {
+			k++
 		}
-		return iv.End - mc.pieces[n-1].End
+		if 2*k >= len(s.recs) && k > 0 {
+			n := copy(s.recs, s.recs[k:])
+			s.recs = s.recs[:n]
+			s.base += k
+			s.compactions++
+		}
 	}
-	return iv.End - iv.Start
+	s.recs = append(s.recs, r)
+	if len(s.recs) > s.peakWindow {
+		s.peakWindow = len(s.recs)
+	}
 }
 
-// add records the job on the machine and returns the busy-time increase.
-func (mc *sessionMachine) add(iv interval.Interval, demand int) float64 {
-	mc.load = append(mc.load, sessionLoad{end: iv.End, demand: demand})
-	if n := len(mc.pieces); n > 0 && iv.Start <= mc.pieces[n-1].End {
-		last := &mc.pieces[n-1]
-		old := last.End
-		if iv.End > last.End {
-			last.End = iv.End
-		}
-		return last.End - old
+func (s *Session) markIdle(m int) {
+	if !s.machines[m].inIdle {
+		s.machines[m].inIdle = true
+		s.idlePush(int32(m))
 	}
-	mc.pieces = append(mc.pieces, iv)
-	return iv.Len()
 }
 
-// Jobs returns the number of arrivals placed so far.
-func (s *Session) Jobs() int { return len(s.jobs) }
+// idleMin returns the lowest-indexed fully-idle machine, discarding stale
+// heap entries for machines that have since been re-used, or -1.
+func (s *Session) idleMin() int {
+	for len(s.idleHeap) > 0 {
+		m := int(s.idleHeap[0])
+		if s.machines[m].used == 0 {
+			return m
+		}
+		s.idlePopTop()
+		s.machines[m].inIdle = false
+	}
+	return -1
+}
+
+// --- manual slice-backed heaps (container/heap boxes through an interface
+// and allocates on Push; these stay on the recycled backing arrays) ---
+
+func (s *Session) endPush(e endEntry) {
+	h := append(s.endHeap, e)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p].end <= h[i].end {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.endHeap = h
+}
+
+func (s *Session) endPop() endEntry {
+	h := s.endHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r].end < h[l].end {
+			l = r
+		}
+		if h[i].end <= h[l].end {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	s.endHeap = h
+	return top
+}
+
+func (s *Session) idlePush(m int32) {
+	h := append(s.idleHeap, m)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.idleHeap = h
+}
+
+func (s *Session) idlePopTop() {
+	h := s.idleHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	s.idleHeap = h
+}
+
+// Jobs returns the number of arrivals placed so far (departed or not); the
+// next arrival's feed index.
+func (s *Session) Jobs() int { return s.base + len(s.recs) }
+
+// Live returns the number of jobs currently holding capacity.
+func (s *Session) Live() int { return s.live }
 
 // Machines returns the number of machines opened so far.
 func (s *Session) Machines() int { return len(s.machines) }
@@ -213,33 +517,138 @@ func (s *Session) Machines() int { return len(s.machines) }
 // Cost returns the total busy time accrued so far, maintained incrementally.
 func (s *Session) Cost() float64 { return s.cost }
 
-// MachineOf returns the machine of the j-th arrival (feed order).
-func (s *Session) MachineOf(j int) int { return s.assign[j] }
-
-// Assignment returns a copy of the per-arrival machine assignment in feed
-// order.
-func (s *Session) Assignment() []int {
-	out := make([]int, len(s.assign))
-	copy(out, s.assign)
-	return out
+// MachineOf returns the machine of the j-th arrival (feed order), or -1 if
+// the record left the retained window (departed and compacted away).
+func (s *Session) MachineOf(j int) int {
+	if j < s.base || j >= s.base+len(s.recs) {
+		return -1
+	}
+	return int(s.recs[j-s.base].machine)
 }
 
-// Instance returns a snapshot of the arrivals fed so far as a fresh
-// instance: job IDs are feed positions, so the snapshot pairs with
-// Assignment index-for-index.
+// Stats is a point-in-time snapshot of a session's rolling-horizon state and
+// competitive telemetry. Reading it does not allocate on a warm session.
+type Stats struct {
+	Placed      uint64 // arrivals accepted
+	Released    uint64 // explicit early departures
+	Expired     uint64 // natural departures (clock passed the end)
+	Compactions uint64 // retained-window reclaim passes
+
+	Live         int // jobs currently holding capacity
+	Window       int // retained records (live + departed awaiting reclaim)
+	WindowCap    int // retained-window backing capacity (the memory bound)
+	Machines     int // machines opened so far
+	IdleMachines int // machines currently in the free pool
+
+	PeakLive     int // high-water Live
+	PeakWindow   int // high-water Window
+	PeakMachines int // high-water Machines
+
+	Cost       float64 // total busy time accrued
+	LowerBound float64 // fractional bound of the effective stream, live tails projected
+	Ratio      float64 // Cost / LowerBound; the live competitive ratio
+}
+
+// Stats reports the session's counters, memory high-water marks and live
+// competitive ratio. The lower bound is the exact fractional bound
+// ∫⌈D_t/g⌉dt of the effective stream seen so far (early releases clipped at
+// their release clock), integrated incrementally event by event, plus the
+// projection of the live jobs running to their natural ends — the same
+// quantity core.FractionalBound would compute offline over the effective
+// instance. Cost likewise bills live spans through their current ends, so
+// Ratio compares like with like.
+func (s *Session) Stats() Stats {
+	st := Stats{
+		Placed:       s.placed,
+		Released:     s.released,
+		Expired:      s.expired,
+		Compactions:  s.compactions,
+		Live:         s.live,
+		Window:       len(s.recs),
+		WindowCap:    cap(s.recs),
+		Machines:     len(s.machines),
+		PeakLive:     s.peakLive,
+		PeakWindow:   s.peakWindow,
+		PeakMachines: s.peakMachines,
+		Cost:         s.cost,
+		LowerBound:   s.lowerBound(),
+	}
+	for m := range s.machines {
+		if s.machines[m].used == 0 {
+			st.IdleMachines++
+		}
+	}
+	if st.LowerBound > 0 {
+		st.Ratio = st.Cost / st.LowerBound
+	}
+	return st
+}
+
+// lowerBound projects the incremental bound past the clock: live demand
+// decays at the live jobs' ends, integrated over the sorted tail in the
+// session-owned scratch buffer.
+func (s *Session) lowerBound() float64 {
+	buf := s.tailBuf[:0]
+	for i := range s.recs {
+		// Released-but-not-yet-retired jobs already left the bound (their
+		// clipped interiors end at lbClock); only natural tails project.
+		if r := &s.recs[i]; r.demand > 0 && !r.released {
+			buf = append(buf, tailEnt{end: r.iv.End, demand: r.demand})
+		}
+	}
+	s.tailBuf = buf
+	slices.SortFunc(buf, func(a, b tailEnt) int {
+		switch {
+		case a.end < b.end:
+			return -1
+		case a.end > b.end:
+			return 1
+		default:
+			return 0
+		}
+	})
+	lb := s.cumLB
+	t := s.lbClock
+	d := s.lbDemand
+	g := float64(s.g)
+	for _, e := range buf {
+		if d > 0 && e.end > t {
+			lb += math.Ceil(float64(d)/g) * (e.end - t)
+			t = e.end
+		}
+		d -= int(e.demand)
+	}
+	return lb
+}
+
+// Instance returns the retained window as a fresh instance: every record
+// still held (live, plus departed records awaiting reclaim) with its
+// effective interval and original demand, under its feed index as Job.ID. A
+// session that has never compacted — any short-lived one — snapshots its
+// complete history; a long-running stream snapshots its recent horizon.
 func (s *Session) Instance() *core.Instance {
-	jobs := make([]core.Job, len(s.jobs))
-	copy(jobs, s.jobs)
+	jobs := make([]core.Job, len(s.recs))
+	for i := range s.recs {
+		r := &s.recs[i]
+		d := int(r.demand)
+		if d < 0 {
+			d = -d
+		}
+		jobs[i] = core.Job{ID: s.base + i, Iv: r.iv, Demand: d}
+	}
 	return &core.Instance{Name: "online-session", G: s.g, Jobs: jobs}
 }
 
-// Snapshot materializes the session's decisions as a verified core.Schedule
-// over the Instance snapshot, in caller-owned memory.
+// Snapshot materializes the retained window's decisions as a verified
+// core.Schedule over the Instance snapshot, in caller-owned memory.
+// Effective intervals make the snapshot self-consistent: a job released
+// early appears clipped at its release clock, so capacity freed by the
+// release and re-used by later arrivals never double-books a machine.
 func (s *Session) Snapshot() (*core.Schedule, error) {
 	in := s.Instance()
-	byID := make(map[int]int, len(s.assign))
-	for j, m := range s.assign {
-		byID[j] = m
+	byID := make(map[int]int, len(s.recs))
+	for i := range s.recs {
+		byID[s.base+i] = int(s.recs[i].machine)
 	}
 	sched, err := core.FromAssignment(in, byID)
 	if err != nil {

@@ -12,7 +12,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"busytime/internal/core"
 )
@@ -83,15 +83,17 @@ func Run(s *core.Schedule) (*Report, error) {
 			Event{T: job.Iv.End, Kind: JobEnd, Job: j, Machine: m},
 		)
 	}
-	sort.Slice(events, func(a, b int) bool {
-		ea, eb := events[a], events[b]
+	slices.SortFunc(events, func(ea, eb Event) int {
 		if ea.T != eb.T {
-			return ea.T < eb.T
+			if ea.T < eb.T {
+				return -1
+			}
+			return 1
 		}
 		if ea.Kind != eb.Kind {
-			return ea.Kind == JobStart // starts before ends (closed semantics)
+			return int(ea.Kind) - int(eb.Kind) // starts before ends (closed semantics)
 		}
-		return ea.Job < eb.Job
+		return ea.Job - eb.Job
 	})
 
 	type mstate struct {

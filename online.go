@@ -29,7 +29,27 @@ type OnlineSession struct {
 // caller that does not have the future in hand. For the same reason a
 // WithLookahead session is rejected: buffering k future arrivals requires
 // the replay side (Solve), not an immediate-decision handle.
+//
+// Sessions run a rolling horizon: as the stream clock (the latest start fed
+// to Place) moves past a job's end the job departs automatically, its
+// capacity returns to the free pool, and its record is eventually compacted
+// away, so a session's memory tracks the live window rather than the stream
+// length. WithWindow pre-sizes that state; Release departs a job early.
 func (s *Solver) Online(g int, policy string) (*OnlineSession, error) {
+	pol, err := s.onlinePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := online.NewSessionSized(g, pol, s.cfg.window)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineSession{inner: inner}, nil
+}
+
+// onlinePolicy resolves a session policy name, rejecting configurations that
+// cannot drive an immediate-decision handle.
+func (s *Solver) onlinePolicy(policy string) (online.Policy, error) {
 	if s.cfg.lookahead > 1 {
 		return nil, fmt.Errorf("busytime: WithLookahead(%d) cannot drive an incremental session (decisions are immediate); replay the completed instance via Solve instead", s.cfg.lookahead)
 	}
@@ -37,11 +57,7 @@ func (s *Solver) Online(g int, policy string) (*OnlineSession, error) {
 	if !ok {
 		return nil, fmt.Errorf("busytime: unknown online policy %q (want firstfit, bestfit or nextfit)", policy)
 	}
-	inner, err := online.NewSession(g, pol)
-	if err != nil {
-		return nil, err
-	}
-	return &OnlineSession{inner: inner}, nil
+	return pol, nil
 }
 
 // Place feeds the next unit-demand arrival and returns the machine it was
@@ -57,8 +73,26 @@ func (o *OnlineSession) PlaceDemand(iv Interval, demand int) (int, error) {
 	return o.inner.Place(iv, demand)
 }
 
+// Release departs job (a feed index: the session's Jobs() at its Place)
+// before its natural end: the job's effective interval is clipped at the
+// current stream clock, the machine's busy span stops accruing there, and
+// the slot returns to the free pool once the clock moves strictly past —
+// under closed intervals the job still holds its slot at the release
+// instant itself. It reports false for a job that already departed
+// (released earlier, expired naturally, or compacted out of the retained
+// window) and errors only for an index never handed out.
+func (o *OnlineSession) Release(job int) (bool, error) { return o.inner.Release(job) }
+
 // Jobs returns the number of arrivals placed so far.
 func (o *OnlineSession) Jobs() int { return o.inner.Jobs() }
+
+// Live returns the number of jobs currently holding capacity: placed, not
+// released, and with ends at or past the stream clock.
+func (o *OnlineSession) Live() int { return o.inner.Live() }
+
+// Stats reports the session's counters, memory high-water marks and live
+// competitive ratio without allocating.
+func (o *OnlineSession) Stats() OnlineStats { return onlineStats(o.inner.Stats()) }
 
 // Machines returns the number of machines opened so far.
 func (o *OnlineSession) Machines() int { return o.inner.Machines() }
@@ -70,11 +104,15 @@ func (o *OnlineSession) Cost() float64 { return o.inner.Cost() }
 // MachineOf returns the machine of the j-th arrival (feed order).
 func (o *OnlineSession) MachineOf(j int) int { return o.inner.MachineOf(j) }
 
-// Result materializes the session so far as a standard Result: a verified
-// schedule in caller-owned memory over a snapshot of the fed jobs, with the
-// lower bounds and gap computed against the arrivals seen so far. The
-// session remains usable; later arrivals do not invalidate the returned
-// Result.
+// Result materializes the retained window as a standard Result: a verified
+// schedule in caller-owned memory over the records the rolling horizon still
+// holds (live jobs plus recent departures awaiting reclaim), using effective
+// intervals — an early release appears clipped at its release clock — with
+// lower bounds computed against that window instance. Jobs already compacted
+// away are absent, so on a long stream the Result covers the recent past,
+// not the full history; Cost() and Stats() carry the stream-lifetime
+// aggregates. The session remains usable; later arrivals do not invalidate
+// the returned Result.
 func (o *OnlineSession) Result() (Result, error) {
 	sched, err := o.inner.Snapshot()
 	if err != nil {
@@ -87,5 +125,152 @@ func (o *OnlineSession) Result() (Result, error) {
 		Machines:  sched.NumMachines(),
 		Cost:      sched.Cost(),
 		Bounds:    in.CachedBounds(),
+	}, nil
+}
+
+// OnlineStats is a session's telemetry snapshot: stream-lifetime counters,
+// current and high-water state sizes, and the live competitive ratio. The
+// lower bound is the exact fractional bound ∫⌈D_t/g⌉dt of the effective
+// stream seen so far (early releases clipped at their release clock), with
+// the live jobs projected to their natural ends, maintained incrementally;
+// Ratio = Cost / LowerBound is therefore a true upper bound on how far the
+// session sits above any schedule of the same stream.
+type OnlineStats struct {
+	Placed      uint64 // arrivals accepted
+	Released    uint64 // explicit early departures
+	Expired     uint64 // natural departures (clock passed the end)
+	Compactions uint64 // retained-window reclaim passes
+
+	Live         int // jobs currently holding capacity
+	Window       int // retained records (live + departed awaiting reclaim)
+	WindowCap    int // retained-window backing capacity (the memory bound)
+	Machines     int // machines opened so far
+	IdleMachines int // machines currently in the free pool
+
+	PeakLive     int // high-water Live
+	PeakWindow   int // high-water Window
+	PeakMachines int // high-water Machines
+
+	Cost       float64 // total busy time accrued
+	LowerBound float64 // fractional bound of the effective stream, live tails projected
+	Ratio      float64 // Cost / LowerBound; the live competitive ratio
+}
+
+// onlineStats converts the internal telemetry struct field for field.
+func onlineStats(st online.Stats) OnlineStats {
+	return OnlineStats{
+		Placed:       st.Placed,
+		Released:     st.Released,
+		Expired:      st.Expired,
+		Compactions:  st.Compactions,
+		Live:         st.Live,
+		Window:       st.Window,
+		WindowCap:    st.WindowCap,
+		Machines:     st.Machines,
+		IdleMachines: st.IdleMachines,
+		PeakLive:     st.PeakLive,
+		PeakWindow:   st.PeakWindow,
+		PeakMachines: st.PeakMachines,
+		Cost:         st.Cost,
+		LowerBound:   st.LowerBound,
+		Ratio:        st.Ratio,
+	}
+}
+
+// OnlinePool is sharded multi-tenant online state: one rolling-horizon
+// session per tenant key, created on first placement and distributed over
+// power-of-two lock shards, so independent tenants place concurrently and
+// contend only when they hash together. Obtain one from Solver.OnlinePool;
+// it is safe for concurrent use.
+type OnlinePool struct {
+	inner *online.Pool
+}
+
+// OnlinePool opens a multi-tenant pool of rolling-horizon sessions with
+// parallelism g placing through the named arrival policy (the same names
+// Online accepts). The shard count follows WithWorkers and each tenant's
+// session is pre-sized by WithWindow. Unless the solver runs
+// WithFreshSchedules, the pool shares the solver's recycled arenas, and
+// Offline can replay any tenant's retained window through the offline
+// kernel for an exact competitive comparison.
+func (s *Solver) OnlinePool(g int, policy string) (*OnlinePool, error) {
+	pol, err := s.onlinePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := online.NewPool(g, pol, s.cfg.maxWorkers(), s.cfg.window, s.pool)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlinePool{inner: inner}, nil
+}
+
+// Place feeds the tenant's next unit-demand arrival, creating the tenant's
+// session on first use, and returns the machine it was assigned to plus the
+// job's feed index — the handle Release takes. Arrival order is per tenant:
+// each tenant's starts must be non-decreasing, independent of the others.
+func (p *OnlinePool) Place(tenant string, iv Interval) (machine, job int, err error) {
+	return p.inner.Place(tenant, iv, 1)
+}
+
+// PlaceDemand is Place for a job consuming demand machine slots while
+// active (1 ≤ demand ≤ g).
+func (p *OnlinePool) PlaceDemand(tenant string, iv Interval, demand int) (machine, job int, err error) {
+	return p.inner.Place(tenant, iv, demand)
+}
+
+// Release departs the tenant's job early; see OnlineSession.Release. An
+// unknown tenant reports (false, nil) like an already-departed job.
+func (p *OnlinePool) Release(tenant string, job int) (bool, error) {
+	return p.inner.Release(tenant, job)
+}
+
+// Stats snapshots the tenant's telemetry; ok is false for a tenant that
+// never placed.
+func (p *OnlinePool) Stats(tenant string) (OnlineStats, bool) {
+	st, ok := p.inner.Stats(tenant)
+	if !ok {
+		return OnlineStats{}, false
+	}
+	return onlineStats(st), true
+}
+
+// Drop discards the tenant's session and reports whether one existed.
+func (p *OnlinePool) Drop(tenant string) bool { return p.inner.Drop(tenant) }
+
+// Tenants returns every tenant key currently holding a session, in no
+// particular order.
+func (p *OnlinePool) Tenants() []string { return p.inner.Tenants() }
+
+// OnlineComparison is Offline's verdict on one tenant: how the irrevocable
+// online decisions compare to an offline replay of the same retained window
+// and to its lower bounds.
+type OnlineComparison struct {
+	// OnlineCost is the tenant's total accrued busy time (stream lifetime).
+	OnlineCost float64
+	// WindowCost is the policy's offline replay cost of the retained window.
+	WindowCost float64
+	// Bounds are the offline lower bounds of the retained-window instance.
+	Bounds Bounds
+	// Ratio is WindowCost / Bounds.Fractional: the window's competitive ratio.
+	Ratio float64
+}
+
+// Offline replays the tenant's retained window through the pool's policy on
+// an arena leased from the solver's scratch pool and reports the competitive
+// comparison. The window is snapshotted under the tenant's shard lock; the
+// replay runs unlocked, so a slow comparison never stalls placements. It
+// errors on a solver built WithFreshSchedules (no shared arenas) or an
+// unknown tenant.
+func (p *OnlinePool) Offline(tenant string) (OnlineComparison, error) {
+	cmp, err := p.inner.Offline(tenant)
+	if err != nil {
+		return OnlineComparison{}, err
+	}
+	return OnlineComparison{
+		OnlineCost: cmp.OnlineCost,
+		WindowCost: cmp.WindowCost,
+		Bounds:     cmp.Bounds,
+		Ratio:      cmp.Ratio,
 	}, nil
 }

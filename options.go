@@ -24,6 +24,7 @@ type config struct {
 	lookahead  int
 	exactLimit int
 	lengthD    float64
+	window     int
 	fresh      bool
 	err        error
 }
@@ -166,6 +167,23 @@ func WithLookahead(k int) Option {
 			return
 		}
 		c.lookahead = k
+	}
+}
+
+// WithWindow pre-sizes the rolling-horizon state of sessions opened by
+// Solver.Online and Solver.OnlinePool for about n simultaneously live jobs:
+// the retained-window ring, the departure heap and the telemetry scratch
+// start at that capacity, so a stream that stays under the hint reaches the
+// zero-allocation steady state without any warm-up growth. It is a hint,
+// not a limit — sessions grow past it on demand — and it is inert for batch
+// Solve calls. n = 0 (the default) starts empty.
+func WithWindow(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("WithWindow: %d live jobs, want ≥ 0", n)
+			return
+		}
+		c.window = n
 	}
 }
 

@@ -511,12 +511,20 @@ func TestOnlineSessionMatchesReplay(t *testing.T) {
 							seed, j, feedMachine[p], want.Schedule.MachineOf(int(j)))
 					}
 				}
+				// Result materializes the session's retained window (the
+				// rolling horizon), not the full history: its verified
+				// schedule costs at most the complete replay, and the
+				// session's incremental Cost still accounts the whole
+				// stream (pinned above).
 				res, err := sess.Result()
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !almostEq(res.Cost, want.Cost) {
-					t.Errorf("session Result cost %v != replay %v", res.Cost, want.Cost)
+				if res.Cost > want.Cost+1e-9 {
+					t.Errorf("session window Result cost %v exceeds full replay %v", res.Cost, want.Cost)
+				}
+				if res.Machines > want.Machines {
+					t.Errorf("session window Result machines %d exceed full replay %d", res.Machines, want.Machines)
 				}
 			}
 		})
@@ -604,5 +612,134 @@ func TestLegacyWrappersStillWork(t *testing.T) {
 	}
 	if s2.NumMachines() != 1 {
 		t.Errorf("second schedule machines = %d", s2.NumMachines())
+	}
+}
+
+// TestOnlineSessionRollingPublic drives the rolling-horizon surface through
+// the public API: WithWindow pre-sizing, early Release, auto-expiry and the
+// telemetry snapshot.
+func TestOnlineSessionRollingPublic(t *testing.T) {
+	s, err := busytime.New(busytime.WithWindow(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := s.Online(2, "firstfit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Place(busytime.NewInterval(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Place(busytime.NewInterval(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Live() != 2 {
+		t.Fatalf("live = %d, want 2", sess.Live())
+	}
+	// Release job 0 at clock 1: its span is clipped, and once the clock
+	// moves strictly past, its slot frees up.
+	if ok, err := sess.Release(0); !ok || err != nil {
+		t.Fatalf("Release(0) = %v, %v", ok, err)
+	}
+	if ok, err := sess.Release(0); ok || err != nil {
+		t.Fatalf("double Release(0) = %v, %v, want false, nil", ok, err)
+	}
+	if _, err := sess.Release(7); err == nil {
+		t.Fatal("Release of a never-placed job accepted")
+	}
+	if _, err := sess.Place(busytime.NewInterval(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Placed != 3 || st.Released != 1 || st.Live != 2 {
+		t.Fatalf("stats = %+v, want placed 3, released 1, live 2", st)
+	}
+	if st.Machines != 1 {
+		t.Fatalf("machines = %d, want 1 (released slot reused)", st.Machines)
+	}
+	if st.LowerBound <= 0 || st.Cost < st.LowerBound-1e-9 || st.Ratio < 1-1e-9 {
+		t.Fatalf("bound telemetry inconsistent: %+v", st)
+	}
+	res, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Cost, sess.Cost()) {
+		t.Fatalf("window result cost %v != session cost %v", res.Cost, sess.Cost())
+	}
+}
+
+// TestOnlinePoolPublic drives the multi-tenant pool surface: per-tenant
+// isolation, release handles, stats, the offline comparison and Drop.
+func TestOnlinePoolPublic(t *testing.T) {
+	s, err := busytime.New(busytime.WithWindow(32), busytime.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := s.OnlinePool(2, "bestfit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		iv := busytime.NewInterval(float64(i), float64(i)+4)
+		if _, _, err := pool.Place("a", iv); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pool.PlaceDemand("b", iv, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, job, err := pool.Place("a", busytime.NewInterval(8, 12)); err != nil {
+		t.Fatal(err)
+	} else if ok, err := pool.Release("a", job); !ok || err != nil {
+		t.Fatalf("Release = %v, %v", ok, err)
+	}
+	if ok, err := pool.Release("ghost", 0); ok || err != nil {
+		t.Fatalf("Release on unknown tenant = %v, %v", ok, err)
+	}
+	sta, ok := pool.Stats("a")
+	if !ok || sta.Placed != 9 || sta.Released != 1 {
+		t.Fatalf("tenant a stats = %+v, %v", sta, ok)
+	}
+	if got := len(pool.Tenants()); got != 2 {
+		t.Fatalf("%d tenants, want 2", got)
+	}
+	cmp, err := pool.Offline("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.WindowCost < cmp.Bounds.Fractional-1e-9 || cmp.OnlineCost < cmp.WindowCost-1e-9 {
+		t.Fatalf("comparison inconsistent: %+v", cmp)
+	}
+	if cmp.Ratio < 1-1e-9 {
+		t.Fatalf("ratio %v < 1", cmp.Ratio)
+	}
+	if !pool.Drop("a") || pool.Drop("a") {
+		t.Fatal("Drop: want true then false")
+	}
+
+	// Fresh-schedule solvers have no shared arenas: Offline must refuse.
+	fresh, err := busytime.New(busytime.WithFreshSchedules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpool, err := fresh.OnlinePool(2, "firstfit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fpool.Place("x", busytime.NewInterval(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fpool.Offline("x"); err == nil {
+		t.Fatal("Offline on a fresh-schedule solver accepted")
+	}
+
+	// The lookahead rejection applies to pools like it does to sessions.
+	la, err := busytime.New(busytime.WithAlgorithm("online-firstfit"), busytime.WithLookahead(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := la.OnlinePool(2, "firstfit"); err == nil {
+		t.Fatal("lookahead pool accepted")
 	}
 }
