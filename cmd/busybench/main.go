@@ -1,0 +1,195 @@
+// Command busybench is the load generator for busyschedd's data plane: K
+// connections, each owning a disjoint set of tenants, stream synthetic
+// rolling-horizon arrivals (internal/generator.Stream) as pipelined place
+// batches and record client-observed round-trip latency percentiles plus
+// typed-reject counts. Each batch goes entirely to one tenant — the shape
+// the server turns into a single shard-lock acquisition — and tenants
+// rotate batch to batch so the pool's sharding is exercised.
+//
+// Output is a human summary, or with -json a machine document (the
+// library's shared encoder) that BENCH_9.json and the e2e test consume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"busytime/internal/generator"
+	"busytime/internal/server"
+	"busytime/internal/stats"
+)
+
+type benchOutput struct {
+	Placements uint64  `json:"placements"` // accepted
+	DurationS  float64 `json:"duration_sec"`
+	PerSec     float64 `json:"placements_per_sec"`
+
+	Conns   int `json:"conns"`
+	Tenants int `json:"tenants"`
+	Batch   int `json:"batch"`
+	Live    int `json:"live"`
+
+	Rejects map[string]uint64 `json:"rejects"` // by typed reject code name
+
+	RTT stats.HistSummary `json:"rtt"` // per-placement, batch round-trip attributed
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("busybench", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8481", "busyschedd data plane address")
+		conns     = fs.Int("conns", 4, "concurrent connections")
+		tenants   = fs.Int("tenants", 8, "distinct tenants (spread over connections)")
+		n         = fs.Int("n", 1_000_000, "total placements to send")
+		live      = fs.Int("live", 256, "target simultaneously-live jobs per tenant stream")
+		maxDemand = fs.Int("max-demand", 1, "max per-job demand (uniform in [1, max])")
+		batch     = fs.Int("batch", 16, "place frames pipelined per batch")
+		seed      = fs.Int64("seed", 1, "stream seed (per-connection offsets applied)")
+		jsonOut   = fs.Bool("json", false, "emit the machine-readable JSON document")
+	)
+	fs.Parse(args)
+	if *conns < 1 || *tenants < 1 || *batch < 1 || *n < *conns {
+		fmt.Fprintln(os.Stderr, "busybench: need conns ≥ 1, tenants ≥ 1, batch ≥ 1, n ≥ conns")
+		return 2
+	}
+
+	var (
+		hist     stats.Hist
+		accepted atomic.Uint64
+		rejects  [5]atomic.Uint64 // indexed by reject code; 0 unused
+		wg       sync.WaitGroup
+		errCh    = make(chan error, *conns)
+	)
+	t0 := time.Now()
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := runConn(c, *addr, *conns, *tenants, *n / *conns, *live, *maxDemand, *batch, *seed, &hist, &accepted, &rejects); err != nil {
+				errCh <- fmt.Errorf("conn %d: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	dur := time.Since(t0)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "busybench: %v\n", err)
+		return 1
+	default:
+	}
+
+	out := benchOutput{
+		Placements: accepted.Load(),
+		DurationS:  dur.Seconds(),
+		PerSec:     float64(accepted.Load()) / dur.Seconds(),
+		Conns:      *conns,
+		Tenants:    *tenants,
+		Batch:      *batch,
+		Live:       *live,
+		Rejects:    map[string]uint64{},
+		RTT:        hist.Summary(),
+	}
+	for code := byte(1); code <= 4; code++ {
+		if v := rejects[code].Load(); v > 0 {
+			out.Rejects[server.RejectString(code)] = v
+		}
+	}
+	if *jsonOut {
+		if err := stats.WriteJSON(os.Stdout, out); err != nil {
+			fmt.Fprintf(os.Stderr, "busybench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("busybench: %d placements in %.2fs = %.0f/s (conns=%d tenants=%d batch=%d)\n",
+		out.Placements, out.DurationS, out.PerSec, out.Conns, out.Tenants, out.Batch)
+	fmt.Printf("  rtt p50=%v p95=%v p99=%v p999=%v max=%v\n",
+		out.RTT.P50, out.RTT.P95, out.RTT.P99, out.RTT.P999, out.RTT.Max)
+	for name, v := range out.Rejects {
+		fmt.Printf("  rejected %s: %d\n", name, v)
+	}
+	return 0
+}
+
+// runConn drives one connection: open this connection's tenant handles,
+// then stream its share of the arrivals as pipelined batches, one tenant
+// per batch, rotating tenants.
+func runConn(c int, addr string, conns, tenants, n, live, maxDemand, batch int, seed int64,
+	hist *stats.Hist, accepted *atomic.Uint64, rejects *[5]atomic.Uint64) error {
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	// Tenant i is owned by connection i%conns, so per-tenant arrival order
+	// (non-decreasing starts) is preserved: a tenant's stream is a
+	// subsequence of one connection's globally ordered stream.
+	var handles []uint32
+	for i := c; i < tenants; i += conns {
+		h, err := cl.Open(fmt.Sprintf("tenant-%d", i))
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+	}
+	if len(handles) == 0 { // more connections than tenants: share by index
+		h, err := cl.Open(fmt.Sprintf("tenant-extra-%d", c))
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+	}
+
+	jobs := generator.Stream(seed+int64(c)*7919, n, live, maxDemand)
+	turn := 0
+	for done := 0; done < len(jobs); {
+		m := batch
+		if len(jobs)-done < m {
+			m = len(jobs) - done
+		}
+		h := handles[turn%len(handles)]
+		turn++
+		tb := time.Now()
+		for k := 0; k < m; k++ {
+			j := jobs[done+k]
+			if err := cl.SendPlace(h, j.Iv.Start, j.Iv.End, j.Demand); err != nil {
+				return err
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		var acc uint64
+		for k := 0; k < m; k++ {
+			r, err := cl.ReadReply()
+			if err != nil {
+				return err
+			}
+			switch {
+			case r.IsPlaced():
+				acc++
+			case r.IsReject() && r.Code >= 1 && r.Code <= 4:
+				rejects[r.Code].Add(1)
+			default:
+				return fmt.Errorf("reply op 0x%02x (%s)", r.Op, r.Payload)
+			}
+		}
+		accepted.Add(acc)
+		d := time.Since(tb)
+		for k := 0; k < m; k++ {
+			hist.Observe(d)
+		}
+		done += m
+	}
+	return nil
+}

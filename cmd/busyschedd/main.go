@@ -1,0 +1,81 @@
+// Command busyschedd is the busy-time scheduling daemon: an HTTP/JSON
+// control plane (one-shot solves, tenant lifecycle, telemetry) and a
+// framed binary TCP data plane (streaming Place/Release against
+// per-tenant rolling-horizon sessions). All logic lives in
+// internal/server; this is flag parsing and lifecycle glue.
+//
+// The daemon announces its resolved listen addresses on stdout (useful
+// with ":0" ports), serves until SIGINT/SIGTERM, then drains gracefully —
+// in-flight frames complete, new placements get typed shutdown rejects —
+// and flushes a final telemetry document (the same JSON GET /stats
+// serves, latency percentiles included) to stderr before exiting 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"busytime"
+	"busytime/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("busyschedd", flag.ExitOnError)
+	var (
+		control    = fs.String("control", "127.0.0.1:8480", "control plane (HTTP) listen address; empty disables")
+		data       = fs.String("data", "127.0.0.1:8481", "data plane (framed TCP) listen address; empty disables")
+		algorithm  = fs.String("algo", "firstfit", "control-plane solve algorithm")
+		policy     = fs.String("policy", "firstfit", "data-plane arrival policy (firstfit, bestfit, nextfit)")
+		g          = fs.Int("g", 4, "machine parallelism g")
+		window     = fs.Int("window", 0, "per-tenant live-window presize hint")
+		workers    = fs.Int("workers", 0, "solver workers and pool shards (0 = GOMAXPROCS)")
+		maxLive    = fs.Int("max-live", 0, "per-tenant live-job cap (0 = unlimited)")
+		rate       = fs.Float64("rate", 0, "per-tenant placement rate limit per second (0 = unlimited)")
+		burst      = fs.Int("burst", 0, "rate-limit burst (0 derives from -rate)")
+		maxBatch   = fs.Int("max-batch", 64, "max frames per connection batch")
+		drainGrace = fs.Duration("drain-grace", 250*time.Millisecond, "drain window for open connections on shutdown")
+	)
+	fs.Parse(args)
+
+	logger := log.New(os.Stdout, "", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		ControlAddr: *control,
+		DataAddr:    *data,
+		Algorithm:   *algorithm,
+		Policy:      *policy,
+		G:           *g,
+		Window:      *window,
+		Workers:     *workers,
+		Admission:   busytime.Admission{MaxLive: *maxLive, Rate: *rate, Burst: *burst},
+		MaxBatch:    *maxBatch,
+		DrainGrace:  *drainGrace,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "busyschedd: %v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "busyschedd: shutdown: %v\n", err)
+		return 1
+	}
+	logger.Printf("busyschedd: drained, flushing stats")
+	if err := srv.WriteStats(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "busyschedd: flushing stats: %v\n", err)
+		return 1
+	}
+	return 0
+}

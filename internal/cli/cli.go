@@ -112,7 +112,7 @@ commands:
             FILE...                            schedule instance files, or
             -kind ... -count K -n N -g G -seed S   a generated suite
   online    -policy firstfit|bestfit|nextfit -n N -g G -live L
-            [-maxdemand D] [-release P] [-window W] [-seed S]
+            [-maxdemand D] [-release P] [-window W] [-seed S] [-json]
             rolling-horizon stream with arrivals and departures
 
 registered algorithms:`)
@@ -505,6 +505,7 @@ func (c *CLI) cmdOnline(ctx context.Context, args []string) error {
 	release := fs.Float64("release", 0.1, "fraction of arrivals followed by a random early release")
 	window := fs.Int("window", 0, "pre-size the session for this many live jobs (0 = grow on demand)")
 	seed := fs.Int64("seed", 1, "random seed")
+	jsonOut := fs.Bool("json", false, "emit the full OnlineStats document as JSON (the daemon's per-tenant stats encoding)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -536,6 +537,11 @@ func (c *CLI) cmdOnline(ctx context.Context, args []string) error {
 		}
 	}
 	st := sess.Stats()
+	if *jsonOut {
+		// The same encoder and field names as busyschedd's per-tenant stats
+		// endpoint, so scripts consume one schema from both front ends.
+		return stats.WriteJSON(c.Out, st)
+	}
 	fmt.Fprintf(c.Out, "stream    : n=%d live≈%d g=%d policy=%s seed=%d\n", *n, *live, *g, *policy, *seed)
 	fmt.Fprintf(c.Out, "placed    : %d  (released %d, expired %d, live %d)\n", st.Placed, st.Released, st.Expired, st.Live)
 	fmt.Fprintf(c.Out, "machines  : %d open, %d idle  (peak %d)\n", st.Machines, st.IdleMachines, st.PeakMachines)

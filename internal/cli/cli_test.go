@@ -2,11 +2,14 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"busytime"
 	"busytime/internal/core"
 )
 
@@ -243,6 +246,28 @@ func TestOnlineStream(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestOnlineJSON(t *testing.T) {
+	code, out, errOut := run("online", "-n", "5000", "-live", "100", "-g", "3",
+		"-maxdemand", "2", "-release", "0.25", "-window", "128", "-seed", "11", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var st busytime.OnlineStats
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("-json output is not an OnlineStats document: %v\n%s", err, out)
+	}
+	if st.Placed != 5000 || st.Cost <= 0 || st.Ratio < 1 {
+		t.Fatalf("decoded stats: %+v", st)
+	}
+	// Same stream, same stats: the JSON document and the text report come
+	// from one Stats() snapshot shape.
+	code2, out2, _ := run("online", "-n", "5000", "-live", "100", "-g", "3",
+		"-maxdemand", "2", "-release", "0.25", "-window", "128", "-seed", "11")
+	if code2 != 0 || !strings.Contains(out2, fmt.Sprintf("placed    : %d", st.Placed)) {
+		t.Fatalf("text/json divergence: %+v vs\n%s", st, out2)
 	}
 }
 

@@ -2,7 +2,7 @@ package itree
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -41,7 +41,16 @@ func bruteOverlap(items []Item, w interval.Interval) []Item {
 }
 
 func sortItems(items []Item) {
-	sort.Slice(items, func(i, j int) bool { return less(items[i], items[j]) })
+	slices.SortFunc(items, func(a, b Item) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 func sameItems(a, b []Item) bool {

@@ -263,6 +263,22 @@ func (s *Session) Release(job int) (bool, error) {
 	return true, nil
 }
 
+// Advance moves the stream clock forward to c without placing anything,
+// retiring every departure it passes. The admission path uses it so a
+// live-job cap judges a new arrival against the capacity actually held at
+// its start time — jobs whose ends the arrival's clock has passed are
+// already gone, exactly as if the arrival had been placed. Starts at or
+// before the current clock, and NaN, are no-ops; Advance never errors and
+// never moves backwards, so interleaving it with Place preserves the
+// session's ordering contract.
+func (s *Session) Advance(c float64) {
+	if math.IsNaN(c) || c <= s.clock {
+		return
+	}
+	s.advance(c)
+	s.clock = c
+}
+
 // advance moves the stream clock to c: every pending end strictly before c
 // departs naturally (in end order, so the running lower bound integrates
 // each constant-demand segment exactly), then the bound integrates the

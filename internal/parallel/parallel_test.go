@@ -2,11 +2,12 @@ package parallel
 
 import (
 	"errors"
-	"math/rand"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"busytime/internal/xrand"
 )
 
 func TestMapOrderPreserved(t *testing.T) {
@@ -48,7 +49,7 @@ func TestMapParallelMatchesSequential(t *testing.T) {
 	f := func(seed int64, nn uint8) bool {
 		n := int(nn%64) + 1
 		work := func(i int) float64 {
-			r := rand.New(rand.NewSource(seed + int64(i)))
+			r := xrand.New(seed + int64(i))
 			return r.Float64()
 		}
 		seq := Map(n, 1, work)

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+
+	"busytime"
+)
+
+// Client speaks the data-plane protocol. It is deliberately the only
+// client implementation in the tree — busybench, the e2e test and the
+// protocol tests all drive the daemon through it, so the client and server
+// halves of the framing can never drift apart. Send* methods buffer;
+// Flush pushes the batch; replies come back in send order via ReadReply.
+// Not safe for concurrent use: pipeline from one goroutine, or use one
+// Client per connection. The steady-state place/reply cycle allocates
+// nothing.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	hdr     [frameHeader]byte
+	whdr    [frameHeader]byte
+	pbuf    [24]byte
+	rbuf    []byte
+	pending int // replies owed by the server
+}
+
+// Dial connects to a daemon's data plane.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (net.Pipe in tests).
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 32<<10),
+		bw: bufio.NewWriterSize(nc, 32<<10),
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Reply is one server reply frame. Payload (statsOK JSON, hangup text)
+// aliases the client's read buffer and is valid until the next ReadReply.
+type Reply struct {
+	Op      byte
+	Handle  uint32 // openOK
+	Machine int    // placed
+	Job     int    // placed
+	OK      bool   // released
+	Code    byte   // reject
+	Payload []byte // statsOK / hangup
+}
+
+// IsPlaced reports a successful placement reply.
+func (r Reply) IsPlaced() bool { return r.Op == opPlaced }
+
+// IsReject reports a typed rejection reply; Code then names the reason
+// (see RejectString).
+func (r Reply) IsReject() bool { return r.Op == opReject }
+
+// Open interns the tenant key on this connection and returns the handle
+// every later frame uses. It flushes and drains all outstanding replies
+// first, so it must not be interleaved into a pipelined batch.
+func (c *Client) Open(tenant string) (uint32, error) {
+	if err := writeFrame(c.bw, &c.whdr, opOpen, []byte(tenant)); err != nil {
+		return 0, err
+	}
+	c.pending++
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	for c.pending > 1 { // drain pipelined replies queued before the open
+		if _, err := c.ReadReply(); err != nil {
+			return 0, err
+		}
+	}
+	r, err := c.ReadReply()
+	if err != nil {
+		return 0, err
+	}
+	if r.Op != opOpenOK {
+		return 0, fmt.Errorf("open %q: reply op 0x%02x", tenant, r.Op)
+	}
+	return r.Handle, nil
+}
+
+// SendPlace buffers one place frame; the reply (placed or reject) arrives
+// in order via ReadReply after a Flush.
+func (c *Client) SendPlace(h uint32, start, end float64, demand int) error {
+	binary.LittleEndian.PutUint32(c.pbuf[:], h)
+	binary.LittleEndian.PutUint64(c.pbuf[4:], math.Float64bits(start))
+	binary.LittleEndian.PutUint64(c.pbuf[12:], math.Float64bits(end))
+	binary.LittleEndian.PutUint32(c.pbuf[20:], uint32(demand))
+	if err := writeFrame(c.bw, &c.whdr, opPlace, c.pbuf[:placeLen]); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// SendRelease buffers one release frame.
+func (c *Client) SendRelease(h uint32, job int) error {
+	binary.LittleEndian.PutUint32(c.pbuf[:], h)
+	binary.LittleEndian.PutUint64(c.pbuf[4:], uint64(job))
+	if err := writeFrame(c.bw, &c.whdr, opRelease, c.pbuf[:releaseLen]); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// SendStats buffers one stats frame.
+func (c *Client) SendStats(h uint32) error {
+	binary.LittleEndian.PutUint32(c.pbuf[:], h)
+	if err := writeFrame(c.bw, &c.whdr, opStats, c.pbuf[:statsLen]); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// Flush pushes every buffered frame to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Pending reports how many replies the server still owes.
+func (c *Client) Pending() int { return c.pending }
+
+// ReadReply reads the next reply frame, in send order.
+func (c *Client) ReadReply() (Reply, error) {
+	op, payload, buf, err := readFrameInto(c.br, &c.hdr, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		return Reply{}, err
+	}
+	if c.pending > 0 {
+		c.pending--
+	}
+	r := Reply{Op: op}
+	switch op {
+	case opOpenOK:
+		if len(payload) != 4 {
+			return r, fmt.Errorf("openOK payload %d bytes", len(payload))
+		}
+		r.Handle = binary.LittleEndian.Uint32(payload)
+	case opPlaced:
+		if len(payload) != 12 {
+			return r, fmt.Errorf("placed payload %d bytes", len(payload))
+		}
+		r.Machine = int(binary.LittleEndian.Uint32(payload))
+		r.Job = int(binary.LittleEndian.Uint64(payload[4:]))
+	case opReleased:
+		if len(payload) != 1 {
+			return r, fmt.Errorf("released payload %d bytes", len(payload))
+		}
+		r.OK = payload[0] == 1
+	case opReject:
+		if len(payload) != 1 {
+			return r, fmt.Errorf("reject payload %d bytes", len(payload))
+		}
+		r.Code = payload[0]
+	case opStatsOK, opHangup:
+		r.Payload = payload
+	case opPong:
+	default:
+		return r, fmt.Errorf("unknown reply op 0x%02x", op)
+	}
+	return r, nil
+}
+
+// Place is the unpipelined convenience: one frame out, one reply back.
+// A typed rejection comes back as (-1, -1, code, nil).
+func (c *Client) Place(h uint32, start, end float64, demand int) (machine, job int, code byte, err error) {
+	if err := c.SendPlace(h, start, end, demand); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, 0, 0, err
+	}
+	r, err := c.ReadReply()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	switch r.Op {
+	case opPlaced:
+		return r.Machine, r.Job, 0, nil
+	case opReject:
+		return -1, -1, r.Code, nil
+	case opHangup:
+		return 0, 0, 0, fmt.Errorf("server hangup: %s", r.Payload)
+	default:
+		return 0, 0, 0, fmt.Errorf("place: reply op 0x%02x", r.Op)
+	}
+}
+
+// Release is the unpipelined convenience for one release frame.
+func (c *Client) Release(h uint32, job int) (bool, error) {
+	if err := c.SendRelease(h, job); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	r, err := c.ReadReply()
+	if err != nil {
+		return false, err
+	}
+	if r.Op != opReleased {
+		return false, fmt.Errorf("release: reply op 0x%02x", r.Op)
+	}
+	return r.OK, nil
+}
+
+// Stats fetches and decodes the tenant's telemetry.
+func (c *Client) Stats(h uint32) (busytime.OnlineStats, error) {
+	var st busytime.OnlineStats
+	if err := c.SendStats(h); err != nil {
+		return st, err
+	}
+	if err := c.Flush(); err != nil {
+		return st, err
+	}
+	r, err := c.ReadReply()
+	if err != nil {
+		return st, err
+	}
+	if r.Op != opStatsOK {
+		return st, fmt.Errorf("stats: reply op 0x%02x", r.Op)
+	}
+	if err := json.Unmarshal(r.Payload, &st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Ping round-trips an empty frame (a liveness check that also drains the
+// write buffer).
+func (c *Client) Ping() error {
+	if err := writeFrame(c.bw, &c.whdr, opPing, nil); err != nil {
+		return err
+	}
+	c.pending++
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	r, err := c.ReadReply()
+	if err != nil {
+		return err
+	}
+	if r.Op != opPong {
+		return fmt.Errorf("ping: reply op 0x%02x", r.Op)
+	}
+	return nil
+}

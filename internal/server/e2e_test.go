@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"busytime"
+)
+
+// buildBinary compiles a cmd/ package into the test's temp dir once.
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	out, err := exec.Command("go", "build", "-o", bin, "busytime/"+pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// TestE2EDaemon is the full-system test: the real busyschedd binary on
+// ephemeral ports, a real client over TCP, the real busybench binary as
+// load, and a real SIGTERM — asserting the drain exits 0 with the
+// percentile telemetry flushed to stderr.
+func TestE2EDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	daemon := buildBinary(t, "cmd/busyschedd")
+	bench := buildBinary(t, "cmd/busybench")
+
+	cmd := exec.Command(daemon, "-control", "127.0.0.1:0", "-data", "127.0.0.1:0", "-drain-grace", "500ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon announces its resolved addresses on stdout.
+	var controlAddr, dataAddr string
+	sc := bufio.NewScanner(stdout)
+	addrTimeout := time.AfterFunc(10*time.Second, func() { cmd.Process.Kill() })
+	for (controlAddr == "" || dataAddr == "") && sc.Scan() {
+		line := sc.Text()
+		if _, after, ok := strings.Cut(line, "control plane listening on "); ok {
+			controlAddr = after
+		}
+		if _, after, ok := strings.Cut(line, "data plane listening on "); ok {
+			dataAddr = after
+		}
+	}
+	addrTimeout.Stop()
+	if controlAddr == "" || dataAddr == "" {
+		t.Fatalf("daemon never announced its addresses (stderr: %s)", stderr.String())
+	}
+	go func() { // keep draining stdout so the daemon never blocks on the pipe
+		for sc.Scan() {
+		}
+	}()
+
+	// Drive the data plane through the real client.
+	cl, err := Dial(dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Open("e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstJob int
+	for i := 0; i < 100; i++ {
+		m, j, code, err := cl.Place(h, float64(i), float64(i)+5, 1)
+		if err != nil || code != 0 {
+			t.Fatalf("place %d: code %d, %v", i, code, err)
+		}
+		if m < 0 || j != i {
+			t.Fatalf("place %d: machine %d job %d", i, m, j)
+		}
+		if i == 0 {
+			firstJob = j
+		}
+	}
+	if ok, err := cl.Release(h, firstJob); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("job 0 should have departed naturally before the release")
+	}
+	st, err := cl.Stats(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placed != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Control plane over real HTTP.
+	resp, err := http.Get("http://" + controlAddr + "/v1/tenants/e2e/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hst busytime.OnlineStats
+	if err := json.NewDecoder(resp.Body).Decode(&hst); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hst.Placed != 100 {
+		t.Fatalf("HTTP tenant stats: %d, %+v", resp.StatusCode, hst)
+	}
+
+	// Real load: the busybench binary against the live daemon.
+	benchOut, err := exec.Command(bench,
+		"-addr", dataAddr, "-n", "20000", "-conns", "2", "-tenants", "4",
+		"-live", "64", "-batch", "16", "-json").Output()
+	if err != nil {
+		t.Fatalf("busybench: %v\n%s", err, benchOut)
+	}
+	var loaded struct {
+		Placements uint64            `json:"placements"`
+		PerSec     float64           `json:"placements_per_sec"`
+		Rejects    map[string]uint64 `json:"rejects"`
+	}
+	if err := json.Unmarshal(benchOut, &loaded); err != nil {
+		t.Fatalf("busybench output: %v\n%s", err, benchOut)
+	}
+	if loaded.Placements != 20000 || len(loaded.Rejects) != 0 || loaded.PerSec <= 0 {
+		t.Fatalf("busybench: %+v", loaded)
+	}
+
+	// Graceful SIGTERM: clean exit 0 with the telemetry document — latency
+	// percentiles included — flushed to stderr.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon did not exit within 15s of SIGTERM")
+	}
+
+	var final StatsSnapshot
+	if err := json.Unmarshal(stderr.Bytes(), &final); err != nil {
+		t.Fatalf("final stats flush is not the telemetry document: %v\n%s", err, stderr.String())
+	}
+	if !final.Draining || final.Accepted < 20100 || final.Place.Count < 20100 {
+		t.Fatalf("final stats: %+v", final)
+	}
+	if final.Place.P99 <= 0 || final.Place.P999 < final.Place.P99 {
+		t.Fatalf("final percentiles: %+v", final.Place)
+	}
+	// The connection the daemon drained under us is dead.
+	if err := cl.Ping(); err == nil {
+		t.Fatal("connection survived daemon exit")
+	}
+}

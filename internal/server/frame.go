@@ -1,0 +1,166 @@
+// Package server implements busyschedd, the scheduling service daemon: a
+// control plane (HTTP/JSON: one-shot solves, tenant lifecycle, telemetry)
+// and a data plane (a length-prefixed binary framed protocol over TCP for
+// per-tenant streaming Place/Release against rolling-horizon sessions).
+// Both planes are thin wrappers over the public busytime API — the daemon
+// consumes exactly the surface external users get — plus the internal
+// telemetry and IO helpers. The split mirrors the CLI architecture: all
+// logic lives here as a testable library, cmd/busyschedd is main() glue.
+//
+// # Wire protocol (data plane)
+//
+// Every frame, both directions, is a little-endian header followed by an
+// op-specific payload:
+//
+//	uint32  payload length (bytes after the header)
+//	uint8   opcode
+//	...     payload
+//
+// Client → server ops:
+//
+//	open    0x01  payload = tenant key (raw bytes) → openOK with the uint32
+//	              handle every later frame on this connection uses
+//	place   0x02  uint32 handle, float64 start, float64 end, uint32 demand
+//	release 0x03  uint32 handle, uint64 job (the feed index place returned)
+//	stats   0x04  uint32 handle
+//	ping    0x05  empty
+//
+// Server → client replies, one per request frame, in request order:
+//
+//	openOK   0x81  uint32 handle
+//	placed   0x82  uint32 machine, uint64 job
+//	released 0x83  uint8 ok
+//	statsOK  0x84  OnlineStats JSON (the shared telemetry encoding)
+//	pong     0x85  empty
+//	reject   0xee  uint8 code — a typed refusal of one place frame:
+//	               1 rate-limited, 2 live-limit, 3 shutting down, 4 invalid
+//	               (bad interval, demand out of range, out-of-order start)
+//	hangup   0xef  error text; a protocol violation — unknown opcode,
+//	               malformed payload, unknown handle — after which the
+//	               server closes the connection
+//
+// The protocol is deliberately dumb: no negotiation, no compression, no
+// per-frame tenant strings (the open handshake interns the key once, so the
+// steady-state path never hashes or allocates a string), and replies come
+// strictly in request order so a client can pipeline N frames and read N
+// replies — the batching the server exploits by landing every contiguous
+// same-handle run of place frames as one PlaceBatch under one shard-lock
+// acquisition.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"busytime"
+)
+
+// Frame header and opcode constants; see the package comment for layout.
+const (
+	frameHeader = 5
+
+	// maxFramePayload bounds a single frame. Data-plane requests are ≤ 24
+	// bytes; the bound exists so a corrupt or hostile length prefix cannot
+	// make the server allocate gigabytes.
+	maxFramePayload = 1 << 16
+
+	// maxHandles bounds tenant handles per connection.
+	maxHandles = 1 << 10
+)
+
+const (
+	opOpen    = 0x01
+	opPlace   = 0x02
+	opRelease = 0x03
+	opStats   = 0x04
+	opPing    = 0x05
+
+	opOpenOK   = 0x81
+	opPlaced   = 0x82
+	opReleased = 0x83
+	opStatsOK  = 0x84
+	opPong     = 0x85
+	opReject   = 0xee
+	opHangup   = 0xef
+)
+
+// Typed reject codes carried by opReject frames.
+const (
+	RejectRate     = 1 // tenant placement rate exceeded (Admission.Rate)
+	RejectLive     = 2 // tenant live-job cap reached (Admission.MaxLive)
+	RejectShutdown = 3 // daemon draining; connection will close after replies
+	RejectInvalid  = 4 // bad interval, demand out of range, out-of-order start
+)
+
+// rejectCode maps a placement error onto its wire code.
+func rejectCode(err error) byte {
+	switch {
+	case errors.Is(err, busytime.ErrPoolClosed):
+		return RejectShutdown
+	case errors.Is(err, busytime.ErrLiveLimit):
+		return RejectLive
+	case errors.Is(err, busytime.ErrRateLimit):
+		return RejectRate
+	default:
+		return RejectInvalid
+	}
+}
+
+// RejectString names a reject code for logs and error messages.
+func RejectString(code byte) string {
+	switch code {
+	case RejectRate:
+		return "rate-limited"
+	case RejectLive:
+		return "live-limit"
+	case RejectShutdown:
+		return "shutting-down"
+	case RejectInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("reject(%d)", code)
+	}
+}
+
+// putHeader writes the frame header into b[:frameHeader].
+func putHeader(b []byte, op byte, payloadLen int) {
+	binary.LittleEndian.PutUint32(b, uint32(payloadLen))
+	b[4] = op
+}
+
+// readFrameInto reads one frame, returning the opcode and the payload in
+// buf's storage (grown as needed and returned); the payload aliases the
+// buffer and is valid until the next call.
+func readFrameInto(r io.Reader, hdr *[frameHeader]byte, buf []byte) (op byte, payload, newBuf []byte, err error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFramePayload {
+		return 0, nil, buf, fmt.Errorf("frame payload %d exceeds limit %d", n, maxFramePayload)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return hdr[4], buf, buf, nil
+}
+
+// writeFrame writes a complete frame (header + payload) to w using scratch
+// for the header; payload may be nil.
+func writeFrame(w io.Writer, scratch *[frameHeader]byte, op byte, payload []byte) error {
+	putHeader(scratch[:], op, len(payload))
+	if _, err := w.Write(scratch[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}

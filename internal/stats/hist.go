@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist bucket geometry: values (nanoseconds) up to 2^histLinearBits fall
+// into one-nanosecond linear buckets; above that each power-of-two octave
+// splits into 2^histLinearBits sub-buckets, so the relative quantization
+// error is bounded by 1/2^histLinearBits ≈ 6% everywhere — the usual
+// HDR-histogram shape, but with a fixed bucket array so recording is one
+// index computation plus one atomic add and a histogram never allocates
+// after construction. 60 octaves of int64 nanoseconds cover every duration
+// up to ~292 years; anything larger clamps into the top bucket.
+const (
+	histLinearBits = 4                   // log2 sub-buckets per octave
+	histSub        = 1 << histLinearBits // 16
+	histBuckets    = (64 - histLinearBits) * histSub
+)
+
+// Hist is a fixed-bucket log-scale latency histogram safe for concurrent
+// use: Observe is lock-free (a single atomic add on a fixed array), so many
+// connection goroutines can record into one histogram without contention
+// beyond cache-line sharing, and readers take consistent-enough snapshots
+// for telemetry without stopping writers. The zero value is ready to use.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64 // total nanoseconds, for Mean
+}
+
+// histIndex maps a non-negative nanosecond count onto its bucket.
+func histIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // ≥ histLinearBits
+	sub := (v >> (uint(exp) - histLinearBits)) & (histSub - 1)
+	i := (exp-histLinearBits+1)*histSub + int(sub)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histLower returns the inclusive lower bound (ns) of bucket i — the
+// inverse of histIndex on bucket boundaries.
+func histLower(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	exp := i/histSub + histLinearBits - 1
+	sub := uint64(i%histSub) + histSub
+	return sub << (uint(exp) - histLinearBits)
+}
+
+// Observe records one duration; negative durations count as zero.
+func (h *Hist) Observe(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.n.Load() }
+
+// Mean returns the mean recorded duration (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 < q ≤ 1) of the
+// recorded durations: the upper edge of the bucket holding the q·n-th
+// smallest observation, so the true quantile is never under-reported and
+// over-reported by at most one bucket width (≤ ~6%). An empty histogram
+// reports 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= target {
+			if i == histBuckets-1 {
+				return time.Duration(histLower(i))
+			}
+			return time.Duration(histLower(i+1) - 1)
+		}
+	}
+	return 0
+}
+
+// HistSummary is a point-in-time percentile digest of one histogram, the
+// shape the daemon's /stats endpoint and shutdown flush report.
+type HistSummary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summary digests the histogram into its standard percentile report.
+func (h *Hist) Summary() HistSummary {
+	return HistSummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Quantile(1),
+	}
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Observe calls; callers quiesce writers first.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.n.Store(0)
+	h.sum.Store(0)
+}

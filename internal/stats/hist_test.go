@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"busytime/internal/xrand"
+)
+
+// TestHistIndexRoundTrip pins the bucket geometry: every bucket's lower
+// bound maps back to that bucket, and indices are monotone in the value.
+func TestHistIndexRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := histIndex(histLower(i)); got != i {
+			t.Fatalf("histIndex(histLower(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 100, 1e3, 1e6, 1e9, 1e12, math.MaxUint64} {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		prev = i
+	}
+}
+
+// TestHistQuantileBounds checks the quantile contract against exact order
+// statistics of a random sample: the reported quantile is ≥ the true one
+// and within one bucket's relative width above it.
+func TestHistQuantileBounds(t *testing.T) {
+	rng := xrand.New(7)
+	var h Hist
+	samples := make([]uint64, 20000)
+	for i := range samples {
+		// Log-uniform over ~6 decades, the shape of a latency distribution.
+		v := uint64(math.Exp(rng.Float64()*14)) + 1
+		samples[i] = v
+		h.Observe(time.Duration(v))
+	}
+	slices.Sort(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		idx := int(q*float64(len(samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := samples[idx]
+		got := uint64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%v: reported %d below exact %d", q, got, exact)
+		}
+		// Upper edge of the exact value's bucket, plus one bucket of slack
+		// for ties landing across a boundary.
+		hi := histLower(histIndex(exact)+2) - 1
+		if got > hi {
+			t.Errorf("q=%v: reported %d above bucket bound %d (exact %d)", q, got, hi, exact)
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() <= 0 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistEmptyAndReset(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(-time.Second) // clamps to zero, still counted
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	s := h.Summary()
+	if s.Count != 2 || s.P999 < time.Millisecond/2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// TestHistConcurrentObserve hammers one histogram from many goroutines
+// (run under -race in CI) and checks no observation is lost.
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1e6)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*per)
+	}
+}
+
+// TestHistObserveZeroAlloc pins the recording path allocation-free — it sits
+// on the daemon's per-frame hot path.
+func TestHistObserveZeroAlloc(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(137 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = h.Quantile(0.99) }); n != 0 {
+		t.Fatalf("Quantile allocates %v/op", n)
+	}
+}

@@ -1,0 +1,19 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON is the library's one JSON telemetry encoder: indented, with a
+// trailing newline, HTML escaping off (the output goes to terminals, files
+// and curl, not web pages). The busysched CLI's -json modes and the
+// busyschedd daemon's /stats and per-tenant endpoints all funnel through it,
+// so scripts see one consistent encoding regardless of which surface they
+// scrape.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -2,10 +2,11 @@ package stats
 
 import (
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"busytime/internal/xrand"
 )
 
 func TestSampleBasics(t *testing.T) {
@@ -49,7 +50,7 @@ func TestSampleEmptyAndSingle(t *testing.T) {
 
 func TestQuickWelfordMatchesNaive(t *testing.T) {
 	f := func(seed int64, nn uint8) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := xrand.New(seed)
 		n := int(nn%30) + 2
 		var s Sample
 		xs := make([]float64, n)

@@ -60,3 +60,14 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 		swap(i, r.Intn(i+1))
 	}
 }
+
+// NormFloat64 returns a standard normal float64 via the Box–Muller
+// transform. Unlike math/rand's ziggurat it is two log/sqrt/cos evaluations
+// per draw — slower, but exactly reproducible from the seed on every
+// platform and Go release, which is what the deterministic test suites and
+// workload synthesis need.
+func (r *RNG) NormFloat64() float64 {
+	u := 1 - r.Float64() // (0, 1]: keeps the log finite
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}

@@ -135,25 +135,28 @@ func (o *OnlineSession) Result() (Result, error) {
 // the live jobs projected to their natural ends, maintained incrementally;
 // Ratio = Cost / LowerBound is therefore a true upper bound on how far the
 // session sits above any schedule of the same stream.
+// The JSON field names are part of the scripting surface: `busysched online
+// -json` and the daemon's per-tenant stats endpoint both emit this struct
+// through the library's shared encoder.
 type OnlineStats struct {
-	Placed      uint64 // arrivals accepted
-	Released    uint64 // explicit early departures
-	Expired     uint64 // natural departures (clock passed the end)
-	Compactions uint64 // retained-window reclaim passes
+	Placed      uint64 `json:"placed"`      // arrivals accepted
+	Released    uint64 `json:"released"`    // explicit early departures
+	Expired     uint64 `json:"expired"`     // natural departures (clock passed the end)
+	Compactions uint64 `json:"compactions"` // retained-window reclaim passes
 
-	Live         int // jobs currently holding capacity
-	Window       int // retained records (live + departed awaiting reclaim)
-	WindowCap    int // retained-window backing capacity (the memory bound)
-	Machines     int // machines opened so far
-	IdleMachines int // machines currently in the free pool
+	Live         int `json:"live"`          // jobs currently holding capacity
+	Window       int `json:"window"`        // retained records (live + departed awaiting reclaim)
+	WindowCap    int `json:"window_cap"`    // retained-window backing capacity (the memory bound)
+	Machines     int `json:"machines"`      // machines opened so far
+	IdleMachines int `json:"idle_machines"` // machines currently in the free pool
 
-	PeakLive     int // high-water Live
-	PeakWindow   int // high-water Window
-	PeakMachines int // high-water Machines
+	PeakLive     int `json:"peak_live"`     // high-water Live
+	PeakWindow   int `json:"peak_window"`   // high-water Window
+	PeakMachines int `json:"peak_machines"` // high-water Machines
 
-	Cost       float64 // total busy time accrued
-	LowerBound float64 // fractional bound of the effective stream, live tails projected
-	Ratio      float64 // Cost / LowerBound; the live competitive ratio
+	Cost       float64 `json:"cost"`        // total busy time accrued
+	LowerBound float64 `json:"lower_bound"` // fractional bound of the effective stream, live tails projected
+	Ratio      float64 `json:"ratio"`       // Cost / LowerBound; the live competitive ratio
 }
 
 // onlineStats converts the internal telemetry struct field for field.
@@ -189,10 +192,11 @@ type OnlinePool struct {
 // OnlinePool opens a multi-tenant pool of rolling-horizon sessions with
 // parallelism g placing through the named arrival policy (the same names
 // Online accepts). The shard count follows WithWorkers and each tenant's
-// session is pre-sized by WithWindow. Unless the solver runs
-// WithFreshSchedules, the pool shares the solver's recycled arenas, and
-// Offline can replay any tenant's retained window through the offline
-// kernel for an exact competitive comparison.
+// session is pre-sized by WithWindow; WithAdmission installs per-tenant
+// placement limits. Unless the solver runs WithFreshSchedules, the pool
+// shares the solver's recycled arenas, and Offline can replay any tenant's
+// retained window through the offline kernel for an exact competitive
+// comparison.
 func (s *Solver) OnlinePool(g int, policy string) (*OnlinePool, error) {
 	pol, err := s.onlinePolicy(policy)
 	if err != nil {
@@ -202,8 +206,39 @@ func (s *Solver) OnlinePool(g int, policy string) (*OnlinePool, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := inner.SetAdmission(s.cfg.admission); err != nil {
+		return nil, fmt.Errorf("busytime: %w", err)
+	}
 	return &OnlinePool{inner: inner}, nil
 }
+
+// Admission is a per-tenant acceptance policy for OnlinePool, installed with
+// WithAdmission: MaxLive caps a tenant's simultaneously live jobs, and
+// Rate/Burst form a token bucket over placement attempts (tokens refill at
+// Rate per second up to Burst, each Place — accepted or rejected — spends
+// one; Release and Stats are never throttled). Zero fields are unlimited.
+type Admission = online.Admission
+
+// Typed rejection errors of the admission and drain layers. They survive
+// every wrapping: match with errors.Is.
+var (
+	// ErrLiveLimit rejects a placement that would exceed the tenant's
+	// Admission.MaxLive; capacity re-admits as the tenant's jobs depart.
+	ErrLiveLimit = online.ErrLiveLimit
+	// ErrRateLimit rejects placements arriving faster than the tenant's
+	// sustained Admission.Rate; the bucket refills continuously.
+	ErrRateLimit = online.ErrRateLimit
+	// ErrPoolClosed rejects new placements on a pool whose Close has been
+	// called (the graceful-drain switch); in-flight work still completes.
+	ErrPoolClosed = online.ErrPoolClosed
+)
+
+// PlaceRequest is one arrival of a PlaceBatch call.
+type PlaceRequest = online.PlaceRequest
+
+// PlaceResult is PlaceBatch's per-arrival verdict: machine and feed index,
+// or a placement/admission error with both set to -1.
+type PlaceResult = online.PlaceResult
 
 // Place feeds the tenant's next unit-demand arrival, creating the tenant's
 // session on first use, and returns the machine it was assigned to plus the
@@ -218,6 +253,25 @@ func (p *OnlinePool) Place(tenant string, iv Interval) (machine, job int, err er
 func (p *OnlinePool) PlaceDemand(tenant string, iv Interval, demand int) (machine, job int, err error) {
 	return p.inner.Place(tenant, iv, demand)
 }
+
+// PlaceBatch feeds several arrivals of one tenant under a single shard-lock
+// acquisition, writing out[i] for reqs[i] (lengths must match). It is the
+// amortized form of PlaceDemand the daemon's framed data plane batches
+// into: a warm batch allocates nothing, per-item failures (admission,
+// arrival order) reject that item and continue, and on a pool that has been
+// Closed every item reports ErrPoolClosed.
+func (p *OnlinePool) PlaceBatch(tenant string, reqs []PlaceRequest, out []PlaceResult) error {
+	return p.inner.PlaceBatch(tenant, reqs, out)
+}
+
+// Close flips the pool into draining: every subsequent placement is
+// rejected with ErrPoolClosed while Release, Stats, Tenants, Drop and
+// Offline keep working, so in-flight work finishes and final telemetry
+// stays readable. Closing is idempotent and one-way.
+func (p *OnlinePool) Close() { p.inner.Close() }
+
+// Closed reports whether Close has been called.
+func (p *OnlinePool) Closed() bool { return p.inner.Closed() }
 
 // Release departs the tenant's job early; see OnlineSession.Release. An
 // unknown tenant reports (false, nil) like an already-departed job.

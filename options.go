@@ -25,6 +25,7 @@ type config struct {
 	exactLimit int
 	lengthD    float64
 	window     int
+	admission  Admission
 	fresh      bool
 	err        error
 }
@@ -184,6 +185,31 @@ func WithWindow(n int) Option {
 			return
 		}
 		c.window = n
+	}
+}
+
+// WithAdmission installs a per-tenant acceptance policy on pools opened by
+// Solver.OnlinePool: a live-job cap (rejections are ErrLiveLimit) and a
+// token-bucket placement rate (ErrRateLimit), judged per tenant under the
+// tenant's shard lock — see Admission for the exact semantics. The zero
+// Admission admits everything, as does omitting the option. Single-tenant
+// sessions from Solver.Online are not limited: admission is a
+// multi-tenant-service concern, and the busyschedd daemon is its consumer.
+func WithAdmission(a Admission) Option {
+	return func(c *config) {
+		if a.MaxLive < 0 {
+			c.fail("WithAdmission: MaxLive = %d, want ≥ 0", a.MaxLive)
+			return
+		}
+		if a.Rate < 0 || a.Rate != a.Rate {
+			c.fail("WithAdmission: Rate = %v, want ≥ 0", a.Rate)
+			return
+		}
+		if a.Burst < 0 {
+			c.fail("WithAdmission: Burst = %d, want ≥ 0", a.Burst)
+			return
+		}
+		c.admission = a
 	}
 }
 
