@@ -3,73 +3,70 @@
 // runs at most g VMs at once and is billed for every hour it is powered on.
 // Minimizing total busy time = minimizing the host bill.
 //
-// The example compares FirstFit (the paper's 4-approximation) with the
-// machine-minimizing baseline and with per-VM hosting, and replays the
-// winning placement through the discrete-event simulator.
+// The example sweeps placement policies over the scenario engine's burst
+// trace — every run independently cross-checked against the discrete-event
+// simulator, so each row's bill is the bill a host fleet executing that
+// placement would present — and compares the clairvoyant offline solves
+// with the online session that places VMs as they arrive.
 //
 //	go run ./examples/vmconsolidation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"busytime/internal/algo/baselines"
-	"busytime/internal/algo/firstfit"
-	"busytime/internal/core"
-	"busytime/internal/generator"
-	"busytime/internal/sim"
+	"busytime/internal/scenario"
 	"busytime/internal/stats"
 )
 
 func main() {
-	// A day of VM reservations: 200 VMs over a 24h horizon, up to 6h each,
-	// hosts take g = 8 VMs.
-	const g = 8
-	in := generator.General(2024, 200, g, 24, 6)
-	in.Name = "vm-day"
-
-	lb := core.BestBound(in)
-	fmt.Printf("workload: %d VM reservations over 24h, hosts hold %d VMs\n", in.N(), g)
-	fmt.Printf("billing lower bound: %.1f host-hours\n\n", lb)
-
-	tb := stats.NewTable("placement comparison", "policy", "hosts", "host-hours", "vs LB", "utilization")
-	type policy struct {
-		name string
-		run  func(*core.Instance) *core.Schedule
+	sc, ok := scenario.Lookup("burst")
+	if !ok {
+		log.Fatal("burst scenario not registered")
 	}
-	policies := []policy{
-		{"firstfit (paper)", firstfit.Schedule},
-		{"fewest hosts", baselines.MachineMin},
-		{"bestfit", baselines.BestFit},
-		{"arrival nextfit", baselines.NextFit},
-	}
-	var best *core.Schedule
-	var bestName string
-	for _, p := range policies {
-		s := p.run(in)
-		if err := s.Verify(); err != nil {
-			log.Fatalf("%s: %v", p.name, err)
+	// A day of VM reservations: ≈200 VMs with correlated arrival bursts,
+	// hosts take g = 8 VMs, reservations up to a few hours.
+	params := scenario.Params{Seed: 2024, N: 200, G: 8, Horizon: 24, MeanLen: 3}
+
+	policies := []string{"firstfit", "machine-min", "bestfit", "nextfit"}
+	tb := stats.NewTable("placement comparison", "policy", "hosts", "host-hours", "vs LB", "solve p50")
+	var best *scenario.Report
+	var bestAlgo string
+	for _, algo := range policies {
+		rep, err := scenario.Run(context.Background(), scenario.Config{
+			Modes:     scenario.ModeOffline,
+			Algorithm: algo,
+			Repeat:    3,
+		}, sc, params)
+		if err != nil {
+			log.Fatalf("%s: %v", algo, err)
 		}
-		tb.AddRow(p.name, s.NumMachines(), s.Cost(), stats.Ratio(s.Cost(), lb), s.Utilization())
-		if best == nil || s.Cost() < best.Cost() {
-			best, bestName = s, p.name
+		o := rep.Offline
+		tb.AddRow(algo, o.Machines, o.Cost, o.Ratio, o.Latency.P50)
+		if best == nil || o.Cost < best.Offline.Cost {
+			best, bestAlgo = rep, algo
 		}
 	}
+	fmt.Printf("workload: %d VM reservations over 24h, hosts hold %d VMs\n", best.Jobs, best.G)
+	fmt.Printf("billing lower bound: %.1f host-hours\n\n", best.Offline.LowerBound)
 	fmt.Print(tb.String())
+	fmt.Printf("\nwinner: %s — %.1f host-hours on %d hosts (simulator-confirmed)\n",
+		bestAlgo, best.Offline.Cost, best.Offline.Machines)
 
-	// Replay the winner: the simulator independently integrates each host's
-	// power-on time and confirms the bill.
-	rep, err := sim.Run(best)
+	// The online side of the same day: VMs placed the moment they arrive,
+	// 15% cancelled early. The competitive ratio is measured live against
+	// the fractional bound of the effective stream.
+	rep, err := scenario.Run(context.Background(), scenario.Config{
+		Modes:       scenario.ModeOnline,
+		Policy:      "bestfit",
+		ReleaseFrac: 0.15,
+	}, sc, params)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nwinner: %s\n", bestName)
-	fmt.Printf("replayed bill: %.1f host-hours across %d hosts (peak load %d VMs)\n",
-		rep.TotalBusy, len(rep.Machines), rep.PeakLoad)
-	onOff := 0
-	for _, m := range rep.Machines {
-		onOff += m.Switches
-	}
-	fmt.Printf("power-on transitions: %d\n", onOff)
+	on := rep.Online
+	fmt.Printf("\nonline bestfit: %.1f host-hours, ratio %.3f (placed %d, %d early releases, place p99 %v)\n",
+		on.Stats.Cost, on.Stats.Ratio, on.Stats.Placed, on.Released, on.Latency.P99)
 }

@@ -28,6 +28,7 @@ import (
 	"busytime/internal/decomp"
 	"busytime/internal/generator"
 	_ "busytime/internal/online"
+	"busytime/internal/sim"
 )
 
 // families enumerates the nine generator families of the differential
@@ -210,6 +211,30 @@ func TestRegistryScratchSizeLadder(t *testing.T) {
 			fresh := a.Run(in)
 			recycled := a.RunScratch(in, sc)
 			assertIdentical(t, fmt.Sprintf("%s round=%d n=%d", name, round, n), fresh, recycled)
+		}
+	}
+}
+
+// TestRegistrySimCrossCheck is the registry-wide differential against the
+// discrete-event simulator: for every algorithm × generator family, the busy
+// time measured by replaying the produced schedule event by event must equal
+// the analytic span-based cost, with zero capacity violations. It catches
+// span-accounting drift in any future placement kernel from the opposite
+// direction — billing what a machine executing the schedule would bill.
+func TestRegistrySimCrossCheck(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		for fi, in := range families(seed) {
+			for _, a := range all(t) {
+				a := a
+				label := fmt.Sprintf("%s seed=%d family=%d", a.Name, seed, fi)
+				s, err := runSafely(func() *core.Schedule { return a.Run(in) })
+				if err != nil {
+					continue // class precondition rejected the family
+				}
+				if err := sim.Check(s, 1e-6); err != nil {
+					t.Fatalf("%s: replay disagrees with analytic cost: %v", label, err)
+				}
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@
 //	bounds    print the lower bounds of an instance
 //	batch     run one algorithm over many instances in parallel (CSV/JSON)
 //	online    drive a rolling-horizon session over a synthetic arrival stream
+//	replay    run a registered workload scenario offline/online/over the wire
 //
 // Example:
 //
@@ -28,11 +29,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"busytime"
 	"busytime/internal/algo/laminar"
 	"busytime/internal/core"
 	"busytime/internal/generator"
+	"busytime/internal/scenario"
 	"busytime/internal/sim"
 	"busytime/internal/stats"
 	"busytime/internal/trace"
@@ -82,6 +85,8 @@ func RunContext(ctx context.Context, args []string, stdout, stderr io.Writer) in
 		err = c.cmdBatch(ctx, args[1:])
 	case "online":
 		err = c.cmdOnline(ctx, args[1:])
+	case "replay":
+		err = c.cmdReplay(ctx, args[1:])
 	case "help", "-h", "--help":
 		c.usage()
 	default:
@@ -114,6 +119,12 @@ commands:
   online    -policy firstfit|bestfit|nextfit -n N -g G -live L
             [-maxdemand D] [-release P] [-window W] [-seed S] [-json]
             rolling-horizon stream with arrivals and departures
+  replay    -scenario NAME | -trace FILE | -list
+            [-seed S] [-seeds K] [-n N] [-g G] [-algo NAME] [-policy NAME]
+            [-modes offline,online,wire] [-addr HOST:PORT] [-tenant T]
+            [-release P] [-repeat R] [-workers W] [-maxdemand D]
+            [-json | -format csv] [-out FILE]
+            replay a registered workload scenario with billing cross-checks
 
 registered algorithms:`)
 	for _, a := range busytime.Algorithms() {
@@ -325,7 +336,7 @@ func (c *CLI) cmdSimulate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := sim.Run(res.Schedule)
+	rep, err := sim.Replay(res.Schedule)
 	if err != nil {
 		return err
 	}
@@ -550,6 +561,140 @@ func (c *CLI) cmdOnline(ctx context.Context, args []string) error {
 	fmt.Fprintf(c.Out, "cost      : %.4f\n", st.Cost)
 	fmt.Fprintf(c.Out, "LB(frac)  : %.4f  (cost/LB = %.4f)\n", st.LowerBound, st.Ratio)
 	return nil
+}
+
+// cmdReplay drives the scenario engine: a registered workload family (or an
+// external CSV trace) replayed offline through the solver, online through a
+// rolling-horizon session, and optionally over the framed data plane against
+// a running busyschedd — every mode cross-checked against the discrete-event
+// simulator before anything is reported.
+func (c *CLI) cmdReplay(ctx context.Context, args []string) error {
+	fs := newFlagSet(c, "replay")
+	name := fs.String("scenario", "diurnal", "registered scenario name (see -list)")
+	list := fs.Bool("list", false, "list registered scenarios and exit")
+	traceFile := fs.String("trace", "", "replay an external CSV trace instead of a registered scenario")
+	seed := fs.Int64("seed", 1, "first random seed")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds to sweep")
+	n := fs.Int("n", 0, "target job count (0 = scenario default)")
+	g := fs.Int("g", 0, "parallelism parameter (0 = scenario default)")
+	algoName := fs.String("algo", "bestfit", "offline solve algorithm")
+	policy := fs.String("policy", "firstfit", "online/wire arrival policy")
+	modes := fs.String("modes", "offline,online", "replay paths: offline,online,wire (comma-separated)")
+	addr := fs.String("addr", "", "busyschedd data-plane address (required for wire mode)")
+	tenant := fs.String("tenant", "replay", "wire tenant key")
+	release := fs.Float64("release", 0, "fraction of online arrivals departed early")
+	repeat := fs.Int("repeat", 1, "offline solve repetitions (latency percentiles)")
+	workers := fs.Int("workers", 0, "generation workers (0 = GOMAXPROCS)")
+	maxDemand := fs.Int("maxdemand", 0, "maximum per-job demand (0 = scenario default)")
+	jsonOut := fs.Bool("json", false, "emit the report(s) as JSON")
+	format := fs.String("format", "", `"csv" for one flat row per run`)
+	out := fs.String("out", "", "write the report to FILE instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, sc := range scenario.All() {
+			fmt.Fprintf(c.Out, "  %-10s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+	if *release < 0 || *release > 1 {
+		return fmt.Errorf("-release %v out of [0, 1]", *release)
+	}
+	var sc scenario.Scenario
+	if *traceFile != "" {
+		sc = scenario.FromCSV(*traceFile)
+	} else {
+		var ok bool
+		sc, ok = scenario.Lookup(*name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (registered: %s)", *name, strings.Join(scenario.Names(), ", "))
+		}
+	}
+	mode, err := scenario.ParseModes(*modes)
+	if err != nil {
+		return err
+	}
+	if mode&scenario.ModeWire != 0 && *addr == "" {
+		return fmt.Errorf("wire mode needs -addr")
+	}
+	cfg := scenario.Config{
+		Modes:       mode,
+		Algorithm:   *algoName,
+		Policy:      *policy,
+		Addr:        *addr,
+		Tenant:      *tenant,
+		ReleaseFrac: *release,
+		Repeat:      *repeat,
+	}
+	var reports []*scenario.Report
+	for k := 0; k < max(*seeds, 1); k++ {
+		rep, err := scenario.Run(ctx, cfg, sc, scenario.Params{
+			Seed:      *seed + int64(k),
+			N:         *n,
+			G:         *g,
+			MaxDemand: *maxDemand,
+			Workers:   *workers,
+		})
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	w := io.Writer(c.Out)
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case *jsonOut:
+		if len(reports) == 1 {
+			return stats.WriteJSON(w, reports[0])
+		}
+		return stats.WriteJSON(w, reports)
+	case *format == "csv":
+		return scenario.WriteReportsCSV(w, reports)
+	case *format != "":
+		return fmt.Errorf("unknown -format %q (want csv)", *format)
+	}
+	for _, rep := range reports {
+		c.printReport(w, rep)
+	}
+	return nil
+}
+
+// printReport renders one scenario report for terminals.
+func (c *CLI) printReport(w io.Writer, rep *scenario.Report) {
+	fmt.Fprintf(w, "scenario  : %s seed=%d jobs=%d g=%d  (generated in %v)\n",
+		rep.Scenario, rep.Params.Seed, rep.Jobs, rep.G, rep.GenTime.Round(time.Microsecond))
+	if o := rep.Offline; o != nil {
+		fmt.Fprintf(w, "offline   : %s  machines=%d cost=%.4f LB=%.4f gap=%.4f ratio=%.4f  [sim ok]\n",
+			o.Algorithm, o.Machines, o.Cost, o.LowerBound, o.Gap, o.Ratio)
+		fmt.Fprintf(w, "  solve   : p50=%v p99=%v max=%v  (%d solves)\n",
+			o.Latency.P50, o.Latency.P99, o.Latency.Max, o.Solves)
+	}
+	if o := rep.Online; o != nil {
+		fmt.Fprintf(w, "online    : %s  cost=%.4f LB=%.4f ratio=%.4f  placed=%d released=%d machines=%d  [sim ok]\n",
+			o.Policy, o.Stats.Cost, o.Stats.LowerBound, o.Stats.Ratio, o.Stats.Placed, o.Released, o.Stats.Machines)
+		fmt.Fprintf(w, "  place   : p50=%v p99=%v max=%v\n", o.Latency.P50, o.Latency.P99, o.Latency.Max)
+	}
+	if o := rep.Wire; o != nil {
+		fmt.Fprintf(w, "wire      : %s tenant=%s  placed=%d rejected=%d  server cost=%.4f ratio=%.4f\n",
+			o.Addr, o.Tenant, o.Placed, o.Rejected, o.Stats.Cost, o.Stats.Ratio)
+		fmt.Fprintf(w, "  batch   : p50=%v p99=%v max=%v  (batch=%d)\n",
+			o.Latency.P50, o.Latency.P99, o.Latency.Max, o.BatchSize)
+	}
+	if len(rep.Metrics) > 0 {
+		fmt.Fprintf(w, "metrics   :")
+		for _, m := range rep.Metrics {
+			fmt.Fprintf(w, " %s=%g", m.Name, m.Value)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // generateInstance builds one instance of the named class; it is the single

@@ -285,3 +285,104 @@ func TestOnlineBadFlags(t *testing.T) {
 		t.Errorf("bad window: code=%d err=%q", code, errOut)
 	}
 }
+
+func TestReplayList(t *testing.T) {
+	code, out, errOut := run("replay", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, name := range []string{"diurnal", "poisson", "ring", "lightpath"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestReplayText(t *testing.T) {
+	code, out, errOut := run("replay", "-scenario", "diurnal", "-n", "500",
+		"-seed", "3", "-release", "0.1", "-repeat", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"scenario  : diurnal", "offline   :", "online    :", "[sim ok]", "ratio="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayJSON(t *testing.T) {
+	code, out, errOut := run("replay", "-scenario", "diurnal", "-n", "400", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rep struct {
+		Scenario string `json:"scenario"`
+		Jobs     int    `json:"jobs"`
+		Offline  *struct {
+			Cost         float64 `json:"cost"`
+			Ratio        float64 `json:"ratio"`
+			CrossChecked bool    `json:"cross_checked"`
+		} `json:"offline"`
+		Online *struct {
+			Stats busytime.OnlineStats `json:"stats"`
+		} `json:"online"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, out)
+	}
+	if rep.Scenario != "diurnal" || rep.Jobs == 0 {
+		t.Fatalf("decoded report: %+v", rep)
+	}
+	if rep.Offline == nil || !rep.Offline.CrossChecked || rep.Offline.Ratio < 1 {
+		t.Fatalf("offline section: %+v", rep.Offline)
+	}
+	if rep.Online == nil || rep.Online.Stats.Ratio < 1 {
+		t.Fatalf("online section: %+v", rep.Online)
+	}
+}
+
+func TestReplaySeedSweepCSV(t *testing.T) {
+	code, out, errOut := run("replay", "-scenario", "poisson", "-n", "300",
+		"-seeds", "3", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header+3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "scenario,seed,") {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestReplayTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(path, []byte("#g,2\nid,start,end,demand\n0,0,3,1\n1,1,4,1\n2,2,6,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := run("replay", "-trace", path, "-modes", "offline")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "jobs=3") || !strings.Contains(out, "[sim ok]") {
+		t.Fatalf("trace replay report:\n%s", out)
+	}
+}
+
+func TestReplayBadFlags(t *testing.T) {
+	if code, _, errOut := run("replay", "-scenario", "nope"); code != 1 ||
+		!strings.Contains(errOut, "unknown scenario") {
+		t.Errorf("bad scenario: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run("replay", "-modes", "wire"); code != 1 ||
+		!strings.Contains(errOut, "needs -addr") {
+		t.Errorf("wire without addr: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run("replay", "-modes", "bogus"); code != 1 ||
+		!strings.Contains(errOut, "unknown mode") {
+		t.Errorf("bad modes: code=%d err=%q", code, errOut)
+	}
+}

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// benchGen drives the diurnal generator at the million-job scale the
+// scenario engine is specified for, at a fixed worker count.
+func benchGen(b *testing.B, workers int) {
+	sc, _ := Lookup("diurnal")
+	p := Params{Seed: 1, N: 1_000_000, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := sc.Instance(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if in.N() < 500_000 {
+			b.Fatalf("only %d jobs", in.N())
+		}
+	}
+}
+
+func BenchmarkGenerateDiurnal1e6Workers1(b *testing.B) { benchGen(b, 1) }
+
+func BenchmarkGenerateDiurnal1e6WorkersMax(b *testing.B) { benchGen(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkReplayOfflineDiurnal measures the full driver path (generate +
+// solve + cross-check) at a sweep-friendly size.
+func BenchmarkReplayOfflineDiurnal(b *testing.B) {
+	sc, _ := Lookup("diurnal")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), Config{Modes: ModeOffline}, sc,
+			Params{Seed: 1, N: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayOnlineDiurnal measures the rolling-horizon replay path.
+func BenchmarkReplayOnlineDiurnal(b *testing.B) {
+	sc, _ := Lookup("diurnal")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), Config{Modes: ModeOnline, ReleaseFrac: 0.1}, sc,
+			Params{Seed: 1, N: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

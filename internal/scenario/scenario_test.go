@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"busytime/internal/core"
+)
+
+// TestRegistryHasBuiltins pins the shipped scenario set.
+func TestRegistryHasBuiltins(t *testing.T) {
+	for _, name := range []string{"poisson", "diurnal", "burst", "clustered", "waves", "lightpath", "ring"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("scenario %q not registered", name)
+		}
+	}
+	if got := len(Names()); got < 7 {
+		t.Errorf("only %d scenarios registered", got)
+	}
+}
+
+// TestGenerateDeterministicAcrossWorkers is the parallel-generation
+// contract: the instance depends on (scenario, params) alone, never on the
+// worker count — chunk i always draws from xrand.Shard(seed, i), whatever
+// goroutine runs it.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"poisson", "diurnal"} {
+		sc, _ := Lookup(name)
+		base, err := sc.Instance(Params{Seed: 9, N: 3000, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			in, err := sc.Instance(Params{Seed: 9, N: 3000, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if in.N() != base.N() {
+				t.Fatalf("%s workers=%d: %d jobs vs %d at workers=1", name, workers, in.N(), base.N())
+			}
+			for i := range in.Jobs {
+				if in.Jobs[i] != base.Jobs[i] {
+					t.Fatalf("%s workers=%d: job %d differs: %+v vs %+v",
+						name, workers, i, in.Jobs[i], base.Jobs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateSeedSensitivity checks different seeds give different traces.
+func TestGenerateSeedSensitivity(t *testing.T) {
+	sc, _ := Lookup("diurnal")
+	a, err := sc.Instance(Params{Seed: 1, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Instance(Params{Seed: 2, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() == b.N() {
+		same := true
+		for i := range a.Jobs {
+			if a.Jobs[i].Iv != b.Jobs[i].Iv {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 1 and 2 generated the identical trace")
+		}
+	}
+}
+
+// TestEveryFamilyGeneratesValid sweeps the registry at a small scale: merged
+// defaults, a couple of seeds, instances must validate (Instance checks) and
+// be non-trivial.
+func TestEveryFamilyGeneratesValid(t *testing.T) {
+	for _, sc := range All() {
+		for seed := int64(1); seed <= 2; seed++ {
+			in, err := sc.Instance(Params{Seed: seed, N: 200})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", sc.Name, seed, err)
+			}
+			if in.N() == 0 {
+				t.Errorf("%s seed=%d: empty instance", sc.Name, seed)
+			}
+			if in.G < 1 {
+				t.Errorf("%s seed=%d: g=%d", sc.Name, seed, in.G)
+			}
+		}
+	}
+}
+
+// TestStochasticFamiliesHitTargetCount checks N is hit in expectation: a
+// ±40% band at N=4000 is ≈ 25 standard deviations for a Poisson count.
+func TestStochasticFamiliesHitTargetCount(t *testing.T) {
+	for _, name := range []string{"poisson", "diurnal"} {
+		sc, _ := Lookup(name)
+		in, err := sc.Instance(Params{Seed: 3, N: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.N() < 2400 || in.N() > 5600 {
+			t.Errorf("%s: %d jobs, want ≈ 4000", name, in.N())
+		}
+	}
+}
+
+// TestArrivalOrderIsSorted pins the stream order the online replay feeds.
+func TestArrivalOrderIsSorted(t *testing.T) {
+	sc, _ := Lookup("burst")
+	in, err := sc.Instance(Params{Seed: 5, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := arrivalOrder(in)
+	if len(order) != in.N() {
+		t.Fatalf("order has %d entries for %d jobs", len(order), in.N())
+	}
+	for i := 1; i < len(order); i++ {
+		if in.Jobs[order[i]].Iv.Start < in.Jobs[order[i-1]].Iv.Start {
+			t.Fatalf("arrival order not sorted at %d", i)
+		}
+	}
+}
+
+// TestMaxDemandOverlay checks the demand overlay stays within [1, min(max, g)].
+func TestMaxDemandOverlay(t *testing.T) {
+	sc, _ := Lookup("poisson")
+	in, err := sc.Instance(Params{Seed: 4, N: 1000, G: 4, MaxDemand: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, j := range in.Jobs {
+		if j.Demand < 1 || j.Demand > 3 {
+			t.Fatalf("demand %d outside [1,3]", j.Demand)
+		}
+		seen[j.Demand] = true
+	}
+	if len(seen) < 2 {
+		t.Error("MaxDemand=3 produced a single demand value everywhere")
+	}
+}
+
+// TestFromCSV round-trips an external trace through the scenario wrapper.
+func TestFromCSV(t *testing.T) {
+	in, err := readCSV(strings.NewReader("#g,3\nid,start,end,demand\n0,0,2,1\n1,1,4,2\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.G != 3 || in.N() != 2 {
+		t.Fatalf("got g=%d n=%d", in.G, in.N())
+	}
+	if _, err := readCSV(strings.NewReader("id,start,end\n0,NaN,1\n"), 1); err == nil {
+		t.Fatal("NaN trace accepted")
+	}
+}
+
+// TestParseModes pins the mode grammar.
+func TestParseModes(t *testing.T) {
+	m, err := ParseModes("offline,online,wire")
+	if err != nil || m != ModeOffline|ModeOnline|ModeWire {
+		t.Fatalf("ParseModes = %v, %v", m, err)
+	}
+	if _, err := ParseModes("offline,bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if _, err := ParseModes(""); err == nil {
+		t.Fatal("empty mode list accepted")
+	}
+}
+
+// TestRegisterPanics pins the registry's duplicate and shape guards.
+func TestRegisterPanics(t *testing.T) {
+	stub := func(p Params) (*core.Instance, error) { return nil, nil }
+	for _, sc := range []Scenario{
+		{},
+		{Name: "diurnal", Generate: stub},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", sc.Name)
+				}
+			}()
+			Register(sc)
+		}()
+	}
+}

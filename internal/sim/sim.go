@@ -66,9 +66,10 @@ type Report struct {
 	Events     int
 }
 
-// Run replays the schedule. The schedule need not be feasible — violations
-// are recorded, not rejected — but every job must be assigned.
-func Run(s *core.Schedule) (*Report, error) {
+// Replay runs the schedule through the discrete-event simulation. The
+// schedule need not be feasible — violations are recorded, not rejected —
+// but every job must be assigned.
+func Replay(s *core.Schedule) (*Report, error) {
 	in := s.Instance()
 	for j := 0; j < in.N(); j++ {
 		if s.MachineOf(j) == core.Unassigned {
@@ -161,7 +162,7 @@ func Run(s *core.Schedule) (*Report, error) {
 // time disagrees with the analytic cost by more than tol or any capacity
 // violation occurred. It is the library's end-to-end consistency assertion.
 func Check(s *core.Schedule, tol float64) error {
-	rep, err := Run(s)
+	rep, err := Replay(s)
 	if err != nil {
 		return err
 	}

@@ -19,7 +19,7 @@ func TestMeasuredBusyMatchesAnalytic(t *testing.T) {
 	m := s.AssignNew(0)
 	s.Assign(1, m)
 	s.Assign(2, m)
-	rep, err := Run(s)
+	rep, err := Replay(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestTouchingJobsKeepMachineOn(t *testing.T) {
 	s := core.NewSchedule(in)
 	m := s.AssignNew(0)
 	s.Assign(1, m)
-	rep, err := Run(s)
+	rep, err := Replay(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestViolationDetected(t *testing.T) {
 	s := core.NewSchedule(in)
 	m := s.AssignNew(0)
 	s.Assign(1, m)
-	rep, err := Run(s)
+	rep, err := Replay(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestDemandWeightedLoad(t *testing.T) {
 	s := core.NewSchedule(in)
 	m := s.AssignNew(0)
 	s.Assign(1, m)
-	rep, err := Run(s)
+	rep, err := Replay(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,14 +102,14 @@ func TestUnassignedJobRejected(t *testing.T) {
 	in := core.NewInstance(2, iv(0, 1), iv(2, 3))
 	s := core.NewSchedule(in)
 	s.AssignNew(0)
-	if _, err := Run(s); err == nil {
+	if _, err := Replay(s); err == nil {
 		t.Error("incomplete schedule accepted")
 	}
 }
 
 func TestEmptySchedule(t *testing.T) {
 	s := core.NewSchedule(core.NewInstance(2))
-	rep, err := Run(s)
+	rep, err := Replay(s)
 	if err != nil || rep.TotalBusy != 0 || rep.Events != 0 {
 		t.Errorf("empty replay: %+v err=%v", rep, err)
 	}
@@ -130,7 +130,7 @@ func TestQuickPerMachineBusyMatches(t *testing.T) {
 	f := func(seed int64, nn uint8) bool {
 		in := generator.General(seed, int(nn%25)+1, 3, 30, 10)
 		s := firstfit.Schedule(in)
-		rep, err := Run(s)
+		rep, err := Replay(s)
 		if err != nil {
 			return false
 		}
@@ -152,7 +152,7 @@ func BenchmarkReplay1k(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(s); err != nil {
+		if _, err := Replay(s); err != nil {
 			b.Fatal(err)
 		}
 	}

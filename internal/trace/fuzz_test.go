@@ -4,10 +4,17 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"busytime/internal/core"
+	"busytime/internal/interval"
+	"busytime/internal/xrand"
 )
 
 // FuzzReadCSV checks that arbitrary input never panics the parser and that
-// everything it accepts survives a write/read round trip.
+// everything it accepts survives a write/read round trip. The seeds include
+// the data-error shapes the typed-error split guards: NaN and infinite
+// endpoints (which parse as floats but must be rejected, not passed to
+// interval.New), reversed intervals, and malformed numbers.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("#g,2\nid,start,end,demand\n0,0,1,1\n")
 	f.Add("id,start,end\n0,0,1\n1,0.5,2.25\n")
@@ -15,6 +22,12 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("#g,0\n")
 	f.Add("id,start,end\n0,5,1\n")
 	f.Add("garbage,,,,\n")
+	f.Add("id,start,end\n0,NaN,1\n")
+	f.Add("id,start,end\n0,0,NaN\n")
+	f.Add("id,start,end\n0,-Inf,+Inf\n")
+	f.Add("id,start,end\n0,1e309,2e309\n")
+	f.Add("id,start,end,demand\n0,0,1,\n")
+	f.Add("#g,2\n#g,3\nid,start,end\n0,0,1\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		in, err := ReadCSV(strings.NewReader(src), 2)
 		if err != nil {
@@ -33,6 +46,51 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if rt.N() != in.N() || rt.G != in.G {
 			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", rt.N(), rt.G, in.N(), in.G)
+		}
+	})
+}
+
+// FuzzCSVRoundTrip drives the write side: pseudo-random instances — full
+// float64 endpoints, mixed demands, sparse demand columns — must round-trip
+// through WriteCSV/ReadCSV with every job bit-identical: g lossless, float
+// formatting exact ('g', -1 shortest round-trip), missing demand defaulting
+// to 1 on both sides.
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(3))
+	f.Add(int64(42), uint8(1), uint8(1))
+	f.Add(int64(-7), uint8(50), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, nJobs, g uint8) {
+		if g == 0 {
+			g = 1
+		}
+		r := xrand.New(seed)
+		in := &core.Instance{Name: "fuzz", G: int(g)}
+		for i := 0; i < int(nJobs); i++ {
+			// Endpoints exercise the formatter: mix tiny, fractional and
+			// large magnitudes, all finite by construction.
+			s := (r.Float64() - 0.5) * 1e9 * r.Float64() * r.Float64()
+			l := r.ExpFloat64() * 100
+			d := 1 + r.Intn(int(g))
+			in.Jobs = append(in.Jobs, core.Job{ID: i, Iv: interval.New(s, s+l), Demand: d})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		rt, err := ReadCSV(&buf, 99)
+		if err != nil {
+			t.Fatalf("ReadCSV rejected own output: %v", err)
+		}
+		if rt.G != in.G {
+			t.Fatalf("g not lossless: %d vs %d", rt.G, in.G)
+		}
+		if rt.N() != in.N() {
+			t.Fatalf("job count changed: %d vs %d", rt.N(), in.N())
+		}
+		for i := range in.Jobs {
+			if rt.Jobs[i] != in.Jobs[i] {
+				t.Fatalf("job %d changed: %+v vs %+v", i, rt.Jobs[i], in.Jobs[i])
+			}
 		}
 	})
 }

@@ -10,8 +10,8 @@
 package trace
 
 import (
-	"busytime/internal/xrand"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -19,6 +19,22 @@ import (
 
 	"busytime/internal/core"
 	"busytime/internal/interval"
+	"busytime/internal/xrand"
+)
+
+// Typed parse errors of the CSV reader, following the daemon data plane's
+// convention of splitting data errors from framing errors: a row whose
+// values are malformed — an unparsable number, a non-finite or reversed
+// interval — is a data problem and surfaces as one of these sentinels
+// (match with errors.Is), while a structurally broken CSV stream keeps
+// surfacing as the csv package's own framing error.
+var (
+	// ErrBadValue marks a field that failed to parse as its column's type
+	// (id, g or demand not an integer, start or end not a float).
+	ErrBadValue = errors.New("trace: bad field value")
+	// ErrBadInterval marks a job whose interval no schedule could hold:
+	// a NaN or infinite endpoint, or end < start.
+	ErrBadInterval = errors.New("trace: invalid interval")
 )
 
 // WriteCSV writes the instance as CSV with a header row. The parallelism g
@@ -49,7 +65,10 @@ func WriteCSV(w io.Writer, in *core.Instance) error {
 
 // ReadCSV parses an instance written by WriteCSV (or hand-authored in the
 // same shape). A missing "#g" row falls back to the provided defaultG; a
-// missing demand column defaults to 1. The decoded instance is validated.
+// missing demand column defaults to 1. Malformed values surface as typed
+// errors (ErrBadValue, ErrBadInterval) and the decoded instance is
+// validated, so arbitrary input never panics downstream interval or
+// schedule construction.
 func ReadCSV(r io.Reader, defaultG int) (*core.Instance, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -69,7 +88,7 @@ func ReadCSV(r io.Reader, defaultG int) (*core.Instance, error) {
 			}
 			g, err := strconv.Atoi(rec[1])
 			if err != nil {
-				return nil, fmt.Errorf("trace: bad g %q: %w", rec[1], err)
+				return nil, fmt.Errorf("%w: g %q", ErrBadValue, rec[1])
 			}
 			in.G = g
 			continue
@@ -81,24 +100,30 @@ func ReadCSV(r io.Reader, defaultG int) (*core.Instance, error) {
 		}
 		id, err := strconv.Atoi(rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad id %q: %w", rec[0], err)
+			return nil, fmt.Errorf("%w: id %q", ErrBadValue, rec[0])
 		}
 		start, err := strconv.ParseFloat(rec[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad start %q: %w", rec[1], err)
+			return nil, fmt.Errorf("%w: start %q", ErrBadValue, rec[1])
 		}
 		end, err := strconv.ParseFloat(rec[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad end %q: %w", rec[2], err)
+			return nil, fmt.Errorf("%w: end %q", ErrBadValue, rec[2])
+		}
+		// Checked here, not left to interval.New: NaN and ±Inf parse as valid
+		// floats but no schedule can hold them, and interval.New panics on
+		// NaN — a data error must stay an error on arbitrary input.
+		if math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(end) || math.IsInf(end, 0) {
+			return nil, fmt.Errorf("%w: job %d endpoint not finite [%v, %v]", ErrBadInterval, id, start, end)
 		}
 		if end < start {
-			return nil, fmt.Errorf("trace: job %d has end %v < start %v", id, end, start)
+			return nil, fmt.Errorf("%w: job %d has end %v < start %v", ErrBadInterval, id, end, start)
 		}
 		demand := 1
 		if len(rec) >= 4 && rec[3] != "" {
 			demand, err = strconv.Atoi(rec[3])
 			if err != nil {
-				return nil, fmt.Errorf("trace: bad demand %q: %w", rec[3], err)
+				return nil, fmt.Errorf("%w: demand %q", ErrBadValue, rec[3])
 			}
 		}
 		in.Jobs = append(in.Jobs, core.Job{ID: id, Iv: interval.New(start, end), Demand: demand})

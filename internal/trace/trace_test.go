@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -66,6 +67,63 @@ func TestReadCSVErrors(t *testing.T) {
 	for _, src := range cases {
 		if _, err := ReadCSV(strings.NewReader(src), 2); err == nil {
 			t.Errorf("accepted bad CSV %q", src)
+		}
+	}
+}
+
+// TestReadCSVTypedErrors pins the error taxonomy: malformed numbers are
+// ErrBadValue, non-finite or reversed intervals are ErrBadInterval, and —
+// the regression this guards — a NaN endpoint is an error, never a panic
+// out of interval.New.
+func TestReadCSVTypedErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"id,start,end\nx,0,1\n", ErrBadValue},
+		{"id,start,end\n0,z,1\n", ErrBadValue},
+		{"id,start,end\n0,0,y\n", ErrBadValue},
+		{"id,start,end,demand\n0,0,1,eight\n", ErrBadValue},
+		{"#g,abc\n", ErrBadValue},
+		{"id,start,end\n0,5,1\n", ErrBadInterval},
+		{"id,start,end\n0,NaN,1\n", ErrBadInterval},
+		{"id,start,end\n0,0,NaN\n", ErrBadInterval},
+		{"id,start,end\n0,nan,nan\n", ErrBadInterval},
+		{"id,start,end\n0,-Inf,1\n", ErrBadInterval},
+		{"id,start,end\n0,0,+Inf\n", ErrBadInterval},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.src), 2)
+		if err == nil {
+			t.Errorf("accepted bad CSV %q", c.src)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("ReadCSV(%q) = %v, want errors.Is(%v)", c.src, err, c.want)
+		}
+	}
+}
+
+// TestCSVFloatFormattingLossless pins the 'g'/-1 float encoding: endpoints
+// that need all 53 bits of the mantissa survive a write/read round trip
+// bit for bit.
+func TestCSVFloatFormattingLossless(t *testing.T) {
+	vals := []float64{0, 0.1, 1.0 / 3, math.Pi, 1e-308, 12345678.000000012, math.Nextafter(2, 3)}
+	in := &core.Instance{Name: "fmt", G: 2}
+	for i, v := range vals {
+		in.Jobs = append(in.Jobs, core.Job{ID: i, Iv: interval.New(v, v+1.0/7), Demand: 1})
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadCSV(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Jobs {
+		if rt.Jobs[i].Iv != in.Jobs[i].Iv {
+			t.Errorf("job %d: %v != %v after round trip", i, rt.Jobs[i].Iv, in.Jobs[i].Iv)
 		}
 	}
 }

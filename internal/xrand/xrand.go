@@ -21,6 +21,26 @@ type RNG struct{ state uint64 }
 // and negatives) land in distinct, well-mixed sequences.
 func New(seed int64) *RNG { return &RNG{state: uint64(seed)} }
 
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Shard returns the i-th derived generator of a family keyed by seed — the
+// fastrand-style per-worker split that lets parallel generators draw from
+// one logical seed without sharing (or locking) any state. Each shard's
+// stream starts at an avalanche hash of (seed, i), so shards are pairwise
+// uncorrelated for any practical draw count, Shard(seed, i) is deterministic
+// in both arguments alone, and no shard equals New(seed)'s own stream.
+// Workers that each own Shard(seed, workerChunk) reproduce identical output
+// at any level of parallelism, which is what keeps million-job scenario
+// synthesis both contention-free and bit-reproducible.
+func Shard(seed int64, i int) *RNG {
+	return &RNG{state: mix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xd1342543de82ef95 + 0x2545f4914f6cdd1d)}
+}
+
 // Uint64 advances the state and returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,10 +1,13 @@
 package busytime
 
 import (
+	"fmt"
+	"math"
 	"time"
 
 	"busytime/internal/core"
 	"busytime/internal/decomp"
+	"busytime/internal/sim"
 )
 
 // ArenaStats reports the scratch-arena traffic of one Solve: whether the
@@ -151,6 +154,35 @@ func (r Result) Ratio() float64 {
 		return r.Cost / lb
 	}
 	return 0
+}
+
+// CrossCheck replays the schedule through the library's discrete-event
+// simulator and returns an error unless the busy time a machine executing it
+// would bill agrees with the analytic Cost and no capacity is ever exceeded.
+// The tolerance is relative: the two totals must agree within
+// tol·max(1, |Cost|), so the same tol is meaningful for ten jobs or a
+// million (float summation orders differ between the two accountings).
+//
+// It reads the schedule, so in arena mode it is subject to the usual
+// lifetime window: call it before the next Solve on the same Solver.
+func (r Result) CrossCheck(tol float64) error {
+	if r.Schedule == nil {
+		return fmt.Errorf("busytime: CrossCheck on a Result without a schedule")
+	}
+	rep, err := sim.Replay(r.Schedule)
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		v := rep.Violations[0]
+		return fmt.Errorf("busytime: machine %d holds load %d > g at t=%v (%d violations)",
+			v.Machine, v.Load, v.T, len(rep.Violations))
+	}
+	if d := math.Abs(rep.TotalBusy - r.Cost); d > tol*math.Max(1, math.Abs(r.Cost)) {
+		return fmt.Errorf("busytime: simulated busy time %v != analytic cost %v (Δ=%v)",
+			rep.TotalBusy, r.Cost, d)
+	}
+	return nil
 }
 
 // Detach moves the Result's schedule out of the Solver's recycled arena

@@ -743,3 +743,22 @@ func TestOnlinePoolPublic(t *testing.T) {
 		t.Fatal("lookahead pool accepted")
 	}
 }
+
+func TestResultCrossCheck(t *testing.T) {
+	in := generator.General(9, 400, 3, 180, 25)
+	s, err := busytime.New(busytime.WithAlgorithm("bestfit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CrossCheck(1e-9); err != nil {
+		t.Errorf("CrossCheck rejects a verified solve: %v", err)
+	}
+	var empty busytime.Result
+	if err := empty.CrossCheck(1e-9); err == nil {
+		t.Error("CrossCheck accepted a Result without a schedule")
+	}
+}
